@@ -1,0 +1,56 @@
+// Shared helpers for the figure-reproduction benchmarks.  Each fig*
+// executable regenerates one figure of the paper's evaluation: it prints
+// the same series the figure plots, plus the shape checks that must hold
+// (who wins, where the crossover falls).
+#pragma once
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "util/table.hpp"
+#include "viz/world.hpp"
+
+namespace avf::bench {
+
+/// Print a figure series and also save it as CSV under ./bench_results/
+/// (for re-plotting the figures with any external tool).
+inline void emit_table(const util::TextTable& table, const std::string& name) {
+  table.print(std::cout);
+  std::error_code ec;
+  std::filesystem::create_directories("bench_results", ec);
+  if (!ec) {
+    std::ofstream out("bench_results/" + name + ".csv");
+    if (out) table.save_csv(out);
+  }
+}
+
+inline void figure_header(const std::string& id, const std::string& caption) {
+  std::cout << "\n=== " << id << " — " << caption << " ===\n\n";
+}
+
+inline void note(const std::string& text) { std::cout << text << "\n"; }
+
+/// The performance database used by fig5/6/7 (built on first use, cached in
+/// ./.avf_viz_perfdb.csv across bench binaries).
+inline const perfdb::PerfDatabase& figure_database() {
+  return viz::standard_viz_database();
+}
+
+/// Standard full-scale world (paper §7.1: two PII-450s, 100 Mbps Ethernet,
+/// ten 1024x1024 images).
+inline viz::WorldSetup standard_setup() {
+  viz::WorldSetup setup;
+  return setup;
+}
+
+inline tunable::ConfigPoint viz_config(int dR, int c, int l) {
+  tunable::ConfigPoint p;
+  p.set("dR", dR);
+  p.set("c", c);
+  p.set("l", l);
+  return p;
+}
+
+}  // namespace avf::bench

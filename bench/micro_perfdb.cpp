@@ -1,0 +1,95 @@
+// Micro-benchmarks: performance-database insert and prediction cost (the
+// scheduler consults the database on every adaptation check).
+#include <benchmark/benchmark.h>
+
+#include "perfdb/database.hpp"
+
+namespace {
+
+using namespace avf;
+using perfdb::PerfDatabase;
+using tunable::ConfigPoint;
+
+tunable::MetricSchema schema() {
+  tunable::MetricSchema s;
+  s.add("transmit_time", tunable::Direction::kLowerBetter);
+  s.add("response_time", tunable::Direction::kLowerBetter);
+  s.add("resolution", tunable::Direction::kHigherBetter);
+  return s;
+}
+
+PerfDatabase build_db(int configs, int grid) {
+  PerfDatabase db({"cpu_share", "net_bps"}, schema());
+  for (int c = 0; c < configs; ++c) {
+    ConfigPoint config;
+    config.set("mode", c);
+    for (int i = 0; i < grid; ++i) {
+      for (int j = 0; j < grid; ++j) {
+        tunable::QosVector q;
+        double cpu = (i + 1.0) / grid;
+        double bw = (j + 1.0) * 100e3;
+        q.set("transmit_time", 10.0 / cpu + 1e6 / bw);
+        q.set("response_time", 1.0 / cpu);
+        q.set("resolution", 4.0);
+        db.insert(config, {cpu, bw}, q);
+      }
+    }
+  }
+  return db;
+}
+
+void BM_Insert(benchmark::State& state) {
+  for (auto _ : state) {
+    PerfDatabase db = build_db(static_cast<int>(state.range(0)), 6);
+    benchmark::DoNotOptimize(db.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 36);
+}
+BENCHMARK(BM_Insert)->Arg(18);
+
+void BM_PredictInterpolate(benchmark::State& state) {
+  PerfDatabase db = build_db(18, 6);
+  ConfigPoint config;
+  config.set("mode", 7);
+  double x = 0.0;
+  for (auto _ : state) {
+    auto q = db.predict(config, {0.37 + x * 1e-9, 275e3},
+                        perfdb::Lookup::kInterpolate);
+    x += 1.0;
+    benchmark::DoNotOptimize(q->get("transmit_time"));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PredictInterpolate);
+
+void BM_PredictNearest(benchmark::State& state) {
+  PerfDatabase db = build_db(18, 6);
+  ConfigPoint config;
+  config.set("mode", 7);
+  for (auto _ : state) {
+    auto q = db.predict(config, {0.37, 275e3}, perfdb::Lookup::kNearest);
+    benchmark::DoNotOptimize(q->get("transmit_time"));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PredictNearest);
+
+void BM_FullSchedulerScan(benchmark::State& state) {
+  // Cost of predicting every config at one resource point — what the
+  // scheduler pays per adaptation decision.
+  PerfDatabase db = build_db(18, 6);
+  for (auto _ : state) {
+    double best = 1e300;
+    for (const ConfigPoint& c : db.configs()) {
+      auto q = db.predict(c, {0.37, 275e3});
+      best = std::min(best, q->get("transmit_time"));
+    }
+    benchmark::DoNotOptimize(best);
+  }
+  state.SetItemsProcessed(state.iterations() * 18);
+}
+BENCHMARK(BM_FullSchedulerScan);
+
+}  // namespace
+
+BENCHMARK_MAIN();

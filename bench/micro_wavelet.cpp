@@ -1,0 +1,62 @@
+// Micro-benchmarks: wavelet pyramid construction, reconstruction, and
+// progressive tile encoding.
+#include <benchmark/benchmark.h>
+
+#include "viz/world.hpp"
+#include "wavelet/haar.hpp"
+#include "wavelet/progressive.hpp"
+
+namespace {
+
+using namespace avf;
+
+void BM_PyramidDecompose(benchmark::State& state) {
+  int size = static_cast<int>(state.range(0));
+  const wavelet::Image& img = viz::cached_image(size, 7);
+  for (auto _ : state) {
+    wavelet::Pyramid pyr(img, 4);
+    benchmark::DoNotOptimize(pyr.ll().coeffs.data());
+  }
+  state.SetItemsProcessed(state.iterations() * size * size);
+}
+BENCHMARK(BM_PyramidDecompose)->Arg(256)->Arg(1024);
+
+void BM_PyramidReconstruct(benchmark::State& state) {
+  int size = static_cast<int>(state.range(0));
+  wavelet::Pyramid pyr(viz::cached_image(size, 7), 4);
+  for (auto _ : state) {
+    wavelet::Image img = pyr.reconstruct(4);
+    benchmark::DoNotOptimize(img.pixels().data());
+  }
+  state.SetItemsProcessed(state.iterations() * size * size);
+}
+BENCHMARK(BM_PyramidReconstruct)->Arg(256)->Arg(1024);
+
+void BM_ProgressiveEncode(benchmark::State& state) {
+  int size = static_cast<int>(state.range(0));
+  wavelet::Pyramid pyr(viz::cached_image(size, 7), 4);
+  for (auto _ : state) {
+    wavelet::ProgressiveEncoder enc(pyr, 16);
+    wavelet::Bytes out =
+        enc.encode_region({size / 2, size / 2, size}, 4);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_ProgressiveEncode)->Arg(256)->Arg(1024);
+
+void BM_ProgressiveDecode(benchmark::State& state) {
+  int size = static_cast<int>(state.range(0));
+  wavelet::Pyramid pyr(viz::cached_image(size, 7), 4);
+  wavelet::ProgressiveEncoder enc(pyr, 16);
+  wavelet::Bytes payload = enc.encode_region({size / 2, size / 2, size}, 4);
+  for (auto _ : state) {
+    wavelet::ProgressiveDecoder dec(size, size, 4, 16);
+    auto result = dec.apply(payload);
+    benchmark::DoNotOptimize(result.coefficients);
+  }
+}
+BENCHMARK(BM_ProgressiveDecode)->Arg(256)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+#include "adapt/controller.hpp"
+
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace avf::adapt {
+
+AdaptationController::AdaptationController(sim::Simulator& sim,
+                                           const ResourceScheduler& scheduler,
+                                           MonitoringAgent& monitor,
+                                           SteeringAgent& steering)
+    : AdaptationController(sim, scheduler, monitor, steering, Options{}) {}
+
+AdaptationController::AdaptationController(sim::Simulator& sim,
+                                           const ResourceScheduler& scheduler,
+                                           MonitoringAgent& monitor,
+                                           SteeringAgent& steering,
+                                           Options options)
+    : sim_(sim),
+      scheduler_(scheduler),
+      monitor_(monitor),
+      steering_(steering),
+      options_(options) {
+  if (options_.check_interval <= 0.0) {
+    throw std::invalid_argument("check interval must be > 0");
+  }
+}
+
+tunable::ConfigPoint AdaptationController::configure(
+    const std::vector<double>& initial_resources) {
+  auto decision = scheduler_.select(initial_resources);
+  if (!decision) {
+    throw std::runtime_error(
+        "cannot configure: performance database has no usable records");
+  }
+  monitor_.set_baseline(initial_resources);
+  steering_.request(decision->config);
+  steering_.apply_pending();
+  util::log_info("controller", sim_.now(), "initial configuration: {}",
+                 decision->config.key());
+  return decision->config;
+}
+
+void AdaptationController::start() {
+  if (check_event_.pending()) return;
+  check_event_ = sim_.schedule(options_.check_interval, [this] { tick(); });
+}
+
+void AdaptationController::tick() {
+  ++checks_;
+  if (monitor_.check_triggered()) {
+    std::vector<double> estimates = monitor_.estimates();
+    auto decision =
+        scheduler_.select_with_incumbent(estimates, steering_.active());
+    if (decision && decision->config != steering_.active()) {
+      util::log_info("controller", sim_.now(),
+                     "adapting {} -> {} (preference #{})",
+                     steering_.active().key(), decision->config.key(),
+                     decision->preference_index);
+      adaptations_.push_back(AdaptationEvent{sim_.now(), steering_.active(),
+                                             decision->config, estimates,
+                                             decision->preference_index});
+      steering_.request(decision->config);
+    }
+    // Either way, re-anchor the baseline so the monitor looks for the
+    // *next* change rather than re-firing on the same one.
+    monitor_.set_baseline(estimates);
+  }
+  check_event_ = sim_.schedule(options_.check_interval, [this] { tick(); });
+}
+
+}  // namespace avf::adapt

@@ -1,0 +1,70 @@
+// AdaptationController — the glue of the run-time subsystem (paper §6,
+// Figure 1): a periodic check drains the monitoring agent's out-of-range
+// signal, consults the resource scheduler, and hands any configuration
+// change to the steering agent.  Also performs the *initial automatic
+// configuration* from the system-wide monitor's static view of resources.
+#pragma once
+
+#include <vector>
+
+#include "adapt/monitor.hpp"
+#include "adapt/scheduler.hpp"
+#include "adapt/steering.hpp"
+#include "sim/simulator.hpp"
+
+namespace avf::adapt {
+
+class AdaptationController {
+ public:
+  struct Options {
+    double check_interval = 0.25;  ///< seconds between monitor checks
+  };
+
+  AdaptationController(sim::Simulator& sim, const ResourceScheduler& scheduler,
+                       MonitoringAgent& monitor, SteeringAgent& steering);
+  AdaptationController(sim::Simulator& sim, const ResourceScheduler& scheduler,
+                       MonitoringAgent& monitor, SteeringAgent& steering,
+                       Options options);
+  ~AdaptationController() { stop(); }
+
+  AdaptationController(const AdaptationController&) = delete;
+  AdaptationController& operator=(const AdaptationController&) = delete;
+
+  /// Initial configuration (paper: "configure itself in diverse distributed
+  /// environments"): select for `initial_resources`, stage it, and record
+  /// the baseline.  Returns the selected configuration so the caller can
+  /// construct the application with it already active.
+  tunable::ConfigPoint configure(
+      const std::vector<double>& initial_resources);
+
+  /// Begin periodic monitoring checks.
+  void start();
+  void stop() { check_event_.cancel(); }
+  bool running() const { return check_event_.pending(); }
+
+  struct AdaptationEvent {
+    sim::SimTime time;
+    tunable::ConfigPoint from;
+    tunable::ConfigPoint to;
+    std::vector<double> estimates;
+    std::size_t preference_index;
+  };
+  const std::vector<AdaptationEvent>& adaptations() const {
+    return adaptations_;
+  }
+  std::size_t checks() const { return checks_; }
+
+ private:
+  void tick();
+
+  sim::Simulator& sim_;
+  const ResourceScheduler& scheduler_;
+  MonitoringAgent& monitor_;
+  SteeringAgent& steering_;
+  Options options_;
+  sim::EventHandle check_event_;
+  std::vector<AdaptationEvent> adaptations_;
+  std::size_t checks_ = 0;
+};
+
+}  // namespace avf::adapt

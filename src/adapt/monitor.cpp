@@ -1,0 +1,87 @@
+#include "adapt/monitor.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/fmt.hpp"
+
+namespace avf::adapt {
+
+MonitoringAgent::MonitoringAgent(sim::Simulator& sim,
+                                 std::vector<std::string> axes)
+    : MonitoringAgent(sim, std::move(axes), Options{}) {}
+
+MonitoringAgent::MonitoringAgent(sim::Simulator& sim,
+                                 std::vector<std::string> axes,
+                                 Options options)
+    : sim_(sim), axes_(std::move(axes)), options_(options) {
+  if (axes_.empty()) {
+    throw std::invalid_argument("monitoring agent needs at least one axis");
+  }
+  windows_.assign(axes_.size(), util::TimeWindow(options_.window));
+  baseline_.assign(axes_.size(), 0.0);
+}
+
+std::size_t MonitoringAgent::axis_index(const std::string& axis) const {
+  for (std::size_t i = 0; i < axes_.size(); ++i) {
+    if (axes_[i] == axis) return i;
+  }
+  throw std::out_of_range(util::format("no such monitored axis: {}", axis));
+}
+
+void MonitoringAgent::observe(const std::string& axis, double value) {
+  windows_[axis_index(axis)].add(sim_.now(), value);
+  ++samples_total_;
+}
+
+std::optional<double> MonitoringAgent::estimate(const std::string& axis) const {
+  const util::TimeWindow& w = windows_[axis_index(axis)];
+  if (w.empty()) return std::nullopt;
+  // Stale data (older than the window relative to now) does not count.
+  if (w.samples().back().first < sim_.now() - options_.window) {
+    return std::nullopt;
+  }
+  return w.mean();
+}
+
+std::vector<double> MonitoringAgent::estimates() const {
+  std::vector<double> out(axes_.size());
+  for (std::size_t i = 0; i < axes_.size(); ++i) {
+    auto e = estimate(axes_[i]);
+    out[i] = e.value_or(baseline_[i]);
+  }
+  return out;
+}
+
+void MonitoringAgent::set_baseline(std::vector<double> baseline) {
+  if (baseline.size() != axes_.size()) {
+    throw std::invalid_argument("baseline dimension mismatch");
+  }
+  baseline_ = std::move(baseline);
+  consecutive_out_ = 0;
+}
+
+bool MonitoringAgent::check_triggered() {
+  bool out_of_range = false;
+  for (std::size_t i = 0; i < axes_.size(); ++i) {
+    auto e = estimate(axes_[i]);
+    if (!e) continue;
+    double scale = std::max(std::abs(baseline_[i]), 1e-12);
+    if (std::abs(*e - baseline_[i]) / scale > options_.trigger_threshold) {
+      out_of_range = true;
+      break;
+    }
+  }
+  if (!out_of_range) {
+    consecutive_out_ = 0;
+    return false;
+  }
+  if (++consecutive_out_ >= options_.consecutive_required) {
+    consecutive_out_ = 0;
+    ++triggers_;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace avf::adapt

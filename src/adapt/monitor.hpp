@@ -1,0 +1,73 @@
+// The application-specific monitoring agent (paper §6.1).
+//
+// Instrumented application code reports observations of the resources it
+// actually obtained (e.g. "that 2 MB transfer took 4.1 s -> ~500 KB/s
+// available", "those 90 Mops took 0.25 s -> ~80% of a 450 Mops CPU").  The
+// agent keeps a sliding history window per resource axis, derives current
+// availability estimates, and flags when availability has drifted out of
+// range of the baseline recorded at the last scheduling decision — with a
+// consecutive-check hysteresis so a single noisy sample does not trigger
+// reconfiguration.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "util/stats.hpp"
+
+namespace avf::adapt {
+
+class MonitoringAgent {
+ public:
+  struct Options {
+    double window = 2.0;              ///< history window, seconds
+    double trigger_threshold = 0.25;  ///< relative deviation from baseline
+    int consecutive_required = 2;     ///< out-of-range checks before trigger
+  };
+
+  MonitoringAgent(sim::Simulator& sim, std::vector<std::string> axes);
+  MonitoringAgent(sim::Simulator& sim, std::vector<std::string> axes,
+                  Options options);
+
+  const std::vector<std::string>& axes() const { return axes_; }
+
+  /// Report an observed availability sample for `axis` (units = axis units,
+  /// e.g. CPU share fraction or bytes/s), timestamped with simulated now().
+  void observe(const std::string& axis, double value);
+
+  /// Windowed estimate; nullopt when the axis has no samples in-window.
+  std::optional<double> estimate(const std::string& axis) const;
+
+  /// Estimates for all axes; axes without samples fall back to the
+  /// baseline value.
+  std::vector<double> estimates() const;
+
+  /// Record the resource point the scheduler last planned for.
+  void set_baseline(std::vector<double> baseline);
+  const std::vector<double>& baseline() const { return baseline_; }
+
+  /// Out-of-range check (call periodically).  Returns true once the
+  /// relative deviation on any axis has exceeded the threshold for the
+  /// configured number of consecutive calls; the internal counter resets
+  /// after firing and whenever availability returns to range.
+  bool check_triggered();
+
+  std::size_t samples_total() const { return samples_total_; }
+  std::size_t triggers() const { return triggers_; }
+
+ private:
+  std::size_t axis_index(const std::string& axis) const;
+
+  sim::Simulator& sim_;
+  std::vector<std::string> axes_;
+  Options options_;
+  std::vector<util::TimeWindow> windows_;
+  std::vector<double> baseline_;
+  int consecutive_out_ = 0;
+  std::size_t samples_total_ = 0;
+  std::size_t triggers_ = 0;
+};
+
+}  // namespace avf::adapt

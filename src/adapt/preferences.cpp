@@ -1,0 +1,29 @@
+#include "adapt/preferences.hpp"
+
+namespace avf::adapt {
+
+bool UserPreference::satisfied_by(const tunable::QosVector& quality) const {
+  for (const MetricRange& range : constraints) {
+    auto value = quality.try_get(range.metric);
+    if (!value || !range.contains(*value)) return false;
+  }
+  return true;
+}
+
+UserPreference minimize(const std::string& metric, std::string name) {
+  UserPreference p;
+  p.name = name.empty() ? "minimize " + metric : std::move(name);
+  p.objective_metric = metric;
+  p.maximize = false;
+  return p;
+}
+
+UserPreference maximize_metric(const std::string& metric, std::string name) {
+  UserPreference p;
+  p.name = name.empty() ? "maximize " + metric : std::move(name);
+  p.objective_metric = metric;
+  p.maximize = true;
+  return p;
+}
+
+}  // namespace avf::adapt

@@ -1,0 +1,106 @@
+#include "adapt/scheduler.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace avf::adapt {
+
+using tunable::ConfigPoint;
+using tunable::QosVector;
+
+ResourceScheduler::ResourceScheduler(const perfdb::PerfDatabase& db,
+                                     PreferenceList preferences)
+    : ResourceScheduler(db, std::move(preferences), Options{}) {}
+
+ResourceScheduler::ResourceScheduler(const perfdb::PerfDatabase& db,
+                                     PreferenceList preferences,
+                                     Options options)
+    : db_(db), preferences_(std::move(preferences)), options_(options) {
+  if (preferences_.empty()) {
+    throw std::invalid_argument("scheduler needs at least one preference");
+  }
+  for (const UserPreference& p : preferences_) {
+    if (!db_.schema().has(p.objective_metric)) {
+      throw std::invalid_argument("objective metric not in database schema: " +
+                                  p.objective_metric);
+    }
+  }
+}
+
+std::vector<ResourceScheduler::Candidate> ResourceScheduler::candidates(
+    const perfdb::ResourcePoint& resources) const {
+  std::vector<Candidate> out;
+  for (const ConfigPoint& config : db_.configs()) {
+    auto predicted = db_.predict(config, resources, options_.lookup);
+    if (predicted) out.push_back(Candidate{config, std::move(*predicted)});
+  }
+  return out;
+}
+
+std::optional<ResourceScheduler::Decision> ResourceScheduler::select(
+    const perfdb::ResourcePoint& resources) const {
+  std::vector<Candidate> all = candidates(resources);
+  if (all.empty()) return std::nullopt;
+
+  for (std::size_t pi = 0; pi < preferences_.size(); ++pi) {
+    const UserPreference& pref = preferences_[pi];
+    const Candidate* best = nullptr;
+    for (const Candidate& c : all) {
+      if (!pref.satisfied_by(c.predicted)) continue;
+      if (best == nullptr ||
+          pref.better(c.predicted.get(pref.objective_metric),
+                      best->predicted.get(pref.objective_metric))) {
+        best = &c;
+      }
+    }
+    if (best != nullptr) {
+      return Decision{best->config, pi, best->predicted, pi != 0};
+    }
+  }
+
+  // Nothing satisfies any preference: best-effort on the last preference's
+  // objective, ignoring its constraints.
+  const UserPreference& pref = preferences_.back();
+  const Candidate* best = nullptr;
+  for (const Candidate& c : all) {
+    if (best == nullptr ||
+        pref.better(c.predicted.get(pref.objective_metric),
+                    best->predicted.get(pref.objective_metric))) {
+      best = &c;
+    }
+  }
+  return Decision{best->config, preferences_.size() - 1, best->predicted,
+                  true};
+}
+
+std::optional<ResourceScheduler::Decision>
+ResourceScheduler::select_with_incumbent(
+    const perfdb::ResourcePoint& resources,
+    const ConfigPoint& incumbent) const {
+  auto decision = select(resources);
+  if (!decision || decision->config == incumbent) return decision;
+  if (options_.switch_hysteresis <= 0.0) return decision;
+
+  // Keep the incumbent unless it violates the winning preference's
+  // constraints or the challenger's objective advantage exceeds the margin.
+  auto incumbent_prediction =
+      db_.predict(incumbent, resources, options_.lookup);
+  if (!incumbent_prediction) return decision;
+  const UserPreference& pref = preferences_[decision->preference_index];
+  if (!pref.satisfied_by(*incumbent_prediction)) return decision;
+
+  double challenger = decision->predicted.get(pref.objective_metric);
+  double current = incumbent_prediction->get(pref.objective_metric);
+  double margin = options_.switch_hysteresis *
+                  std::max(std::abs(current), 1e-12);
+  bool clearly_better = pref.maximize ? challenger > current + margin
+                                      : challenger < current - margin;
+  if (!clearly_better) {
+    return Decision{incumbent, decision->preference_index,
+                    std::move(*incumbent_prediction),
+                    decision->fell_through};
+  }
+  return decision;
+}
+
+}  // namespace avf::adapt

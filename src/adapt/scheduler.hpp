@@ -1,0 +1,69 @@
+// The resource scheduler (paper §6.2): given measured resource
+// characteristics and the user preference list, prune candidate
+// configurations against the constraints using the performance database
+// (with interpolation), then pick the one that best satisfies the objective
+// of the most preferred satisfiable constraint.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "adapt/preferences.hpp"
+#include "perfdb/database.hpp"
+#include "tunable/config.hpp"
+
+namespace avf::adapt {
+
+class ResourceScheduler {
+ public:
+  struct Options {
+    perfdb::Lookup lookup = perfdb::Lookup::kInterpolate;
+    /// Relative advantage a challenger must show over the incumbent before
+    /// the scheduler recommends switching (paper §7.5: small resource
+    /// variations should not cause performance-degrading re-adaptations).
+    double switch_hysteresis = 0.0;
+  };
+
+  ResourceScheduler(const perfdb::PerfDatabase& db,
+                    PreferenceList preferences);
+  ResourceScheduler(const perfdb::PerfDatabase& db, PreferenceList preferences,
+                    Options options);
+
+  struct Decision {
+    tunable::ConfigPoint config;
+    std::size_t preference_index = 0;     // which preference was satisfiable
+    tunable::QosVector predicted;
+    bool fell_through = false;            // true if preference 0 unsatisfiable
+  };
+
+  /// Select the best configuration for the measured `resources`.  Returns
+  /// nullopt when the database is empty or no configuration has data.
+  /// When no preference's constraints are satisfiable, the last preference's
+  /// objective is optimized over all configurations (best effort).
+  std::optional<Decision> select(const perfdb::ResourcePoint& resources) const;
+
+  /// Like select(), but biased toward `incumbent`: a different config is
+  /// returned only if its predicted objective beats the incumbent's by the
+  /// hysteresis margin (or the incumbent violates the active constraints).
+  std::optional<Decision> select_with_incumbent(
+      const perfdb::ResourcePoint& resources,
+      const tunable::ConfigPoint& incumbent) const;
+
+  const PreferenceList& preferences() const { return preferences_; }
+  const perfdb::PerfDatabase& database() const { return db_; }
+
+ private:
+  struct Candidate {
+    tunable::ConfigPoint config;
+    tunable::QosVector predicted;
+  };
+
+  std::vector<Candidate> candidates(
+      const perfdb::ResourcePoint& resources) const;
+
+  const perfdb::PerfDatabase& db_;
+  PreferenceList preferences_;
+  Options options_;
+};
+
+}  // namespace avf::adapt

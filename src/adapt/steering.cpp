@@ -1,0 +1,51 @@
+#include "adapt/steering.hpp"
+
+#include <stdexcept>
+
+namespace avf::adapt {
+
+using tunable::ConfigPoint;
+
+SteeringAgent::SteeringAgent(const tunable::AppSpec& spec,
+                             ConfigPoint initial)
+    : spec_(spec), active_(std::move(initial)) {
+  if (!spec_.space().valid(active_)) {
+    throw std::invalid_argument("initial configuration is invalid: " +
+                                active_.key());
+  }
+}
+
+bool SteeringAgent::request(const ConfigPoint& next) {
+  if (!spec_.space().valid(next)) return false;
+  if (next == active_ && !pending_) return false;
+  if (pending_ && *pending_ == next) return false;
+  if (next == active_) {
+    pending_.reset();  // staged change superseded by "stay put"
+    return false;
+  }
+  pending_ = next;
+  return true;
+}
+
+bool SteeringAgent::apply_pending() {
+  if (!pending_) return false;
+  ConfigPoint next = *pending_;
+  pending_.reset();
+
+  for (const tunable::TransitionSpec& t : spec_.transitions()) {
+    if (t.guard && !t.guard(active_, next)) {
+      ++vetoed_;
+      return false;
+    }
+  }
+  ConfigPoint from = active_;
+  active_ = next;
+  for (const tunable::TransitionSpec& t : spec_.transitions()) {
+    if (t.handler) t.handler(from, active_);
+  }
+  ++applied_;
+  if (on_applied_) on_applied_(from, active_);
+  return true;
+}
+
+}  // namespace avf::adapt

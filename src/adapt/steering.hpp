@@ -1,0 +1,63 @@
+// The steering agent (paper §6.3): receives control messages carrying new
+// control-parameter settings, and installs them at the next task boundary /
+// transition point, running the application's transition handlers (subject
+// to their guards) and acknowledging the change.
+//
+// The application reads `active()` for its control parameters and calls
+// `apply_pending()` exactly at the points the tunability annotations marked
+// as safe reconfiguration points.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "tunable/app_spec.hpp"
+#include "tunable/config.hpp"
+
+namespace avf::adapt {
+
+class SteeringAgent {
+ public:
+  SteeringAgent(const tunable::AppSpec& spec, tunable::ConfigPoint initial);
+
+  /// The configuration the application is currently running.
+  const tunable::ConfigPoint& active() const { return active_; }
+
+  /// Stage a configuration change (scheduler-side).  Returns false when
+  /// `next` is already active or already staged, or is invalid for the
+  /// application's configuration space.
+  bool request(const tunable::ConfigPoint& next);
+
+  bool has_pending() const { return pending_.has_value(); }
+  const std::optional<tunable::ConfigPoint>& pending() const {
+    return pending_;
+  }
+
+  /// Application-side: install the staged configuration, if any.  Runs all
+  /// transition guards first; a vetoing guard cancels the change (counted
+  /// in vetoed()).  On success runs every transition handler, fires the
+  /// on_applied acknowledgment, and returns true.
+  bool apply_pending();
+
+  /// Acknowledgment hook (from, to) — the "ack to the resource scheduler"
+  /// and any remote notifications.
+  void set_on_applied(
+      std::function<void(const tunable::ConfigPoint&,
+                         const tunable::ConfigPoint&)> callback) {
+    on_applied_ = std::move(callback);
+  }
+
+  std::size_t applied() const { return applied_; }
+  std::size_t vetoed() const { return vetoed_; }
+
+ private:
+  const tunable::AppSpec& spec_;
+  tunable::ConfigPoint active_;
+  std::optional<tunable::ConfigPoint> pending_;
+  std::function<void(const tunable::ConfigPoint&, const tunable::ConfigPoint&)>
+      on_applied_;
+  std::size_t applied_ = 0;
+  std::size_t vetoed_ = 0;
+};
+
+}  // namespace avf::adapt

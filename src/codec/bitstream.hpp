@@ -1,0 +1,67 @@
+// Bit-granular I/O over byte buffers, shared by the LZW and Huffman coders.
+// Bits are packed LSB-first within each byte.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace avf::codec {
+
+class BitWriter {
+ public:
+  /// Append the low `nbits` bits of `value` (nbits in [1, 32]).
+  void write(std::uint32_t value, int nbits) {
+    for (int i = 0; i < nbits; ++i) {
+      if (bit_ == 0) bytes_.push_back(0);
+      if ((value >> i) & 1u) {
+        bytes_.back() |= static_cast<std::uint8_t>(1u << bit_);
+      }
+      bit_ = (bit_ + 1) & 7;
+    }
+  }
+
+  std::vector<std::uint8_t> take() {
+    bit_ = 0;
+    return std::move(bytes_);
+  }
+
+  std::size_t bit_count() const {
+    return bytes_.empty() ? 0 : (bytes_.size() - 1) * 8 + (bit_ == 0 ? 8 : bit_);
+  }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  int bit_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  /// Read `nbits` bits (LSB-first); throws std::runtime_error past the end.
+  std::uint32_t read(int nbits) {
+    std::uint32_t value = 0;
+    for (int i = 0; i < nbits; ++i) {
+      if (pos_ >= data_.size()) {
+        throw std::runtime_error("bitstream: read past end");
+      }
+      if ((data_[pos_] >> bit_) & 1u) value |= (1u << i);
+      if (++bit_ == 8) {
+        bit_ = 0;
+        ++pos_;
+      }
+    }
+    return value;
+  }
+
+  bool exhausted() const { return pos_ >= data_.size(); }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  int bit_ = 0;
+};
+
+}  // namespace avf::codec

@@ -1,0 +1,509 @@
+#include "codec/bwt.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+
+#include "codec/bitstream.hpp"
+
+namespace avf::codec {
+
+namespace bwtdetail {
+
+std::vector<std::uint32_t> suffix_array(BytesView data) {
+  // Suffixes of data + implicit sentinel (smaller than every byte).
+  // Prefix doubling with rank pairs; ranks use -1 for "past the end".
+  std::size_t n = data.size() + 1;
+  std::vector<std::uint32_t> sa(n);
+  std::vector<std::int32_t> rank(n), tmp(n);
+  std::iota(sa.begin(), sa.end(), 0u);
+  for (std::size_t i = 0; i + 1 < n; ++i) rank[i] = data[i];
+  rank[n - 1] = -1;  // sentinel suffix
+
+  for (std::size_t k = 1;; k *= 2) {
+    auto key = [&](std::uint32_t i) {
+      std::int32_t second = (i + k < n) ? rank[i + k] : -2;
+      return std::pair<std::int32_t, std::int32_t>(rank[i], second);
+    };
+    std::sort(sa.begin(), sa.end(), [&](std::uint32_t a, std::uint32_t b) {
+      return key(a) < key(b);
+    });
+    tmp[sa[0]] = 0;
+    for (std::size_t i = 1; i < n; ++i) {
+      tmp[sa[i]] = tmp[sa[i - 1]] + (key(sa[i - 1]) < key(sa[i]) ? 1 : 0);
+    }
+    rank = tmp;
+    if (rank[sa[n - 1]] == static_cast<std::int32_t>(n) - 1) break;
+  }
+  return sa;
+}
+
+Bytes bwt_forward(BytesView block, std::uint32_t& primary_index) {
+  std::vector<std::uint32_t> sa = suffix_array(block);
+  Bytes out;
+  out.reserve(block.size());
+  primary_index = 0;
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    std::uint32_t p = sa[i];
+    if (p == 0) {
+      primary_index = static_cast<std::uint32_t>(i);
+    } else {
+      out.push_back(block[p - 1]);
+    }
+  }
+  return out;
+}
+
+Bytes bwt_inverse(BytesView last_column, std::uint32_t primary_index) {
+  std::size_t n = last_column.size();
+  if (primary_index > n) throw std::runtime_error("bwt: bad primary index");
+  // L' = last_column with the sentinel (value -1) inserted at primary_index.
+  std::size_t n1 = n + 1;
+  auto value_at = [&](std::size_t i) -> int {
+    if (i == primary_index) return -1;
+    return last_column[i < primary_index ? i : i - 1];
+  };
+  // C[c] = number of symbols strictly smaller than c; occ via single pass.
+  std::array<std::uint32_t, 257> count{};  // index 0 = sentinel, 1+b = byte b
+  for (std::size_t i = 0; i < n1; ++i) ++count[value_at(i) + 1];
+  std::array<std::uint32_t, 257> before{};
+  std::uint32_t sum = 0;
+  for (int c = 0; c < 257; ++c) {
+    before[c] = sum;
+    sum += count[c];
+  }
+  std::vector<std::uint32_t> lf(n1);
+  std::array<std::uint32_t, 257> seen{};
+  for (std::size_t i = 0; i < n1; ++i) {
+    int c = value_at(i) + 1;
+    lf[i] = before[c] + seen[c]++;
+  }
+  Bytes out(n);
+  std::uint32_t row = 0;  // row 0 starts with the sentinel, ends with s[n-1]
+  for (std::size_t k = n; k-- > 0;) {
+    int v = value_at(row);
+    if (v < 0) throw std::runtime_error("bwt: corrupt stream");
+    out[k] = static_cast<std::uint8_t>(v);
+    row = lf[row];
+  }
+  return out;
+}
+
+Bytes mtf_encode(BytesView input) {
+  std::array<std::uint8_t, 256> order;
+  for (int i = 0; i < 256; ++i) order[i] = static_cast<std::uint8_t>(i);
+  Bytes out;
+  out.reserve(input.size());
+  for (std::uint8_t b : input) {
+    int pos = 0;
+    while (order[pos] != b) ++pos;
+    out.push_back(static_cast<std::uint8_t>(pos));
+    std::memmove(&order[1], &order[0], static_cast<std::size_t>(pos));
+    order[0] = b;
+  }
+  return out;
+}
+
+Bytes mtf_decode(BytesView input) {
+  std::array<std::uint8_t, 256> order;
+  for (int i = 0; i < 256; ++i) order[i] = static_cast<std::uint8_t>(i);
+  Bytes out;
+  out.reserve(input.size());
+  for (std::uint8_t pos : input) {
+    std::uint8_t b = order[pos];
+    out.push_back(b);
+    std::memmove(&order[1], &order[0], static_cast<std::size_t>(pos));
+    order[0] = b;
+  }
+  return out;
+}
+
+Bytes rle_encode(BytesView input) {
+  Bytes out;
+  std::size_t i = 0;
+  while (i < input.size()) {
+    // Measure the run starting at i.
+    std::size_t run = 1;
+    while (i + run < input.size() && input[i + run] == input[i] &&
+           run < 128) {
+      ++run;
+    }
+    if (run >= 3) {
+      out.push_back(static_cast<std::uint8_t>(257 - run));
+      out.push_back(input[i]);
+      i += run;
+      continue;
+    }
+    // Collect literals until the next run of >= 3 (or 128 literals).
+    std::size_t start = i;
+    std::size_t lits = 0;
+    while (i < input.size() && lits < 128) {
+      std::size_t r = 1;
+      while (i + r < input.size() && input[i + r] == input[i] && r < 3) ++r;
+      if (r >= 3) break;
+      i += r;
+      lits += r;
+    }
+    if (lits > 128) {  // r==2 step may overshoot by one
+      --lits;
+      --i;
+    }
+    out.push_back(static_cast<std::uint8_t>(lits - 1));
+    out.insert(out.end(), input.begin() + start, input.begin() + start + lits);
+  }
+  return out;
+}
+
+Bytes rle_decode(BytesView input) {
+  Bytes out;
+  std::size_t i = 0;
+  while (i < input.size()) {
+    std::uint8_t ctl = input[i++];
+    if (ctl <= 127) {
+      std::size_t lits = ctl + 1u;
+      if (i + lits > input.size()) throw std::runtime_error("rle: truncated");
+      out.insert(out.end(), input.begin() + i, input.begin() + i + lits);
+      i += lits;
+    } else if (ctl >= 129) {
+      if (i >= input.size()) throw std::runtime_error("rle: truncated run");
+      std::size_t run = 257u - ctl;
+      out.insert(out.end(), run, input[i++]);
+    } else {
+      throw std::runtime_error("rle: invalid control byte 128");
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Compute Huffman code lengths over an `alphabet`-sized histogram.
+void huffman_lengths(std::span<const std::uint64_t> freq,
+                     std::span<std::uint8_t> lengths) {
+  int alphabet = static_cast<int>(freq.size());
+  struct Node {
+    std::uint64_t weight;
+    int index;  // < alphabet: leaf symbol; >= alphabet: internal node id
+  };
+  auto cmp = [](const Node& a, const Node& b) {
+    if (a.weight != b.weight) return a.weight > b.weight;
+    return a.index > b.index;  // deterministic tie-break
+  };
+  std::priority_queue<Node, std::vector<Node>, decltype(cmp)> heap(cmp);
+  std::vector<std::pair<int, int>> children;  // internal node -> (left, right)
+  for (int s = 0; s < alphabet; ++s) {
+    if (freq[s] > 0) heap.push({freq[s], s});
+  }
+  std::fill(lengths.begin(), lengths.end(), 0);
+  if (heap.empty()) return;
+  if (heap.size() == 1) {
+    lengths[static_cast<std::size_t>(heap.top().index)] = 1;
+    return;
+  }
+  int next_internal = alphabet;
+  while (heap.size() > 1) {
+    Node a = heap.top();
+    heap.pop();
+    Node b = heap.top();
+    heap.pop();
+    children.emplace_back(a.index, b.index);
+    heap.push({a.weight + b.weight, next_internal++});
+  }
+  // Depth-first depth assignment from the root (last internal node).
+  std::vector<std::pair<int, int>> stack{{heap.top().index, 0}};
+  while (!stack.empty()) {
+    auto [idx, depth] = stack.back();
+    stack.pop_back();
+    if (idx < alphabet) {
+      lengths[static_cast<std::size_t>(idx)] =
+          static_cast<std::uint8_t>(depth);
+    } else {
+      auto [l, r] = children[static_cast<std::size_t>(idx - alphabet)];
+      stack.push_back({l, depth + 1});
+      stack.push_back({r, depth + 1});
+    }
+  }
+}
+
+/// Canonical code assignment: symbols sorted by (length, value).
+void canonical_codes(std::span<const std::uint8_t> lengths,
+                     std::span<std::uint32_t> codes) {
+  int alphabet = static_cast<int>(lengths.size());
+  std::vector<int> symbols;
+  for (int s = 0; s < alphabet; ++s) {
+    if (lengths[s] > 0) symbols.push_back(s);
+  }
+  std::sort(symbols.begin(), symbols.end(), [&](int a, int b) {
+    if (lengths[a] != lengths[b]) return lengths[a] < lengths[b];
+    return a < b;
+  });
+  std::uint32_t code = 0;
+  int prev_len = 0;
+  for (int s : symbols) {
+    code <<= (lengths[s] - prev_len);
+    codes[s] = code;
+    prev_len = lengths[s];
+    ++code;
+  }
+}
+
+struct CanonicalDecoder {
+  static constexpr int kMaxLen = 64;
+  std::array<std::uint32_t, kMaxLen + 1> count{}, first_code{}, first_index{};
+  std::vector<int> symbols;
+  int max_len = 0;
+
+  explicit CanonicalDecoder(std::span<const std::uint8_t> lengths) {
+    int alphabet = static_cast<int>(lengths.size());
+    for (int s = 0; s < alphabet; ++s) {
+      if (lengths[s] > 0) {
+        if (lengths[s] > kMaxLen) {
+          throw std::runtime_error("huffman: bad table");
+        }
+        ++count[lengths[s]];
+        max_len = std::max<int>(max_len, lengths[s]);
+      }
+    }
+    std::uint32_t code = 0, index = 0;
+    for (int len = 1; len <= max_len; ++len) {
+      code <<= 1;
+      first_code[len] = code;
+      first_index[len] = index;
+      code += count[len];
+      index += count[len];
+    }
+    for (int len = 1; len <= max_len; ++len) {
+      for (int s = 0; s < alphabet; ++s) {
+        if (lengths[s] == len) symbols.push_back(s);
+      }
+    }
+  }
+
+  int decode_one(BitReader& bits) const {
+    std::uint32_t v = 0;
+    for (int len = 1; len <= max_len; ++len) {
+      v = (v << 1) | bits.read(1);
+      std::uint32_t offset = v - first_code[len];
+      if (v >= first_code[len] && offset < count[len]) {
+        return symbols[first_index[len] + offset];
+      }
+    }
+    throw std::runtime_error("huffman: bad code");
+  }
+};
+
+}  // namespace
+
+Bytes huffman_encode(BytesView input, std::uint8_t (&lengths_out)[256]) {
+  std::array<std::uint64_t, 256> freq{};
+  for (std::uint8_t b : input) ++freq[b];
+  huffman_lengths(freq, lengths_out);
+  std::uint32_t codes[256] = {};
+  canonical_codes(lengths_out, codes);
+  BitWriter bits;
+  for (std::uint8_t b : input) {
+    // Emit MSB-first so canonical decode can walk bit by bit.
+    for (int i = lengths_out[b] - 1; i >= 0; --i) {
+      bits.write((codes[b] >> i) & 1u, 1);
+    }
+  }
+  return bits.take();
+}
+
+Bytes huffman_decode(BytesView data, const std::uint8_t (&lengths)[256],
+                     std::size_t output_size) {
+  CanonicalDecoder decoder{std::span<const std::uint8_t>(lengths)};
+  BitReader bits(data);
+  Bytes out;
+  out.reserve(std::min<std::size_t>(output_size, 1u << 22));
+  while (out.size() < output_size) {
+    out.push_back(static_cast<std::uint8_t>(decoder.decode_one(bits)));
+  }
+  return out;
+}
+
+std::vector<std::uint16_t> rle0_encode(BytesView mtf) {
+  std::vector<std::uint16_t> out;
+  out.reserve(mtf.size() / 2 + 16);
+  std::size_t i = 0;
+  auto emit_run = [&](std::size_t r) {
+    // Bijective base-2 digits, least significant first: RUNA=0 (value 1),
+    // RUNB=1 (value 2).
+    while (r > 0) {
+      if (r & 1) {
+        out.push_back(0);
+        r = (r - 1) / 2;
+      } else {
+        out.push_back(1);
+        r = (r - 2) / 2;
+      }
+    }
+  };
+  while (i < mtf.size()) {
+    if (mtf[i] == 0) {
+      std::size_t run = 0;
+      while (i < mtf.size() && mtf[i] == 0) {
+        ++run;
+        ++i;
+      }
+      emit_run(run);
+    } else {
+      out.push_back(static_cast<std::uint16_t>(mtf[i] + 1));
+      ++i;
+    }
+  }
+  return out;
+}
+
+Bytes rle0_decode(std::span<const std::uint16_t> symbols,
+                  std::size_t max_output) {
+  Bytes out;
+  std::size_t i = 0;
+  while (i < symbols.size()) {
+    if (symbols[i] <= 1) {
+      std::size_t run = 0, place = 1;
+      while (i < symbols.size() && symbols[i] <= 1) {
+        if (place > (std::size_t{1} << 48)) {
+          throw std::runtime_error("rle0: run length overflow");
+        }
+        run += (symbols[i] == 0 ? 1u : 2u) * place;
+        place *= 2;
+        ++i;
+      }
+      if (out.size() + run > max_output) {
+        throw std::runtime_error("rle0: output exceeds declared size");
+      }
+      out.insert(out.end(), run, 0);
+    } else {
+      if (symbols[i] >= kRle0Alphabet) {
+        throw std::runtime_error("rle0: symbol out of range");
+      }
+      if (out.size() + 1 > max_output) {
+        throw std::runtime_error("rle0: output exceeds declared size");
+      }
+      out.push_back(static_cast<std::uint8_t>(symbols[i] - 1));
+      ++i;
+    }
+  }
+  return out;
+}
+
+Bytes huffman_encode_sym(std::span<const std::uint16_t> symbols, int alphabet,
+                         std::vector<std::uint8_t>& lengths_out) {
+  std::vector<std::uint64_t> freq(static_cast<std::size_t>(alphabet), 0);
+  for (std::uint16_t s : symbols) {
+    if (s >= alphabet) throw std::invalid_argument("symbol out of alphabet");
+    ++freq[s];
+  }
+  lengths_out.assign(static_cast<std::size_t>(alphabet), 0);
+  huffman_lengths(freq, lengths_out);
+  std::vector<std::uint32_t> codes(static_cast<std::size_t>(alphabet), 0);
+  canonical_codes(lengths_out, codes);
+  BitWriter bits;
+  for (std::uint16_t s : symbols) {
+    for (int i = lengths_out[s] - 1; i >= 0; --i) {
+      bits.write((codes[s] >> i) & 1u, 1);
+    }
+  }
+  return bits.take();
+}
+
+std::vector<std::uint16_t> huffman_decode_sym(
+    BytesView data, std::span<const std::uint8_t> lengths,
+    std::size_t symbol_count) {
+  CanonicalDecoder decoder{lengths};
+  BitReader bits(data);
+  std::vector<std::uint16_t> out;
+  out.reserve(std::min<std::size_t>(symbol_count, 1u << 22));
+  while (out.size() < symbol_count) {
+    out.push_back(static_cast<std::uint16_t>(decoder.decode_one(bits)));
+  }
+  return out;
+}
+
+}  // namespace bwtdetail
+
+namespace {
+
+void append_u32(Bytes& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+std::uint32_t read_u32(BytesView in, std::size_t& at) {
+  if (at + 4 > in.size()) throw std::runtime_error("bwt: truncated header");
+  std::uint32_t v = static_cast<std::uint32_t>(in[at]) |
+                    (static_cast<std::uint32_t>(in[at + 1]) << 8) |
+                    (static_cast<std::uint32_t>(in[at + 2]) << 16) |
+                    (static_cast<std::uint32_t>(in[at + 3]) << 24);
+  at += 4;
+  return v;
+}
+
+}  // namespace
+
+Bytes BwtCodec::compress(BytesView input) const {
+  using namespace bwtdetail;
+  Bytes out;
+  append_u32(out, static_cast<std::uint32_t>(input.size()));
+  std::size_t offset = 0;
+  while (offset < input.size()) {
+    std::size_t len = std::min(block_size_, input.size() - offset);
+    BytesView block = input.subspan(offset, len);
+    offset += len;
+
+    std::uint32_t primary = 0;
+    Bytes transformed = bwt_forward(block, primary);
+    Bytes mtf = mtf_encode(transformed);
+    std::vector<std::uint16_t> symbols = rle0_encode(mtf);
+    std::vector<std::uint8_t> lengths;
+    Bytes packed = huffman_encode_sym(symbols, kRle0Alphabet, lengths);
+
+    append_u32(out, static_cast<std::uint32_t>(len));
+    append_u32(out, primary);
+    append_u32(out, static_cast<std::uint32_t>(symbols.size()));
+    append_u32(out, static_cast<std::uint32_t>(packed.size()));
+    out.insert(out.end(), lengths.begin(), lengths.end());
+    out.insert(out.end(), packed.begin(), packed.end());
+  }
+  return out;
+}
+
+Bytes BwtCodec::decompress(BytesView input) const {
+  using namespace bwtdetail;
+  std::size_t at = 0;
+  std::uint32_t total = read_u32(input, at);
+  Bytes out;
+  out.reserve(std::min<std::size_t>(total, 1u << 22));
+  while (out.size() < total) {
+    std::uint32_t block_len = read_u32(input, at);
+    std::uint32_t primary = read_u32(input, at);
+    std::uint32_t sym_count = read_u32(input, at);
+    std::uint32_t packed_len = read_u32(input, at);
+    if (at + kRle0Alphabet + packed_len > input.size()) {
+      throw std::runtime_error("bwt: truncated block");
+    }
+    std::span<const std::uint8_t> lengths =
+        input.subspan(at, kRle0Alphabet);
+    at += kRle0Alphabet;
+    BytesView packed = input.subspan(at, packed_len);
+    at += packed_len;
+
+    std::vector<std::uint16_t> symbols =
+        huffman_decode_sym(packed, lengths, sym_count);
+    Bytes mtf = rle0_decode(symbols, block_len);
+    if (mtf.size() != block_len) throw std::runtime_error("bwt: bad block");
+    Bytes transformed = mtf_decode(mtf);
+    Bytes block = bwt_inverse(transformed, primary);
+    out.insert(out.end(), block.begin(), block.end());
+  }
+  if (out.size() != total) throw std::runtime_error("bwt: size mismatch");
+  return out;
+}
+
+}  // namespace avf::codec

@@ -1,0 +1,68 @@
+// Compression codec interface.
+//
+// The active visualization application optionally compresses wavelet data
+// before transmission (paper §2.1).  The two methods the paper evaluates are
+// "compression A" (LZW — cheap, moderate ratio) and "compression B" (Bzip2 —
+// expensive, better ratio); both are reimplemented from scratch here so the
+// transmitted byte counts in every experiment are *real* compression output,
+// not synthetic estimates.
+//
+// Because codecs run inside the simulator, each codec also carries a CPU
+// cost model (simulated ops charged per input byte); the constants are the
+// calibration table in DESIGN.md §5.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace avf::codec {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Simulated CPU cost per *input* byte of the respective operation.
+struct CostModel {
+  double compress_ops_per_byte;
+  double decompress_ops_per_byte;
+};
+
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  virtual std::string_view name() const = 0;
+  virtual Bytes compress(BytesView input) const = 0;
+
+  /// Inverts compress(); throws std::runtime_error on corrupt input.
+  virtual Bytes decompress(BytesView input) const = 0;
+
+  virtual CostModel cost() const = 0;
+
+  /// Simulated ops to compress `input_bytes` of data.
+  double compress_ops(std::size_t input_bytes) const {
+    return cost().compress_ops_per_byte * static_cast<double>(input_bytes);
+  }
+  /// Simulated ops to decompress data that expands to `output_bytes`.
+  double decompress_ops(std::size_t output_bytes) const {
+    return cost().decompress_ops_per_byte * static_cast<double>(output_bytes);
+  }
+};
+
+/// Codec identifiers — the domain of the `c` control parameter.
+enum class CodecId : int {
+  kNone = 0,  // raw pass-through
+  kLzw = 1,   // "compression A" in the paper
+  kBwt = 2,   // "compression B" (Bzip2-style) in the paper
+};
+
+/// Singleton codec instances (stateless, thread-compatible).
+const Codec& codec_for(CodecId id);
+const Codec& codec_by_name(std::string_view name);
+std::string_view codec_name(CodecId id);
+std::vector<CodecId> all_codec_ids();
+
+}  // namespace avf::codec

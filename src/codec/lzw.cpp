@@ -1,0 +1,156 @@
+#include "codec/lzw.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "codec/bitstream.hpp"
+
+namespace avf::codec {
+
+namespace {
+
+constexpr std::uint32_t kClearCode = 256;
+constexpr std::uint32_t kFirstCode = 257;
+constexpr int kMinBits = 9;
+constexpr int kMaxBits = 12;
+constexpr std::uint32_t kMaxCode = (1u << kMaxBits) - 1;
+
+/// Dictionary key: (prefix code, next byte) packed into one 32-bit word.
+std::uint32_t pack(std::uint32_t prefix, std::uint8_t byte) {
+  return (prefix << 8) | byte;
+}
+
+void append_u32(Bytes& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+std::uint32_t read_u32(BytesView in, std::size_t at) {
+  if (at + 4 > in.size()) throw std::runtime_error("lzw: truncated header");
+  return static_cast<std::uint32_t>(in[at]) |
+         (static_cast<std::uint32_t>(in[at + 1]) << 8) |
+         (static_cast<std::uint32_t>(in[at + 2]) << 16) |
+         (static_cast<std::uint32_t>(in[at + 3]) << 24);
+}
+
+}  // namespace
+
+Bytes LzwCodec::compress(BytesView input) const {
+  Bytes out;
+  append_u32(out, static_cast<std::uint32_t>(input.size()));
+  if (input.empty()) return out;
+
+  BitWriter bits;
+  std::unordered_map<std::uint32_t, std::uint32_t> dict;
+  dict.reserve(1u << 15);
+  std::uint32_t next_code = kFirstCode;
+  int width = kMinBits;
+
+  std::uint32_t prefix = input[0];
+  for (std::size_t i = 1; i < input.size(); ++i) {
+    std::uint8_t c = input[i];
+    auto it = dict.find(pack(prefix, c));
+    if (it != dict.end()) {
+      prefix = it->second;
+      continue;
+    }
+    bits.write(prefix, width);
+    if (next_code <= kMaxCode) {
+      dict.emplace(pack(prefix, c), next_code);
+      // Widen when the *next* code to be emitted would not fit.
+      if (next_code == (1u << width) && width < kMaxBits) ++width;
+      ++next_code;
+    } else {
+      bits.write(kClearCode, width);
+      dict.clear();
+      next_code = kFirstCode;
+      width = kMinBits;
+    }
+    prefix = c;
+  }
+  bits.write(prefix, width);
+
+  Bytes packed = bits.take();
+  out.insert(out.end(), packed.begin(), packed.end());
+  return out;
+}
+
+Bytes LzwCodec::decompress(BytesView input) const {
+  std::uint32_t original_size = read_u32(input, 0);
+  Bytes out;
+  // A corrupted header must not trigger a huge up-front allocation; the
+  // vector grows on demand if the size is genuine.
+  out.reserve(std::min<std::size_t>(original_size, 1u << 22));
+  if (original_size == 0) return out;
+
+  BitReader bits(input.subspan(4));
+  // Dictionary entry: (prefix code, appended byte); entries < 256 are roots.
+  std::vector<std::pair<std::uint32_t, std::uint8_t>> dict;
+  auto reset_dict = [&] {
+    dict.clear();
+    dict.reserve(kMaxCode + 1);
+    for (std::uint32_t i = 0; i < kFirstCode; ++i) {
+      dict.emplace_back(0xFFFFFFFFu, static_cast<std::uint8_t>(i));
+    }
+  };
+  reset_dict();
+  int width = kMinBits;
+
+  auto expand = [&](std::uint32_t code, Bytes& buf) {
+    std::size_t start = buf.size();
+    while (code >= kFirstCode) {
+      if (code >= dict.size()) throw std::runtime_error("lzw: bad code");
+      buf.push_back(dict[code].second);
+      code = dict[code].first;
+    }
+    buf.push_back(static_cast<std::uint8_t>(code));
+    // The chain unwinds last-byte-first; reverse the appended segment.
+    std::reverse(buf.begin() + static_cast<std::ptrdiff_t>(start), buf.end());
+  };
+
+  std::uint32_t prev = bits.read(width);
+  if (prev >= 256) throw std::runtime_error("lzw: bad first code");
+  expand(prev, out);
+
+  while (out.size() < original_size) {
+    // Mirror the encoder's width schedule: the encoder widens after
+    // emitting the code that makes next_code == 1 << width.
+    if (dict.size() == (1u << width) && width < kMaxBits) ++width;
+    std::uint32_t code = bits.read(width);
+    if (code == kClearCode) {
+      reset_dict();
+      width = kMinBits;
+      prev = bits.read(width);
+      if (prev >= 256) throw std::runtime_error("lzw: bad code after clear");
+      expand(prev, out);
+      continue;
+    }
+    std::size_t seg_start = out.size();
+    if (code < dict.size()) {
+      expand(code, out);
+      if (dict.size() <= kMaxCode) {
+        dict.emplace_back(prev, out[seg_start]);
+      }
+    } else if (code == dict.size() && dict.size() <= kMaxCode) {
+      // The cScSc special case: entry being defined right now.
+      std::size_t prev_start = out.size();
+      expand(prev, out);
+      std::uint8_t first = out[prev_start];
+      out.push_back(first);
+      dict.emplace_back(prev, first);
+    } else {
+      throw std::runtime_error("lzw: code out of range");
+    }
+    prev = code;
+  }
+  if (out.size() != original_size) {
+    throw std::runtime_error("lzw: size mismatch");
+  }
+  return out;
+}
+
+}  // namespace avf::codec

@@ -1,0 +1,22 @@
+// Pass-through "codec": no compression, near-zero CPU cost.  Serves as the
+// `c = none` setting of the compression control parameter and as the
+// baseline in codec benchmarks.
+#pragma once
+
+#include "codec/codec.hpp"
+
+namespace avf::codec {
+
+class NullCodec final : public Codec {
+ public:
+  std::string_view name() const override { return "none"; }
+  Bytes compress(BytesView input) const override {
+    return Bytes(input.begin(), input.end());
+  }
+  Bytes decompress(BytesView input) const override {
+    return Bytes(input.begin(), input.end());
+  }
+  CostModel cost() const override { return {2.0, 2.0}; }  // memcpy-ish
+};
+
+}  // namespace avf::codec

@@ -1,0 +1,38 @@
+#include "codec/bwt.hpp"
+#include "codec/codec.hpp"
+#include "codec/lzw.hpp"
+#include "codec/null_codec.hpp"
+#include "util/fmt.hpp"
+
+#include <stdexcept>
+
+namespace avf::codec {
+
+const Codec& codec_for(CodecId id) {
+  static const NullCodec none;
+  static const LzwCodec lzw;
+  static const BwtCodec bwt;
+  switch (id) {
+    case CodecId::kNone: return none;
+    case CodecId::kLzw: return lzw;
+    case CodecId::kBwt: return bwt;
+  }
+  throw std::invalid_argument(
+      util::format("unknown codec id: {}", static_cast<int>(id)));
+}
+
+const Codec& codec_by_name(std::string_view name) {
+  for (CodecId id : all_codec_ids()) {
+    if (codec_for(id).name() == name) return codec_for(id);
+  }
+  throw std::invalid_argument(
+      util::format("unknown codec name: {}", std::string(name)));
+}
+
+std::string_view codec_name(CodecId id) { return codec_for(id).name(); }
+
+std::vector<CodecId> all_codec_ids() {
+  return {CodecId::kNone, CodecId::kLzw, CodecId::kBwt};
+}
+
+}  // namespace avf::codec

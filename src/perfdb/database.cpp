@@ -1,0 +1,252 @@
+#include "perfdb/database.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+#include "util/fmt.hpp"
+
+namespace avf::perfdb {
+
+using tunable::ConfigPoint;
+using tunable::QosVector;
+
+PerfDatabase::PerfDatabase(std::vector<std::string> resource_axes,
+                           tunable::MetricSchema schema)
+    : axes_(std::move(resource_axes)), schema_(std::move(schema)) {
+  if (axes_.empty()) {
+    throw std::invalid_argument("database needs at least one resource axis");
+  }
+  if (schema_.metrics().empty()) {
+    throw std::invalid_argument("database needs at least one metric");
+  }
+}
+
+void PerfDatabase::insert(const ConfigPoint& config, const ResourcePoint& at,
+                          const QosVector& quality) {
+  if (at.size() != axes_.size()) {
+    throw std::invalid_argument(
+        util::format("resource point has {} axes, database has {}", at.size(),
+                     axes_.size()));
+  }
+  for (const auto& m : schema_.metrics()) {
+    if (!quality.try_get(m.name)) {
+      throw std::invalid_argument(
+          util::format("sample missing metric: {}", m.name));
+    }
+  }
+  ConfigData& data = by_config_[config.key()];
+  data.config = config;
+  auto [it, inserted] = data.samples.insert_or_assign(at, quality);
+  (void)it;
+  if (inserted) ++total_records_;
+}
+
+std::vector<ConfigPoint> PerfDatabase::configs() const {
+  std::vector<ConfigPoint> out;
+  out.reserve(by_config_.size());
+  for (const auto& [key, data] : by_config_) out.push_back(data.config);
+  return out;
+}
+
+bool PerfDatabase::has_config(const ConfigPoint& config) const {
+  return by_config_.contains(config.key());
+}
+
+std::vector<PerfRecord> PerfDatabase::records(const ConfigPoint& config) const {
+  std::vector<PerfRecord> out;
+  const ConfigData* data = find(config);
+  if (data == nullptr) return out;
+  for (const auto& [point, quality] : data->samples) {
+    out.push_back(PerfRecord{data->config, point, quality});
+  }
+  return out;
+}
+
+std::vector<double> PerfDatabase::grid_values(const ConfigPoint& config,
+                                              const std::string& axis) const {
+  auto it = std::find(axes_.begin(), axes_.end(), axis);
+  if (it == axes_.end()) {
+    throw std::out_of_range(util::format("no such axis: {}", axis));
+  }
+  std::size_t ai = static_cast<std::size_t>(it - axes_.begin());
+  const ConfigData* data = find(config);
+  std::set<double> values;
+  if (data != nullptr) {
+    for (const auto& [point, quality] : data->samples) values.insert(point[ai]);
+  }
+  return {values.begin(), values.end()};
+}
+
+const PerfDatabase::ConfigData* PerfDatabase::find(
+    const ConfigPoint& config) const {
+  auto it = by_config_.find(config.key());
+  return it == by_config_.end() ? nullptr : &it->second;
+}
+
+void PerfDatabase::erase_config(const ConfigPoint& config) {
+  auto it = by_config_.find(config.key());
+  if (it != by_config_.end()) {
+    total_records_ -= it->second.samples.size();
+    by_config_.erase(it);
+  }
+}
+
+QosVector PerfDatabase::nearest(const ConfigData& data,
+                                const ResourcePoint& at) const {
+  // Normalize each axis by its sampled span so axes with different units
+  // (shares vs bytes/s) weigh equally.
+  std::vector<double> lo(axes_.size(), std::numeric_limits<double>::infinity());
+  std::vector<double> hi(axes_.size(),
+                         -std::numeric_limits<double>::infinity());
+  for (const auto& [point, quality] : data.samples) {
+    for (std::size_t i = 0; i < axes_.size(); ++i) {
+      lo[i] = std::min(lo[i], point[i]);
+      hi[i] = std::max(hi[i], point[i]);
+    }
+  }
+  const QosVector* best = nullptr;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (const auto& [point, quality] : data.samples) {
+    double dist = 0.0;
+    for (std::size_t i = 0; i < axes_.size(); ++i) {
+      double span = hi[i] - lo[i];
+      double d = span > 0.0 ? (point[i] - at[i]) / span : 0.0;
+      dist += d * d;
+    }
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = &quality;
+    }
+  }
+  return *best;
+}
+
+std::optional<QosVector> PerfDatabase::interpolate(
+    const ConfigData& data, const ResourcePoint& at) const {
+  // Per-axis bracketing over the sampled grid; clamp outside the hull
+  // (constant extrapolation).
+  std::size_t d = axes_.size();
+  std::vector<double> lo(d), hi(d), t(d);
+  for (std::size_t i = 0; i < d; ++i) {
+    std::set<double> values;
+    for (const auto& [point, quality] : data.samples) values.insert(point[i]);
+    double x = at[i];
+    auto ge = values.lower_bound(x);
+    if (ge == values.end()) {
+      lo[i] = hi[i] = *values.rbegin();
+      t[i] = 0.0;
+    } else if (*ge == x || ge == values.begin()) {
+      lo[i] = hi[i] = *ge;
+      t[i] = 0.0;
+    } else {
+      hi[i] = *ge;
+      lo[i] = *std::prev(ge);
+      t[i] = (x - lo[i]) / (hi[i] - lo[i]);
+    }
+  }
+  // Gather the 2^k corners that differ (k = axes where lo != hi).
+  QosVector out;
+  for (const auto& m : schema_.metrics()) out.set(m.name, 0.0);
+  std::size_t corners = 1u << d;
+  for (std::size_t mask = 0; mask < corners; ++mask) {
+    double weight = 1.0;
+    ResourcePoint corner(d);
+    for (std::size_t i = 0; i < d; ++i) {
+      if (mask & (1u << i)) {
+        corner[i] = hi[i];
+        weight *= t[i];
+      } else {
+        corner[i] = lo[i];
+        weight *= (1.0 - t[i]);
+      }
+    }
+    if (weight == 0.0) continue;
+    auto it = data.samples.find(corner);
+    if (it == data.samples.end()) return std::nullopt;  // incomplete cell
+    for (const auto& m : schema_.metrics()) {
+      out.set(m.name, out.get(m.name) + weight * it->second.get(m.name));
+    }
+  }
+  return out;
+}
+
+std::optional<QosVector> PerfDatabase::predict(const ConfigPoint& config,
+                                               const ResourcePoint& at,
+                                               Lookup mode) const {
+  if (at.size() != axes_.size()) {
+    throw std::invalid_argument("resource point dimension mismatch");
+  }
+  const ConfigData* data = find(config);
+  if (data == nullptr || data->samples.empty()) return std::nullopt;
+  if (mode == Lookup::kInterpolate) {
+    if (auto result = interpolate(*data, at)) return result;
+  }
+  return nearest(*data, at);
+}
+
+void PerfDatabase::save(std::ostream& out) const {
+  std::vector<std::string> header{"config"};
+  for (const auto& axis : axes_) header.push_back("res:" + axis);
+  for (const auto& m : schema_.metrics()) {
+    header.push_back(util::format(
+        "metric:{}:{}", m.name,
+        m.direction == tunable::Direction::kLowerBetter ? "lower" : "higher"));
+  }
+  util::CsvWriter writer(out, header);
+  for (const auto& [key, data] : by_config_) {
+    for (const auto& [point, quality] : data.samples) {
+      std::vector<std::string> row{key};
+      for (double v : point) row.push_back(util::CsvWriter::field(v));
+      for (const auto& m : schema_.metrics()) {
+        row.push_back(util::CsvWriter::field(quality.get(m.name)));
+      }
+      writer.row(row);
+    }
+  }
+}
+
+PerfDatabase PerfDatabase::load(std::istream& in) {
+  util::CsvDocument doc = util::read_csv(in);
+  std::vector<std::string> axes;
+  tunable::MetricSchema schema;
+  std::vector<std::size_t> axis_cols, metric_cols;
+  std::vector<std::string> metric_names;
+  for (std::size_t c = 0; c < doc.header.size(); ++c) {
+    const std::string& h = doc.header[c];
+    if (h.starts_with("res:")) {
+      axes.push_back(h.substr(4));
+      axis_cols.push_back(c);
+    } else if (h.starts_with("metric:")) {
+      std::size_t second = h.find(':', 7);
+      if (second == std::string::npos) {
+        throw std::runtime_error(util::format("bad metric header: {}", h));
+      }
+      std::string name = h.substr(7, second - 7);
+      std::string dir = h.substr(second + 1);
+      schema.add(name, dir == "higher" ? tunable::Direction::kHigherBetter
+                                       : tunable::Direction::kLowerBetter);
+      metric_cols.push_back(c);
+      metric_names.push_back(name);
+    }
+  }
+  std::size_t config_col = doc.column("config");
+  PerfDatabase db(std::move(axes), std::move(schema));
+  for (const auto& row : doc.rows) {
+    ConfigPoint config = ConfigPoint::parse(row[config_col]);
+    ResourcePoint point;
+    point.reserve(axis_cols.size());
+    for (std::size_t c : axis_cols) point.push_back(std::stod(row[c]));
+    QosVector quality;
+    for (std::size_t i = 0; i < metric_cols.size(); ++i) {
+      quality.set(metric_names[i], std::stod(row[metric_cols[i]]));
+    }
+    db.insert(config, point, quality);
+  }
+  return db;
+}
+
+}  // namespace avf::perfdb

@@ -1,0 +1,89 @@
+// The performance database (paper §5): for each configuration, sampled
+// mappings from resource conditions to quality metrics, with interpolation
+// to predict behavior between samples.
+//
+// Records live on a per-configuration grid over the application's declared
+// resource axes (e.g. cpu_share x net_bps).  `predict` supports two modes:
+//   kNearest     — the discrete lookup the paper's prototype used (§7.1);
+//   kInterpolate — multilinear interpolation over the bracketing grid cell,
+//                  with constant extrapolation outside the sampled hull and
+//                  nearest-neighbor fallback for incomplete cells.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tunable/config.hpp"
+#include "tunable/qos.hpp"
+
+namespace avf::perfdb {
+
+/// A point along the database's resource axes, in axis declaration order.
+using ResourcePoint = std::vector<double>;
+
+struct PerfRecord {
+  tunable::ConfigPoint config;
+  ResourcePoint resources;
+  tunable::QosVector quality;
+};
+
+enum class Lookup { kNearest, kInterpolate };
+
+class PerfDatabase {
+ public:
+  PerfDatabase(std::vector<std::string> resource_axes,
+               tunable::MetricSchema schema);
+
+  const std::vector<std::string>& axes() const { return axes_; }
+  const tunable::MetricSchema& schema() const { return schema_; }
+
+  /// Insert one sample; re-inserting the same (config, point) overwrites.
+  void insert(const tunable::ConfigPoint& config, const ResourcePoint& at,
+              const tunable::QosVector& quality);
+
+  std::size_t size() const { return total_records_; }
+  std::vector<tunable::ConfigPoint> configs() const;
+  bool has_config(const tunable::ConfigPoint& config) const;
+  /// All records for one configuration (unsorted).
+  std::vector<PerfRecord> records(const tunable::ConfigPoint& config) const;
+
+  /// Sampled values along `axis` for `config`, sorted ascending.
+  std::vector<double> grid_values(const tunable::ConfigPoint& config,
+                                  const std::string& axis) const;
+
+  /// Predicted quality for `config` at `at`; nullopt when the config has no
+  /// records at all.
+  std::optional<tunable::QosVector> predict(
+      const tunable::ConfigPoint& config, const ResourcePoint& at,
+      Lookup mode = Lookup::kInterpolate) const;
+
+  /// Remove an entire configuration (used by pruning).
+  void erase_config(const tunable::ConfigPoint& config);
+
+  // -- persistence (CSV: axes..., then metrics..., keyed by config) -----
+  void save(std::ostream& out) const;
+  static PerfDatabase load(std::istream& in);
+
+ private:
+  struct ConfigData {
+    tunable::ConfigPoint config;
+    // Keyed by resource point for exact-corner lookup.
+    std::map<ResourcePoint, tunable::QosVector> samples;
+  };
+
+  const ConfigData* find(const tunable::ConfigPoint& config) const;
+  tunable::QosVector nearest(const ConfigData& data,
+                             const ResourcePoint& at) const;
+  std::optional<tunable::QosVector> interpolate(const ConfigData& data,
+                                                const ResourcePoint& at) const;
+
+  std::vector<std::string> axes_;
+  tunable::MetricSchema schema_;
+  std::map<std::string, ConfigData> by_config_;  // key() -> data
+  std::size_t total_records_ = 0;
+};
+
+}  // namespace avf::perfdb

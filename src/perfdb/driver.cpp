@@ -1,0 +1,93 @@
+#include "perfdb/driver.hpp"
+
+#include <map>
+#include <stdexcept>
+
+#include "util/fmt.hpp"
+
+namespace avf::perfdb {
+
+using tunable::ConfigPoint;
+using tunable::QosVector;
+
+QosVector ProfilingDriver::run_one(const ConfigPoint& config,
+                                   const ResourcePoint& at) const {
+  if (options_.on_run) options_.on_run(config, at);
+  return run_(config, at);
+}
+
+PerfDatabase ProfilingDriver::profile(
+    const tunable::AppSpec& spec,
+    const std::vector<std::vector<double>>& grid) const {
+  if (grid.size() != spec.resource_axes().size()) {
+    throw std::invalid_argument(
+        util::format("grid has {} axes, spec declares {}", grid.size(),
+                     spec.resource_axes().size()));
+  }
+  for (const auto& axis_values : grid) {
+    if (axis_values.empty()) {
+      throw std::invalid_argument("empty grid axis");
+    }
+  }
+
+  PerfDatabase db(spec.resource_axes(), spec.metrics());
+  std::vector<ConfigPoint> configs = spec.space().enumerate();
+  if (configs.empty()) {
+    throw std::invalid_argument("configuration space is empty");
+  }
+
+  // Odometer over the resource grid.
+  std::vector<std::size_t> idx(grid.size(), 0);
+  for (;;) {
+    ResourcePoint point(grid.size());
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      point[i] = grid[i][idx[i]];
+    }
+    for (const ConfigPoint& config : configs) {
+      db.insert(config, point, run_one(config, point));
+    }
+    std::size_t i = grid.size();
+    bool done = true;
+    while (i-- > 0) {
+      if (++idx[i] < grid[i].size()) {
+        done = false;
+        break;
+      }
+      idx[i] = 0;
+    }
+    if (done) break;
+  }
+
+  for (int round = 0; round < options_.refinement_rounds; ++round) {
+    if (refine(db) == 0) break;
+  }
+  return db;
+}
+
+std::size_t ProfilingDriver::refine(PerfDatabase& db) const {
+  std::vector<RefinementSuggestion> suggestions =
+      sensitivity_analysis(db, options_.sensitivity_threshold);
+  // Allocate the per-round budget round-robin across configurations
+  // (strongest change first within each): a few very volatile
+  // configurations must not starve refinement of everything else.
+  std::map<std::string, std::vector<const RefinementSuggestion*>> per_config;
+  for (const RefinementSuggestion& s : suggestions) {
+    per_config[s.config.key()].push_back(&s);
+  }
+  std::size_t taken = 0;
+  for (std::size_t rank = 0; taken < options_.max_suggestions_per_round;
+       ++rank) {
+    bool any = false;
+    for (auto& [key, list] : per_config) {
+      if (rank >= list.size()) continue;
+      any = true;
+      const RefinementSuggestion& s = *list[rank];
+      db.insert(s.config, s.point, run_one(s.config, s.point));
+      if (++taken >= options_.max_suggestions_per_round) break;
+    }
+    if (!any) break;
+  }
+  return taken;
+}
+
+}  // namespace avf::perfdb

@@ -1,0 +1,60 @@
+// The profiling driver (paper §5): "a driver program executes each
+// configuration repeatedly in a virtual execution environment for different
+// levels of allocated resources", populating the performance database; the
+// sensitivity tool then directs additional sampling where behavior changes
+// fast.
+//
+// The driver is application-agnostic: the caller supplies a RunFn that
+// builds a fresh testbed, executes one run of the given configuration under
+// the given resource conditions, and returns the measured QoS vector.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "perfdb/database.hpp"
+#include "perfdb/sensitivity.hpp"
+#include "tunable/app_spec.hpp"
+
+namespace avf::perfdb {
+
+class ProfilingDriver {
+ public:
+  using RunFn = std::function<tunable::QosVector(const tunable::ConfigPoint&,
+                                                 const ResourcePoint&)>;
+
+  struct Options {
+    /// Rounds of sensitivity-directed refinement after the base grid.
+    int refinement_rounds = 0;
+    /// Relative metric change across one grid gap that triggers refinement.
+    double sensitivity_threshold = 0.5;
+    /// Cap on extra samples per refinement round (strongest changes first).
+    std::size_t max_suggestions_per_round = 32;
+    /// Progress callback (config, point, runs_done, runs_total-estimate).
+    std::function<void(const tunable::ConfigPoint&, const ResourcePoint&)>
+        on_run;
+  };
+
+  explicit ProfilingDriver(RunFn run) : run_(std::move(run)) {}
+  ProfilingDriver(RunFn run, Options options)
+      : run_(std::move(run)), options_(std::move(options)) {}
+
+  /// Profile every configuration of `spec` on the cartesian grid given by
+  /// `grid[i]` = sample values for spec.resource_axes()[i], then apply the
+  /// configured refinement rounds.
+  PerfDatabase profile(const tunable::AppSpec& spec,
+                       const std::vector<std::vector<double>>& grid) const;
+
+  /// Run one refinement round against an existing database; returns the
+  /// number of new samples taken.
+  std::size_t refine(PerfDatabase& db) const;
+
+ private:
+  tunable::QosVector run_one(const tunable::ConfigPoint& config,
+                             const ResourcePoint& at) const;
+
+  RunFn run_;
+  Options options_{};
+};
+
+}  // namespace avf::perfdb

@@ -1,0 +1,61 @@
+#include "perfdb/sensitivity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+namespace avf::perfdb {
+
+using tunable::ConfigPoint;
+
+std::vector<RefinementSuggestion> sensitivity_analysis(
+    const PerfDatabase& db, double relative_threshold) {
+  std::vector<RefinementSuggestion> out;
+  std::set<std::pair<std::string, ResourcePoint>> seen;
+
+  for (const ConfigPoint& config : db.configs()) {
+    std::vector<PerfRecord> records = db.records(config);
+    // Index samples by resource point for neighbor lookup.
+    std::map<ResourcePoint, const tunable::QosVector*> by_point;
+    for (const PerfRecord& r : records) by_point[r.resources] = &r.quality;
+
+    for (std::size_t axis = 0; axis < db.axes().size(); ++axis) {
+      std::vector<double> grid = db.grid_values(config, db.axes()[axis]);
+      for (const PerfRecord& r : records) {
+        // Find the next grid value along this axis and the neighbor sample
+        // with all other coordinates equal.
+        auto it = std::upper_bound(grid.begin(), grid.end(),
+                                   r.resources[axis]);
+        if (it == grid.end()) continue;
+        ResourcePoint neighbor = r.resources;
+        neighbor[axis] = *it;
+        auto found = by_point.find(neighbor);
+        if (found == by_point.end()) continue;
+
+        for (const auto& m : db.schema().metrics()) {
+          double m0 = r.quality.get(m.name);
+          double m1 = found->second->get(m.name);
+          double scale = std::max({std::abs(m0), std::abs(m1), 1e-12});
+          double change = std::abs(m1 - m0) / scale;
+          if (change <= relative_threshold) continue;
+          ResourcePoint midpoint = r.resources;
+          midpoint[axis] = 0.5 * (r.resources[axis] + neighbor[axis]);
+          auto key = std::make_pair(config.key(), midpoint);
+          if (seen.insert(key).second) {
+            out.push_back(RefinementSuggestion{config, midpoint,
+                                               db.axes()[axis], m.name,
+                                               change});
+          }
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RefinementSuggestion& a, const RefinementSuggestion& b) {
+              return a.relative_change > b.relative_change;
+            });
+  return out;
+}
+
+}  // namespace avf::perfdb

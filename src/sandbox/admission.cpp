@@ -1,0 +1,49 @@
+#include "sandbox/admission.hpp"
+
+namespace avf::sandbox {
+
+Admission::Admission(Admission&& other) noexcept
+    : controller_(other.controller_), grant_(other.grant_) {
+  other.controller_ = nullptr;
+}
+
+Admission& Admission::operator=(Admission&& other) noexcept {
+  if (this != &other) {
+    release();
+    controller_ = other.controller_;
+    grant_ = other.grant_;
+    other.controller_ = nullptr;
+  }
+  return *this;
+}
+
+Admission::~Admission() { release(); }
+
+void Admission::release() {
+  if (controller_ != nullptr) {
+    controller_->release(grant_);
+    controller_ = nullptr;
+  }
+}
+
+bool AdmissionController::would_admit(const ResourceRequest& request) const {
+  return cpu_admitted_ + request.cpu_share <= cpu_threshold_ &&
+         net_admitted_ + request.net_bps <= net_capacity_ &&
+         mem_admitted_ + request.mem_bytes <= mem_capacity_;
+}
+
+Admission AdmissionController::try_admit(const ResourceRequest& request) {
+  if (!would_admit(request)) return {};
+  cpu_admitted_ += request.cpu_share;
+  net_admitted_ += request.net_bps;
+  mem_admitted_ += request.mem_bytes;
+  return Admission(this, request);
+}
+
+void AdmissionController::release(const ResourceRequest& grant) {
+  cpu_admitted_ -= grant.cpu_share;
+  net_admitted_ -= grant.net_bps;
+  mem_admitted_ -= grant.mem_bytes;
+}
+
+}  // namespace avf::sandbox

@@ -1,0 +1,77 @@
+// Admission control and reservation (paper §6.2): an application is admitted
+// only if the aggregate of requested shares stays below a threshold; once
+// admitted, the sandbox polices the granted amounts.  Reservations are RAII
+// tickets so a departing application automatically frees its allocation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace avf::sandbox {
+
+struct ResourceRequest {
+  double cpu_share = 0.0;       // fraction of one host CPU
+  double net_bps = 0.0;         // bytes/s
+  std::uint64_t mem_bytes = 0;  // bytes
+};
+
+class AdmissionController;
+
+/// RAII admission ticket; releases the reservation on destruction.
+class Admission {
+ public:
+  Admission() = default;
+  Admission(Admission&& other) noexcept;
+  Admission& operator=(Admission&& other) noexcept;
+  Admission(const Admission&) = delete;
+  Admission& operator=(const Admission&) = delete;
+  ~Admission();
+
+  bool valid() const { return controller_ != nullptr; }
+  const ResourceRequest& grant() const { return grant_; }
+  void release();
+
+ private:
+  friend class AdmissionController;
+  Admission(AdmissionController* controller, ResourceRequest grant)
+      : controller_(controller), grant_(grant) {}
+
+  AdmissionController* controller_ = nullptr;
+  ResourceRequest grant_{};
+};
+
+class AdmissionController {
+ public:
+  /// `cpu_threshold` bounds the sum of admitted CPU shares (the paper
+  /// admits "if the total request for CPU share across all applications is
+  /// less than a certain threshold"); net/mem capacities bound their sums.
+  AdmissionController(double cpu_threshold, double net_capacity_bps,
+                      std::uint64_t mem_capacity_bytes)
+      : cpu_threshold_(cpu_threshold),
+        net_capacity_(net_capacity_bps),
+        mem_capacity_(mem_capacity_bytes) {}
+
+  /// Attempt to admit; returns an invalid Admission on rejection.
+  [[nodiscard]] Admission try_admit(const ResourceRequest& request);
+
+  bool would_admit(const ResourceRequest& request) const;
+
+  double cpu_admitted() const { return cpu_admitted_; }
+  double net_admitted() const { return net_admitted_; }
+  std::uint64_t mem_admitted() const { return mem_admitted_; }
+
+ private:
+  friend class Admission;
+  void release(const ResourceRequest& grant);
+
+  double cpu_threshold_;
+  double net_capacity_;
+  std::uint64_t mem_capacity_;
+  double cpu_admitted_ = 0.0;
+  double net_admitted_ = 0.0;
+  std::uint64_t mem_admitted_ = 0;
+};
+
+}  // namespace avf::sandbox

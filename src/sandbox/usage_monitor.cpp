@@ -1,0 +1,44 @@
+#include "sandbox/usage_monitor.hpp"
+
+#include <stdexcept>
+
+namespace avf::sandbox {
+
+UsageMonitor::UsageMonitor(sim::Simulator& sim, sim::FluidResource& resource,
+                           sim::OwnerId owner, double interval)
+    : sim_(sim), resource_(resource), owner_(owner), interval_(interval) {
+  if (interval <= 0.0) {
+    throw std::invalid_argument("monitor interval must be > 0");
+  }
+}
+
+void UsageMonitor::start() {
+  if (event_.pending()) return;
+  last_served_ = resource_.served(owner_);
+  event_ = sim_.schedule(interval_, [this] {
+    tick();
+  });
+}
+
+void UsageMonitor::tick() {
+  double served = resource_.served(owner_);
+  double rate = (served - last_served_) / interval_;
+  last_served_ = served;
+  samples_.push_back(Sample{sim_.now(), rate / resource_.capacity()});
+  event_ = sim_.schedule(interval_, [this] { tick(); });
+}
+
+double UsageMonitor::mean_utilization(sim::SimTime from,
+                                      sim::SimTime to) const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const Sample& s : samples_) {
+    if (s.time > from && s.time <= to) {
+      sum += s.utilization;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+}  // namespace avf::sandbox

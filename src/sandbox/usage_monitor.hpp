@@ -1,0 +1,48 @@
+// System-wide usage monitor — the simulated analogue of the NT Performance
+// Monitor the paper samples in Figure 3(a).  Periodically samples cumulative
+// consumption attributed to an owner on one fluid resource and records the
+// utilization (fraction of resource capacity) over each interval.
+#pragma once
+
+#include <vector>
+
+#include "sim/fluid_resource.hpp"
+#include "sim/simulator.hpp"
+
+namespace avf::sandbox {
+
+class UsageMonitor {
+ public:
+  struct Sample {
+    sim::SimTime time;    // end of the sampling interval
+    double utilization;   // consumed rate / capacity, in [0, 1]
+  };
+
+  UsageMonitor(sim::Simulator& sim, sim::FluidResource& resource,
+               sim::OwnerId owner, double interval);
+  ~UsageMonitor() { stop(); }
+
+  UsageMonitor(const UsageMonitor&) = delete;
+  UsageMonitor& operator=(const UsageMonitor&) = delete;
+
+  void start();
+  void stop() { event_.cancel(); }
+
+  const std::vector<Sample>& samples() const { return samples_; }
+
+  /// Mean utilization over samples with time in (from, to].
+  double mean_utilization(sim::SimTime from, sim::SimTime to) const;
+
+ private:
+  void tick();
+
+  sim::Simulator& sim_;
+  sim::FluidResource& resource_;
+  sim::OwnerId owner_;
+  double interval_;
+  double last_served_ = 0.0;
+  std::vector<Sample> samples_;
+  sim::EventHandle event_;
+};
+
+}  // namespace avf::sandbox

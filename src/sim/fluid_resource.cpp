@@ -1,0 +1,178 @@
+#include "sim/fluid_resource.hpp"
+
+#include <algorithm>
+#include "util/fmt.hpp"
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace avf::sim {
+
+namespace {
+// Work amounts are ops (>= 1e3 scale) or bytes; anything below this is done.
+constexpr double kRemainingEpsilon = 1e-7;
+}  // namespace
+
+FluidResource::FluidResource(Simulator& sim, std::string name, double capacity)
+    : sim_(sim), name_(std::move(name)), capacity_(capacity) {
+  if (capacity <= 0.0) {
+    throw std::invalid_argument(
+        avf::util::format("resource {}: capacity must be > 0, got {}", name_,
+                    capacity));
+  }
+  last_update_ = sim_.now();
+}
+
+void FluidResource::set_capacity(double capacity) {
+  if (capacity <= 0.0) {
+    throw std::invalid_argument(
+        avf::util::format("resource {}: capacity must be > 0, got {}", name_,
+                    capacity));
+  }
+  advance();
+  capacity_ = capacity;
+  reschedule();
+}
+
+void FluidResource::reallocate() {
+  advance();
+  reschedule();
+}
+
+void FluidResource::add_request(double amount, ShareSlotPtr slot,
+                                OwnerId owner, std::coroutine_handle<> h) {
+  if (!slot) {
+    throw std::invalid_argument(
+        avf::util::format("resource {}: null share slot", name_));
+  }
+  if (slot->weight <= 0.0) {
+    throw std::invalid_argument(
+        avf::util::format("resource {}: non-positive weight {}", name_,
+                    slot->weight));
+  }
+  advance();
+  requests_.push_back(Request{amount, 0.0, std::move(slot), owner, h});
+  reschedule();
+}
+
+void FluidResource::advance() {
+  SimTime now = sim_.now();
+  double dt = now - last_update_;
+  last_update_ = now;
+  if (dt <= 0.0) return;
+  for (Request& r : requests_) {
+    double delta = std::min(r.rate * dt, r.remaining);
+    r.remaining -= delta;
+    if (r.owner != kNoOwner) served_[r.owner] += delta;
+    total_served_ += delta;
+  }
+}
+
+void FluidResource::reschedule() {
+  // 1. Complete any finished requests.  A request also counts as finished
+  // when its residual work is so small that the completion delay would not
+  // advance the simulation clock (now + remaining/rate == now in double
+  // precision) — otherwise the completion event would fire at the same
+  // timestamp, advance() would credit zero progress, and the resource
+  // would reschedule itself forever.
+  SimTime now = sim_.now();
+  for (auto it = requests_.begin(); it != requests_.end();) {
+    bool finished = it->remaining <= kRemainingEpsilon;
+    if (!finished && it->rate > 0.0) {
+      finished = now + it->remaining / it->rate <= now;
+    }
+    if (finished) {
+      sim_.resume_soon(it->waiter);
+      it = requests_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // 2. Water-filling: weighted max-min allocation under per-request caps.
+  std::vector<Request*> unfixed;
+  unfixed.reserve(requests_.size());
+  for (Request& r : requests_) {
+    r.rate = 0.0;
+    unfixed.push_back(&r);
+  }
+  double budget = capacity_;
+  while (!unfixed.empty() && budget > 0.0) {
+    double weight_sum = 0.0;
+    for (Request* r : unfixed) weight_sum += r->slot->weight;
+    bool fixed_any = false;
+    for (auto it = unfixed.begin(); it != unfixed.end();) {
+      Request* r = *it;
+      double cap_rate = std::clamp(r->slot->cap, 0.0, 1.0) * capacity_;
+      double fair = budget * r->slot->weight / weight_sum;
+      if (fair >= cap_rate) {
+        r->rate = cap_rate;
+        budget -= cap_rate;
+        it = unfixed.erase(it);
+        fixed_any = true;
+      } else {
+        ++it;
+      }
+    }
+    if (!fixed_any) {
+      // Nobody hits a cap: split the remaining budget by weight.
+      for (Request* r : unfixed) {
+        r->rate = budget * r->slot->weight / weight_sum;
+      }
+      break;
+    }
+    budget = std::max(budget, 0.0);
+  }
+
+  // 3. Schedule the earliest completion.
+  completion_event_.cancel();
+  double earliest = std::numeric_limits<double>::infinity();
+  for (const Request& r : requests_) {
+    if (r.rate > 0.0) earliest = std::min(earliest, r.remaining / r.rate);
+  }
+  if (earliest != std::numeric_limits<double>::infinity()) {
+    completion_event_ = sim_.schedule(earliest, [this] {
+      advance();
+      reschedule();
+    });
+  }
+}
+
+double FluidResource::served(OwnerId owner) const {
+  // Account the in-flight progress since last_update_ without mutating.
+  double base = 0.0;
+  if (auto it = served_.find(owner); it != served_.end()) base = it->second;
+  double dt = sim_.now() - last_update_;
+  if (dt > 0.0) {
+    for (const Request& r : requests_) {
+      if (r.owner == owner) base += std::min(r.rate * dt, r.remaining);
+    }
+  }
+  return base;
+}
+
+double FluidResource::total_served() const {
+  double base = total_served_;
+  double dt = sim_.now() - last_update_;
+  if (dt > 0.0) {
+    for (const Request& r : requests_) {
+      base += std::min(r.rate * dt, r.remaining);
+    }
+  }
+  return base;
+}
+
+bool FluidResource::has_request(OwnerId owner) const {
+  for (const Request& r : requests_) {
+    if (r.owner == owner) return true;
+  }
+  return false;
+}
+
+double FluidResource::allocated_rate() const {
+  double sum = 0.0;
+  for (const Request& r : requests_) sum += r.rate;
+  return sum;
+}
+
+}  // namespace avf::sim

@@ -1,0 +1,107 @@
+// Fluid-flow shared resource with per-consumer caps.
+//
+// This is the single rate-sharing engine behind both CPUs (capacity in ops/s)
+// and network links (capacity in bytes/s).  Concurrent requests share the
+// capacity by weighted max-min fairness, with each request additionally
+// limited to `slot->cap * capacity` — the sandbox's resource limit.  The
+// semantics match the paper's virtual execution environment: when the sum of
+// caps is below 1, every consumer receives *exactly* its cap (under-loaded
+// guarantee, §5.1); when over-subscribed, capacity is split proportionally to
+// weights below the caps.
+//
+// Requests progress as fluid flows: whenever the active set, a cap, or the
+// capacity changes, in-flight progress is credited and allocations are
+// recomputed (water-filling), and the earliest completion is (re)scheduled.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "sim/simulator.hpp"
+#include "sim/types.hpp"
+
+namespace avf::sim {
+
+class FluidResource {
+ public:
+  /// `capacity` in units/second (> 0).
+  FluidResource(Simulator& sim, std::string name, double capacity);
+
+  FluidResource(const FluidResource&) = delete;
+  FluidResource& operator=(const FluidResource&) = delete;
+
+  const std::string& name() const { return name_; }
+  double capacity() const { return capacity_; }
+
+  /// Change total capacity; in-flight requests are re-allocated.
+  void set_capacity(double capacity);
+
+  /// Must be called after mutating any ShareSlot used by an in-flight
+  /// request (the resource cannot observe the change on its own).
+  void reallocate();
+
+  /// Awaitable: consume `amount` units under the entitlement in `slot`.
+  /// Completes when the full amount has been served.  `owner` attributes the
+  /// consumption for accounting; pass kNoOwner to skip attribution.
+  ///
+  ///   co_await host.cpu().consume(1e6, my_slot, my_id);
+  auto consume(double amount, ShareSlotPtr slot, OwnerId owner = kNoOwner) {
+    struct Awaiter {
+      FluidResource& res;
+      double amount;
+      ShareSlotPtr slot;
+      OwnerId owner;
+      bool await_ready() const noexcept { return amount <= 0.0; }
+      void await_suspend(std::coroutine_handle<> h) {
+        res.add_request(amount, std::move(slot), owner, h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, amount, std::move(slot), owner};
+  }
+
+  /// Cumulative units served to `owner` up to the current simulated time
+  /// (includes partial progress of in-flight requests).
+  double served(OwnerId owner) const;
+  /// Cumulative units served to all owners.
+  double total_served() const;
+
+  /// Number of in-flight requests.
+  std::size_t active_requests() const { return requests_.size(); }
+
+  /// Whether `owner` has a request in flight.
+  bool has_request(OwnerId owner) const;
+
+  /// Current aggregate allocated rate (units/s); <= capacity.
+  double allocated_rate() const;
+
+ private:
+  struct Request {
+    double remaining;
+    double rate = 0.0;  // current allocation, units/s
+    ShareSlotPtr slot;
+    OwnerId owner;
+    std::coroutine_handle<> waiter;
+  };
+
+  void add_request(double amount, ShareSlotPtr slot, OwnerId owner,
+                   std::coroutine_handle<> h);
+  /// Credit progress since last_update_ at current rates.
+  void advance();
+  /// Recompute allocations (water-filling) and reschedule completion.
+  void reschedule();
+
+  Simulator& sim_;
+  std::string name_;
+  double capacity_;
+  SimTime last_update_ = 0.0;
+  std::list<Request> requests_;
+  EventHandle completion_event_;
+  mutable std::unordered_map<OwnerId, double> served_;
+  double total_served_ = 0.0;
+};
+
+}  // namespace avf::sim

@@ -1,0 +1,12 @@
+#include "sim/host.hpp"
+
+namespace avf::sim {
+
+Host::Host(Simulator& sim, std::string name, double cpu_ops_per_sec,
+           std::uint64_t memory_bytes)
+    : sim_(sim),
+      name_(name),
+      cpu_(sim, name + ".cpu", cpu_ops_per_sec),
+      memory_(name + ".mem", memory_bytes) {}
+
+}  // namespace avf::sim

@@ -1,0 +1,136 @@
+// Network link and endpoint messaging.
+//
+// A Link is full-duplex: each direction is an independent FluidResource
+// (bytes/s) plus a fixed propagation latency.  Messages are injected under
+// the sender's ShareSlot — which is how the sandbox throttles a process's
+// bandwidth without touching the link itself — then delivered to the peer
+// endpoint's mailbox one latency later.  Delivery preserves send order.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/fluid_resource.hpp"
+#include "sim/mailbox.hpp"
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+
+namespace avf::sim {
+
+/// Fixed per-message framing overhead charged on the wire.
+constexpr std::size_t kMessageHeaderBytes = 64;
+
+struct Message {
+  int kind = 0;
+  std::vector<std::uint8_t> payload;
+  SimTime sent_at = 0.0;       // stamped at injection start
+  SimTime delivered_at = 0.0;  // stamped at mailbox deposit
+  /// When non-zero, the link charges this many bytes instead of
+  /// payload+header.  Lets a sender ship convenience bytes (e.g. an
+  /// uncompressed payload whose compressed size is known from a cache)
+  /// while the network behaves as if the real wire bytes crossed it.
+  std::size_t wire_size_override = 0;
+
+  std::size_t wire_size() const {
+    return wire_size_override != 0 ? wire_size_override
+                                   : payload.size() + kMessageHeaderBytes;
+  }
+};
+
+class Link {
+ public:
+  Link(Simulator& sim, std::string name, double bandwidth_bps,
+       double latency_s);
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  const std::string& name() const { return name_; }
+  Simulator& simulator() { return sim_; }
+  double latency() const { return latency_; }
+  double bandwidth() const { return forward_.capacity(); }
+
+  /// Reconfigure raw link bandwidth (both directions).
+  void set_bandwidth(double bps);
+
+  FluidResource& forward() { return forward_; }
+  FluidResource& backward() { return backward_; }
+
+ private:
+  Simulator& sim_;
+  std::string name_;
+  double latency_;
+  FluidResource forward_;
+  FluidResource backward_;
+};
+
+class Channel;
+
+/// One end of a channel.  Not movable once handed out: processes keep
+/// references across suspension points.
+class Endpoint {
+ public:
+  /// Awaitable coroutine: inject `msg` into the link (consuming bandwidth
+  /// under this endpoint's share slot) and schedule delivery at the peer.
+  /// Completes when the last byte has been injected.
+  Task<> send(Message msg);
+
+  /// Awaitable: receive the next message.
+  auto recv() { return inbox_.recv(); }
+  std::optional<Message> try_recv() { return inbox_.try_recv(); }
+  std::size_t pending() const { return inbox_.size(); }
+
+  /// The slot the sandbox adjusts to throttle this endpoint's bandwidth.
+  const ShareSlotPtr& share_slot() const { return slot_; }
+  void set_share_slot(ShareSlotPtr slot);
+
+  /// The link direction this endpoint injects into.
+  FluidResource& out() { return *out_; }
+
+  OwnerId owner() const { return owner_; }
+  void set_owner(OwnerId owner) { owner_ = owner; }
+
+  /// Total payload+framing bytes this endpoint has injected / received.
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t bytes_received() const { return bytes_received_; }
+
+ private:
+  friend class Channel;
+  Endpoint(Simulator& sim, FluidResource& out, double latency)
+      : sim_(sim), out_(&out), latency_(latency), inbox_(sim),
+        slot_(make_share_slot()) {}
+
+  void deliver(Message msg);
+
+  Simulator& sim_;
+  FluidResource* out_;
+  Endpoint* peer_ = nullptr;
+  double latency_;
+  Mailbox<Message> inbox_;
+  ShareSlotPtr slot_;
+  OwnerId owner_ = kNoOwner;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t bytes_received_ = 0;
+};
+
+/// A bidirectional message channel across one link.
+class Channel {
+ public:
+  explicit Channel(Link& link);
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Endpoint on the "forward-sending" side (e.g. the client).
+  Endpoint& a() { return *a_; }
+  /// Endpoint on the opposite side (e.g. the server).
+  Endpoint& b() { return *b_; }
+
+ private:
+  std::unique_ptr<Endpoint> a_;
+  std::unique_ptr<Endpoint> b_;
+};
+
+}  // namespace avf::sim

@@ -1,0 +1,86 @@
+// Unbounded process mailbox: the rendezvous primitive between simulated
+// processes.  `recv()` suspends the caller until an item arrives; items and
+// waiters are both FIFO, preserving determinism.
+//
+// Invariant: an item pushed while receivers are queued is immediately
+// *reserved* for the oldest receiver (whose wake-up is scheduled); a recv()
+// only completes synchronously on unreserved items.  Hence queued waiters
+// and unreserved items never coexist, and delivery order is strict FIFO on
+// both sides.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "sim/simulator.hpp"
+
+namespace avf::sim {
+
+template <typename T>
+class Mailbox {
+ public:
+  explicit Mailbox(Simulator& sim) : sim_(sim) {}
+
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  /// Deposit an item; wakes the oldest waiter if any.
+  void push(T item) {
+    items_.push_back(std::move(item));
+    if (!waiters_.empty()) {
+      std::coroutine_handle<> h = waiters_.front();
+      waiters_.pop_front();
+      ++reserved_;
+      sim_.resume_soon(h);
+    }
+  }
+
+  /// Awaitable: receive the oldest item, suspending if none is available.
+  auto recv() {
+    struct Awaiter {
+      Mailbox& box;
+      bool suspended = false;
+      bool await_ready() const noexcept {
+        return box.items_.size() > box.reserved_;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        suspended = true;
+        box.waiters_.push_back(h);
+      }
+      T await_resume() {
+        if (suspended) {
+          assert(box.reserved_ > 0);
+          --box.reserved_;
+        }
+        assert(!box.items_.empty());
+        T item = std::move(box.items_.front());
+        box.items_.pop_front();
+        return item;
+      }
+    };
+    return Awaiter{*this};
+  }
+
+  /// Non-blocking poll; only sees unreserved items.
+  std::optional<T> try_recv() {
+    if (items_.size() <= reserved_) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  std::size_t waiting_receivers() const { return waiters_.size(); }
+
+ private:
+  Simulator& sim_;
+  std::deque<T> items_;
+  std::deque<std::coroutine_handle<>> waiters_;
+  std::size_t reserved_ = 0;
+};
+
+}  // namespace avf::sim

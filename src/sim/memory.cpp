@@ -1,0 +1,66 @@
+#include "sim/memory.hpp"
+
+namespace avf::sim {
+
+MemoryReservation::MemoryReservation(MemoryReservation&& other) noexcept
+    : resource_(other.resource_), owner_(other.owner_), bytes_(other.bytes_) {
+  other.resource_ = nullptr;
+}
+
+MemoryReservation& MemoryReservation::operator=(
+    MemoryReservation&& other) noexcept {
+  if (this != &other) {
+    release();
+    resource_ = other.resource_;
+    owner_ = other.owner_;
+    bytes_ = other.bytes_;
+    other.resource_ = nullptr;
+  }
+  return *this;
+}
+
+MemoryReservation::~MemoryReservation() { release(); }
+
+void MemoryReservation::release() {
+  if (resource_ != nullptr) {
+    resource_->release(owner_, bytes_);
+    resource_ = nullptr;
+  }
+}
+
+std::uint64_t MemoryResource::used_by(OwnerId owner) const {
+  auto it = per_owner_.find(owner);
+  return it == per_owner_.end() ? 0 : it->second;
+}
+
+MemoryReservation MemoryResource::try_reserve(OwnerId owner,
+                                              std::uint64_t bytes) {
+  if (used_ + bytes > capacity_) return {};
+  if (auto it = caps_.find(owner); it != caps_.end()) {
+    if (used_by(owner) + bytes > it->second) return {};
+  }
+  used_ += bytes;
+  per_owner_[owner] += bytes;
+  return MemoryReservation(this, owner, bytes);
+}
+
+MemoryReservation MemoryResource::reserve(OwnerId owner, std::uint64_t bytes) {
+  MemoryReservation r = try_reserve(owner, bytes);
+  if (!r.valid()) {
+    throw std::runtime_error(avf::util::format(
+        "memory {}: cannot reserve {} bytes (used {}/{}, owner {} uses {})",
+        name_, bytes, used_, capacity_, owner, used_by(owner)));
+  }
+  return r;
+}
+
+void MemoryResource::release(OwnerId owner, std::uint64_t bytes) {
+  used_ -= bytes;
+  auto it = per_owner_.find(owner);
+  if (it != per_owner_.end()) {
+    it->second -= bytes;
+    if (it->second == 0) per_owner_.erase(it);
+  }
+}
+
+}  // namespace avf::sim

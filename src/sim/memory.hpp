@@ -1,0 +1,87 @@
+// Per-host physical memory accounting.
+//
+// The paper's sandbox bounds physical memory by flipping page-protection
+// bits; behaviorally that means an application is denied (or delayed on)
+// allocations beyond its cap.  We model the accounting side: reservations
+// against host capacity and per-owner caps, RAII release, and failure when a
+// cap would be exceeded.  The experiments keep memory fixed (§7.1), so no
+// paging-delay model is attached, but usage is tracked so monitors can
+// report it.
+#pragma once
+
+#include <cstdint>
+#include "util/fmt.hpp"
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+#include "sim/types.hpp"
+
+namespace avf::sim {
+
+class MemoryResource;
+
+/// RAII hold on a memory reservation.
+class MemoryReservation {
+ public:
+  MemoryReservation() = default;
+  MemoryReservation(MemoryReservation&& other) noexcept;
+  MemoryReservation& operator=(MemoryReservation&& other) noexcept;
+  MemoryReservation(const MemoryReservation&) = delete;
+  MemoryReservation& operator=(const MemoryReservation&) = delete;
+  ~MemoryReservation();
+
+  std::uint64_t bytes() const { return bytes_; }
+  bool valid() const { return resource_ != nullptr; }
+  void release();
+
+ private:
+  friend class MemoryResource;
+  MemoryReservation(MemoryResource* resource, OwnerId owner,
+                    std::uint64_t bytes)
+      : resource_(resource), owner_(owner), bytes_(bytes) {}
+
+  MemoryResource* resource_ = nullptr;
+  OwnerId owner_ = kNoOwner;
+  std::uint64_t bytes_ = 0;
+};
+
+class MemoryResource {
+ public:
+  MemoryResource(std::string name, std::uint64_t capacity_bytes)
+      : name_(std::move(name)), capacity_(capacity_bytes) {}
+
+  MemoryResource(const MemoryResource&) = delete;
+  MemoryResource& operator=(const MemoryResource&) = delete;
+
+  const std::string& name() const { return name_; }
+  std::uint64_t capacity() const { return capacity_; }
+  std::uint64_t used() const { return used_; }
+  std::uint64_t available() const { return capacity_ - used_; }
+  std::uint64_t used_by(OwnerId owner) const;
+
+  /// Cap an owner's total usage in bytes (0 = evict-everything cap;
+  /// remove_cap() restores the unlimited default).
+  void set_cap(OwnerId owner, std::uint64_t bytes) { caps_[owner] = bytes; }
+  void remove_cap(OwnerId owner) { caps_.erase(owner); }
+
+  /// Try to reserve; returns an invalid reservation when the host or the
+  /// owner's cap would be exceeded.
+  [[nodiscard]] MemoryReservation try_reserve(OwnerId owner,
+                                              std::uint64_t bytes);
+
+  /// Reserve or throw std::runtime_error.
+  [[nodiscard]] MemoryReservation reserve(OwnerId owner, std::uint64_t bytes);
+
+ private:
+  friend class MemoryReservation;
+  void release(OwnerId owner, std::uint64_t bytes);
+
+  std::string name_;
+  std::uint64_t capacity_;
+  std::uint64_t used_ = 0;
+  std::unordered_map<OwnerId, std::uint64_t> per_owner_;
+  std::unordered_map<OwnerId, std::uint64_t> caps_;
+};
+
+}  // namespace avf::sim

@@ -1,0 +1,100 @@
+#include "sim/simulator.hpp"
+
+#include "util/fmt.hpp"
+#include <stdexcept>
+
+namespace avf::sim {
+
+namespace detail {
+void report_detached_exception(Simulator& sim, std::exception_ptr e) {
+  sim.record_exception(e);
+}
+}  // namespace detail
+
+void EventHandle::cancel() {
+  if (auto rec = rec_.lock()) {
+    rec->cancelled = true;
+    rec->fn = nullptr;  // release captured state eagerly
+  }
+}
+
+bool EventHandle::pending() const {
+  auto rec = rec_.lock();
+  return rec != nullptr && !rec->cancelled;
+}
+
+EventHandle Simulator::schedule(SimTime delay, std::function<void()> fn) {
+  if (delay < 0.0) {
+    throw std::invalid_argument(
+        avf::util::format("negative event delay: {}", delay));
+  }
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventHandle Simulator::schedule_at(SimTime when, std::function<void()> fn) {
+  if (when < now_) {
+    throw std::invalid_argument(avf::util::format(
+        "event scheduled in the past: {} < now {}", when, now_));
+  }
+  auto rec = std::make_shared<EventHandle::Record>();
+  rec->fn = std::move(fn);
+  queue_.push(QueueEntry{when, next_seq_++, rec});
+  return EventHandle(rec);
+}
+
+void Simulator::spawn(Task<> task) {
+  std::coroutine_handle<> h = task.release(*this);
+  schedule(0.0, [h] { h.resume(); });
+}
+
+void Simulator::record_exception(std::exception_ptr e) {
+  if (!pending_exception_) pending_exception_ = e;
+}
+
+void Simulator::fire_next() {
+  QueueEntry entry = queue_.top();
+  queue_.pop();
+  now_ = entry.time;
+  if (entry.rec->cancelled) return;
+  ++events_processed_;
+  // Move the callback out so state captured by it dies with this scope even
+  // if the record lingers in an EventHandle.
+  std::function<void()> fn = std::move(entry.rec->fn);
+  fn();
+}
+
+void Simulator::rethrow_if_failed() {
+  if (pending_exception_) {
+    std::exception_ptr e = pending_exception_;
+    pending_exception_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  fire_next();
+  rethrow_if_failed();
+  return true;
+}
+
+void Simulator::run() {
+  while (!queue_.empty()) {
+    fire_next();
+    rethrow_if_failed();
+  }
+}
+
+void Simulator::run_until(SimTime t) {
+  if (t < now_) {
+    throw std::invalid_argument(
+        avf::util::format("run_until into the past: {} < now {}", t, now_));
+  }
+  while (!queue_.empty() && queue_.top().time <= t) {
+    fire_next();
+    rethrow_if_failed();
+  }
+  now_ = t;
+}
+
+}  // namespace avf::sim

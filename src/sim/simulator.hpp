@@ -1,0 +1,125 @@
+// Discrete-event simulator kernel.
+//
+// Single-threaded, deterministic: events at equal timestamps fire in
+// scheduling order (FIFO via a sequence number).  Simulated processes are
+// coroutines (see task.hpp); the simulator only ever resumes them from its
+// event loop, never reentrantly, so process code observes plain sequential
+// semantics at each timestamp.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/task.hpp"
+#include "sim/types.hpp"
+
+namespace avf::sim {
+
+/// Handle to a scheduled event; allows cancellation.  Default-constructed
+/// handles are inert.  Cancelling an already-fired event is a no-op.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  void cancel();
+  bool pending() const;
+
+  struct Record {
+    std::function<void()> fn;
+    bool cancelled = false;
+  };
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::weak_ptr<Record> rec) : rec_(std::move(rec)) {}
+  std::weak_ptr<Record> rec_;
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedule `fn` to run `delay` seconds from now (delay >= 0).
+  EventHandle schedule(SimTime delay, std::function<void()> fn);
+  /// Schedule at an absolute time >= now().
+  EventHandle schedule_at(SimTime when, std::function<void()> fn);
+
+  /// Launch a detached process coroutine; its body starts at the current
+  /// time, after already-queued events at this timestamp.
+  void spawn(Task<> task);
+
+  /// Run until the event queue drains; throws the first exception escaping a
+  /// detached process.
+  void run();
+  /// Run events with time <= `t`, then set now() = t.
+  void run_until(SimTime t);
+  /// Execute a single event; returns false when the queue is empty.
+  bool step();
+
+  /// Awaitable: suspend the calling process for `dt` seconds.
+  ///   co_await sim.delay(0.5);
+  auto delay(SimTime dt) {
+    struct Awaiter {
+      Simulator& sim;
+      SimTime dt;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        sim.schedule(dt, [h] { h.resume(); });
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, dt};
+  }
+
+  /// Awaitable: yield to other events queued at the current timestamp.
+  auto yield() { return delay(0.0); }
+
+  /// Resume `h` via a zero-delay event — the only sanctioned way for
+  /// non-process code (resources, mailboxes) to wake a process.
+  void resume_soon(std::coroutine_handle<> h) {
+    schedule(0.0, [h] { h.resume(); });
+  }
+
+  /// Number of events processed so far (for micro-benchmarks/tests).
+  std::uint64_t events_processed() const { return events_processed_; }
+
+  /// Allocate a fresh consumer identity for resource accounting.
+  OwnerId new_owner_id() { return ++last_owner_id_; }
+
+  // Internal: detached-process exception reporting (see task.hpp).
+  void record_exception(std::exception_ptr e);
+
+ private:
+  struct QueueEntry {
+    SimTime time;
+    std::uint64_t seq;
+    std::shared_ptr<EventHandle::Record> rec;
+    friend bool operator>(const QueueEntry& a, const QueueEntry& b) {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Fire the next event; the caller has checked the queue is non-empty.
+  void fire_next();
+  void rethrow_if_failed();
+
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  OwnerId last_owner_id_ = kNoOwner;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      queue_;
+  std::exception_ptr pending_exception_;
+};
+
+}  // namespace avf::sim

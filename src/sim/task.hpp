@@ -1,0 +1,177 @@
+// Coroutine task type for simulator processes.
+//
+// A simulated process is a coroutine returning Task<> (or Task<T> for
+// sub-routines with results).  Tasks are lazy: the body does not run until
+// either the simulator resumes a spawned (detached) task or a parent
+// `co_await`s it.  Awaiting a child transfers control symmetrically, and the
+// child resumes its parent on completion — so arbitrarily deep call trees of
+// simulated activity compose without recursion on the real stack.
+//
+// Lifetime rules:
+//  * `co_await task` — the Task object in the parent frame owns the child
+//    frame; it is destroyed when the Task goes out of scope after completion.
+//  * `Simulator::spawn(std::move(task))` — the frame is detached; it destroys
+//    itself at final-suspend and reports any escaped exception to the
+//    simulator, which surfaces it from run().
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+namespace avf::sim {
+
+class Simulator;
+
+namespace detail {
+
+/// Shared (non-templated) part of every task promise.
+struct PromiseBase {
+  std::coroutine_handle<> continuation;  // parent to resume at completion
+  std::exception_ptr exception;
+  Simulator* detached_owner = nullptr;  // set by Simulator::spawn
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  void unhandled_exception() noexcept { exception = std::current_exception(); }
+};
+
+void report_detached_exception(Simulator& sim, std::exception_ptr e);
+
+template <typename Promise>
+struct FinalAwaiter {
+  bool await_ready() noexcept { return false; }
+
+  std::coroutine_handle<> await_suspend(
+      std::coroutine_handle<Promise> h) noexcept {
+    PromiseBase& p = h.promise();
+    if (p.continuation) return p.continuation;
+    if (p.detached_owner != nullptr && p.exception) {
+      report_detached_exception(*p.detached_owner, p.exception);
+    }
+    h.destroy();
+    return std::noop_coroutine();
+  }
+
+  void await_resume() noexcept {}
+};
+
+}  // namespace detail
+
+template <typename T = void>
+class [[nodiscard]] Task;
+
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : detail::PromiseBase {
+    std::optional<T> value;
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    detail::FinalAwaiter<promise_type> final_suspend() noexcept { return {}; }
+    template <typename U>
+    void return_value(U&& v) {
+      value.emplace(std::forward<U>(v));
+    }
+  };
+
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  ~Task() { destroy(); }
+
+  // Awaitable interface (parent co_awaits the child).
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) {
+    handle_.promise().continuation = parent;
+    return handle_;  // symmetric transfer: start/resume the child
+  }
+  T await_resume() {
+    auto& p = handle_.promise();
+    if (p.exception) std::rethrow_exception(p.exception);
+    return std::move(*p.value);
+  }
+
+ private:
+  friend class Simulator;
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+
+  /// Detach for Simulator::spawn: frame self-destroys at completion.
+  std::coroutine_handle<> release(Simulator& sim) {
+    handle_.promise().detached_owner = &sim;
+    return std::exchange(handle_, {});
+  }
+
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : detail::PromiseBase {
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    detail::FinalAwaiter<promise_type> final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+  };
+
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  ~Task() { destroy(); }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) {
+    handle_.promise().continuation = parent;
+    return handle_;
+  }
+  void await_resume() {
+    auto& p = handle_.promise();
+    if (p.exception) std::rethrow_exception(p.exception);
+  }
+
+ private:
+  friend class Simulator;
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+
+  std::coroutine_handle<> release(Simulator& sim) {
+    handle_.promise().detached_owner = &sim;
+    return std::exchange(handle_, {});
+  }
+
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+}  // namespace avf::sim

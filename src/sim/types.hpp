@@ -1,0 +1,37 @@
+// Core simulator types shared across the sim/ module.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+namespace avf::sim {
+
+/// Simulated time, in seconds.  The whole framework is single-clock: there is
+/// no wall-clock anywhere in the library (only the bench harnesses may time
+/// real execution).
+using SimTime = double;
+
+/// A process's entitlement on one fluid resource: `cap` is the fraction of
+/// the resource's capacity this consumer may use (the sandbox limit), and
+/// `weight` its proportional-share weight when competing below the caps.
+///
+/// Slots are shared between the sandbox (which mutates them) and in-flight
+/// resource requests (which read them at every reallocation), so they are
+/// handed around as shared_ptr<ShareSlot>.
+struct ShareSlot {
+  double cap = 1.0;
+  double weight = 1.0;
+};
+
+using ShareSlotPtr = std::shared_ptr<ShareSlot>;
+
+inline ShareSlotPtr make_share_slot(double cap = 1.0, double weight = 1.0) {
+  return std::make_shared<ShareSlot>(ShareSlot{cap, weight});
+}
+
+/// Opaque consumer identity used for per-consumer accounting on resources.
+using OwnerId = std::uint64_t;
+
+constexpr OwnerId kNoOwner = 0;
+
+}  // namespace avf::sim

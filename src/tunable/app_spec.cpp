@@ -1,0 +1,27 @@
+#include "tunable/app_spec.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/fmt.hpp"
+
+namespace avf::tunable {
+
+void AppSpec::add_resource_axis(const std::string& axis) {
+  if (std::find(axes_.begin(), axes_.end(), axis) != axes_.end()) {
+    throw std::invalid_argument(
+        util::format("duplicate resource axis: {}", axis));
+  }
+  axes_.push_back(axis);
+}
+
+std::vector<const TaskSpec*> AppSpec::active_tasks(
+    const ConfigPoint& config) const {
+  std::vector<const TaskSpec*> out;
+  for (const TaskSpec& t : tasks_) {
+    if (!t.guard || t.guard(config)) out.push_back(&t);
+  }
+  return out;
+}
+
+}  // namespace avf::tunable

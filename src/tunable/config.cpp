@@ -1,0 +1,129 @@
+#include "tunable/config.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/fmt.hpp"
+
+namespace avf::tunable {
+
+int ConfigPoint::get(const std::string& name) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) {
+    throw std::out_of_range(util::format("no control parameter: {}", name));
+  }
+  return it->second;
+}
+
+std::optional<int> ConfigPoint::try_get(const std::string& name) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+ConfigPoint ConfigPoint::with(const std::string& name, int value) const {
+  ConfigPoint copy = *this;
+  copy.set(name, value);
+  return copy;
+}
+
+std::string ConfigPoint::key() const {
+  std::string out;
+  for (const auto& [name, value] : values_) {
+    if (!out.empty()) out += ',';
+    out += util::format("{}={}", name, value);
+  }
+  return out;
+}
+
+ConfigPoint ConfigPoint::parse(const std::string& key) {
+  ConfigPoint point;
+  std::size_t pos = 0;
+  while (pos < key.size()) {
+    std::size_t comma = key.find(',', pos);
+    if (comma == std::string::npos) comma = key.size();
+    std::string_view item(key.data() + pos, comma - pos);
+    std::size_t eq = item.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      throw std::invalid_argument(
+          util::format("bad config key item: {}", std::string(item)));
+    }
+    std::string name(item.substr(0, eq));
+    int value = std::stoi(std::string(item.substr(eq + 1)));
+    point.set(name, value);
+    pos = comma + 1;
+  }
+  return point;
+}
+
+void ConfigSpace::add_parameter(const std::string& name,
+                                std::vector<int> values) {
+  if (values.empty()) {
+    throw std::invalid_argument(
+        util::format("parameter {} has empty domain", name));
+  }
+  if (has_parameter(name)) {
+    throw std::invalid_argument(util::format("duplicate parameter: {}", name));
+  }
+  params_.push_back(ParamDomain{name, std::move(values)});
+}
+
+void ConfigSpace::add_guard(std::string description,
+                            std::function<bool(const ConfigPoint&)> predicate) {
+  guards_.push_back(Guard{std::move(description), std::move(predicate)});
+}
+
+bool ConfigSpace::has_parameter(const std::string& name) const {
+  return std::any_of(params_.begin(), params_.end(),
+                     [&](const ParamDomain& p) { return p.name == name; });
+}
+
+const ParamDomain& ConfigSpace::parameter(const std::string& name) const {
+  for (const ParamDomain& p : params_) {
+    if (p.name == name) return p;
+  }
+  throw std::out_of_range(util::format("no such parameter: {}", name));
+}
+
+std::vector<ConfigPoint> ConfigSpace::enumerate() const {
+  std::vector<ConfigPoint> out;
+  if (params_.empty()) return out;
+  std::vector<std::size_t> idx(params_.size(), 0);
+  for (;;) {
+    ConfigPoint point;
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+      point.set(params_[i].name, params_[i].values[idx[i]]);
+    }
+    bool ok = true;
+    for (const Guard& g : guards_) {
+      if (!g.predicate(point)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) out.push_back(std::move(point));
+    // Odometer increment.
+    std::size_t i = params_.size();
+    while (i-- > 0) {
+      if (++idx[i] < params_[i].values.size()) break;
+      idx[i] = 0;
+      if (i == 0) return out;
+    }
+  }
+}
+
+bool ConfigSpace::valid(const ConfigPoint& point) const {
+  for (const ParamDomain& p : params_) {
+    auto v = point.try_get(p.name);
+    if (!v) return false;
+    if (std::find(p.values.begin(), p.values.end(), *v) == p.values.end()) {
+      return false;
+    }
+  }
+  for (const Guard& g : guards_) {
+    if (!g.predicate(point)) return false;
+  }
+  return true;
+}
+
+}  // namespace avf::tunable

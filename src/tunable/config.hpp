@@ -1,0 +1,84 @@
+// Control parameters and configuration points — the "knobs" of a tunable
+// application (paper §4): each parameter has a finite integer domain; a
+// ConfigPoint assigns one value to every parameter; the ConfigSpace
+// enumerates the cartesian product, filtered by guard predicates (the
+// guards the paper attaches to task/transition constructs).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace avf::tunable {
+
+/// One control parameter: name + the discrete values it may take.
+struct ParamDomain {
+  std::string name;
+  std::vector<int> values;
+};
+
+/// A full assignment of values to control parameters.  Comparable and
+/// usable as a map key; `key()` is the canonical "a=1,b=2" rendering used
+/// by the performance database.
+class ConfigPoint {
+ public:
+  ConfigPoint() = default;
+  explicit ConfigPoint(std::map<std::string, int> values)
+      : values_(std::move(values)) {}
+
+  /// Value of parameter `name`; throws std::out_of_range if absent.
+  int get(const std::string& name) const;
+  std::optional<int> try_get(const std::string& name) const;
+  void set(const std::string& name, int value) { values_[name] = value; }
+
+  /// Returns a copy with one parameter changed.
+  ConfigPoint with(const std::string& name, int value) const;
+
+  const std::map<std::string, int>& values() const { return values_; }
+  bool empty() const { return values_.empty(); }
+
+  std::string key() const;
+  static ConfigPoint parse(const std::string& key);
+
+  auto operator<=>(const ConfigPoint&) const = default;
+
+ private:
+  std::map<std::string, int> values_;
+};
+
+/// Predicate restricting valid configurations.
+struct Guard {
+  std::string description;
+  std::function<bool(const ConfigPoint&)> predicate;
+};
+
+class ConfigSpace {
+ public:
+  /// Declare a parameter; names must be unique, domains non-empty.
+  void add_parameter(const std::string& name, std::vector<int> values);
+
+  void add_guard(std::string description,
+                 std::function<bool(const ConfigPoint&)> predicate);
+
+  const std::vector<ParamDomain>& parameters() const { return params_; }
+  const ParamDomain& parameter(const std::string& name) const;
+  bool has_parameter(const std::string& name) const;
+
+  /// All guard-satisfying configurations, in lexicographic domain order.
+  std::vector<ConfigPoint> enumerate() const;
+
+  /// Whether `point` assigns a valid domain value to every parameter and
+  /// passes all guards.
+  bool valid(const ConfigPoint& point) const;
+
+  std::size_t parameter_count() const { return params_.size(); }
+  std::size_t guard_count() const { return guards_.size(); }
+
+ private:
+  std::vector<ParamDomain> params_;
+  std::vector<Guard> guards_;
+};
+
+}  // namespace avf::tunable

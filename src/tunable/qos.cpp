@@ -1,0 +1,77 @@
+#include "tunable/qos.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/fmt.hpp"
+
+namespace avf::tunable {
+
+bool at_least_as_good(double a, double b, Direction dir) {
+  return dir == Direction::kLowerBetter ? a <= b : a >= b;
+}
+
+double QosVector::get(const std::string& metric) const {
+  auto it = values_.find(metric);
+  if (it == values_.end()) {
+    throw std::out_of_range(util::format("no QoS metric: {}", metric));
+  }
+  return it->second;
+}
+
+std::optional<double> QosVector::try_get(const std::string& metric) const {
+  auto it = values_.find(metric);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+void MetricSchema::add(const std::string& name, Direction direction) {
+  if (has(name)) {
+    throw std::invalid_argument(util::format("duplicate metric: {}", name));
+  }
+  metrics_.push_back(MetricDef{name, direction});
+}
+
+bool MetricSchema::has(const std::string& name) const {
+  return std::any_of(metrics_.begin(), metrics_.end(),
+                     [&](const MetricDef& m) { return m.name == name; });
+}
+
+const MetricDef& MetricSchema::metric(const std::string& name) const {
+  for (const MetricDef& m : metrics_) {
+    if (m.name == name) return m;
+  }
+  throw std::out_of_range(util::format("no such metric: {}", name));
+}
+
+std::vector<std::string> MetricSchema::names() const {
+  std::vector<std::string> out;
+  out.reserve(metrics_.size());
+  for (const MetricDef& m : metrics_) out.push_back(m.name);
+  return out;
+}
+
+bool MetricSchema::dominates(const QosVector& a, const QosVector& b) const {
+  bool strictly = false;
+  for (const MetricDef& m : metrics_) {
+    double va = a.get(m.name);
+    double vb = b.get(m.name);
+    if (!at_least_as_good(va, vb, m.direction)) return false;
+    if (va != vb) strictly = true;
+  }
+  return strictly;
+}
+
+bool MetricSchema::equivalent(const QosVector& a, const QosVector& b,
+                              double epsilon) const {
+  for (const MetricDef& m : metrics_) {
+    double va = a.get(m.name);
+    double vb = b.get(m.name);
+    double scale = std::max({std::abs(va), std::abs(vb), 1.0});
+    if (std::abs(va - vb) > epsilon * scale) return false;
+  }
+  return true;
+}
+
+}  // namespace avf::tunable

@@ -1,0 +1,70 @@
+// Application-specific quality metrics (the paper's QoS_metric construct).
+// Each metric declares a direction so that values are comparable ("we
+// require that different values of the same quality metric can be compared
+// with each other", §4.1) — which also drives dominance pruning in the
+// performance database.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace avf::tunable {
+
+enum class Direction {
+  kLowerBetter,   // e.g. transmit_time, response_time
+  kHigherBetter,  // e.g. resolution
+};
+
+struct MetricDef {
+  std::string name;
+  Direction direction = Direction::kLowerBetter;
+};
+
+/// `a` is at least as good as `b` for a metric of direction `dir`.
+bool at_least_as_good(double a, double b, Direction dir);
+
+/// A measured/predicted value for each metric.
+class QosVector {
+ public:
+  QosVector() = default;
+
+  double get(const std::string& metric) const;
+  std::optional<double> try_get(const std::string& metric) const;
+  void set(const std::string& metric, double value) {
+    values_[metric] = value;
+  }
+
+  const std::map<std::string, double>& values() const { return values_; }
+  bool empty() const { return values_.empty(); }
+
+  bool operator==(const QosVector&) const = default;
+
+ private:
+  std::map<std::string, double> values_;
+};
+
+/// Declared metric schema for an application.
+class MetricSchema {
+ public:
+  void add(const std::string& name, Direction direction);
+
+  const std::vector<MetricDef>& metrics() const { return metrics_; }
+  const MetricDef& metric(const std::string& name) const;
+  bool has(const std::string& name) const;
+  std::vector<std::string> names() const;
+
+  /// `a` dominates `b`: at least as good on every declared metric, strictly
+  /// better on at least one.
+  bool dominates(const QosVector& a, const QosVector& b) const;
+
+  /// All metrics equal within `epsilon` (relative where magnitudes allow).
+  bool equivalent(const QosVector& a, const QosVector& b,
+                  double epsilon) const;
+
+ private:
+  std::vector<MetricDef> metrics_;
+};
+
+}  // namespace avf::tunable

@@ -1,0 +1,132 @@
+#include "util/fmt.hpp"
+
+namespace avf::util::fmtdetail {
+
+namespace {
+
+[[noreturn]] void fail(const char* what) {
+  throw std::invalid_argument(std::string("format error: ") + what);
+}
+
+/// Parse a decimal integer starting at `i`; advances `i`.
+int parse_int(std::string_view s, std::size_t& i) {
+  int v = 0;
+  bool any = false;
+  while (i < s.size() && s[i] >= '0' && s[i] <= '9') {
+    v = v * 10 + (s[i] - '0');
+    ++i;
+    any = true;
+  }
+  if (!any) fail("expected integer in format spec");
+  return v;
+}
+
+FormatSpec parse_spec(std::string_view spec) {
+  FormatSpec out;
+  std::size_t i = 0;
+  if (i < spec.size() && (spec[i] == '<' || spec[i] == '>')) {
+    out.align = spec[i];
+    ++i;
+  }
+  if (i < spec.size()) {
+    if (spec[i] == '{') {
+      if (i + 1 >= spec.size() || spec[i + 1] != '}') fail("bad dynamic width");
+      out.width = -2;
+      i += 2;
+    } else if (spec[i] >= '0' && spec[i] <= '9') {
+      out.width = parse_int(spec, i);
+    }
+  }
+  if (i < spec.size() && spec[i] == '.') {
+    ++i;
+    if (i < spec.size() && spec[i] == '{') {
+      if (i + 1 >= spec.size() || spec[i + 1] != '}') {
+        fail("bad dynamic precision");
+      }
+      out.precision = -2;
+      i += 2;
+    } else {
+      out.precision = parse_int(spec, i);
+    }
+  }
+  if (i < spec.size()) {
+    char t = spec[i];
+    if (t == 'f' || t == 'e' || t == 'g' || t == 'x' || t == 'd') {
+      out.type = t;
+      ++i;
+    }
+  }
+  if (i != spec.size()) fail("unsupported format spec");
+  return out;
+}
+
+}  // namespace
+
+std::string vformat(std::string_view fmt, std::vector<FormatArg> args) {
+  std::string out;
+  out.reserve(fmt.size() + args.size() * 8);
+  std::size_t next_arg = 0;
+
+  auto take_int_arg = [&]() -> int {
+    if (next_arg >= args.size()) fail("missing dynamic width/precision arg");
+    const FormatArg& a = args[next_arg++];
+    if (!a.is_integral) fail("dynamic width/precision must be integral");
+    return static_cast<int>(a.int_value);
+  };
+
+  for (std::size_t i = 0; i < fmt.size(); ++i) {
+    char c = fmt[i];
+    if (c == '{') {
+      if (i + 1 < fmt.size() && fmt[i + 1] == '{') {
+        out += '{';
+        ++i;
+        continue;
+      }
+      std::size_t close = fmt.find('}', i);
+      if (close == std::string_view::npos) fail("unmatched '{'");
+      std::string_view inner = fmt.substr(i + 1, close - i - 1);
+      FormatSpec spec;
+      if (!inner.empty()) {
+        if (inner[0] != ':') fail("positional arg ids are not supported");
+        // Dynamic width/precision placeholders ({:>{}}) contain '}' inside
+        // the spec, so the find('}') above may have split too early; extend
+        // to the next '}' while the spec still parses as incomplete.
+        std::string_view spec_text = inner.substr(1);
+        while (true) {
+          // Count unmatched '{' in the candidate spec.
+          int opens = 0;
+          for (char sc : spec_text) {
+            if (sc == '{') ++opens;
+            if (sc == '}') --opens;
+          }
+          if (opens <= 0) break;
+          std::size_t next_close = fmt.find('}', close + 1);
+          if (next_close == std::string_view::npos) fail("unmatched '{'");
+          spec_text = fmt.substr(i + 2, next_close - i - 2);
+          close = next_close;
+        }
+        spec = parse_spec(spec_text);
+      }
+      // std::format automatic indexing: the field's value argument comes
+      // first, then dynamic width, then dynamic precision.
+      if (next_arg >= args.size()) fail("not enough arguments");
+      const FormatArg& value = args[next_arg++];
+      if (spec.width == -2) spec.width = take_int_arg();
+      if (spec.precision == -2) spec.precision = take_int_arg();
+      out += value.render(spec);
+      i = close;
+    } else if (c == '}') {
+      if (i + 1 < fmt.size() && fmt[i + 1] == '}') {
+        out += '}';
+        ++i;
+        continue;
+      }
+      fail("unmatched '}'");
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace avf::util::fmtdetail

@@ -1,0 +1,135 @@
+// Minimal std::format-style string formatting.
+//
+// The toolchain this project targets (GCC 12) does not ship <format>, so we
+// provide the subset the codebase uses:
+//   {}            default formatting
+//   {:.3f} {:e}   floating-point precision/style
+//   {:>10} {:<10} width + alignment (fill is always space)
+//   {:>{}} {:.{}f} dynamic width/precision taken from the next argument
+//   {{ }}         literal braces
+// Arguments are matched positionally in order; mismatched counts throw
+// std::invalid_argument (we trade std::format's compile-time checking for
+// a strict runtime check).
+#pragma once
+
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace avf::util {
+
+namespace fmtdetail {
+
+struct FormatSpec {
+  char align = 0;      // '<', '>', or 0 (type default)
+  int width = -1;      // -1 = none; -2 = dynamic (next arg)
+  int precision = -1;  // -1 = none; -2 = dynamic (next arg)
+  char type = 0;       // 'f', 'e', 'g', 'x', 'd', or 0
+};
+
+struct FormatArg {
+  std::function<std::string(const FormatSpec&)> render;
+  long long int_value = 0;
+  bool is_integral = false;
+};
+
+inline std::string pad(std::string s, const FormatSpec& spec,
+                       bool arithmetic) {
+  if (spec.width <= 0 || static_cast<int>(s.size()) >= spec.width) return s;
+  char align = spec.align != 0 ? spec.align : (arithmetic ? '>' : '<');
+  std::size_t fill = static_cast<std::size_t>(spec.width) - s.size();
+  if (align == '>') return std::string(fill, ' ') + s;
+  return s + std::string(fill, ' ');
+}
+
+inline std::string render_double(double v, const FormatSpec& spec) {
+  char type = spec.type != 0 ? spec.type : 'g';
+  char buf[64];
+  int precision = spec.precision >= 0 ? spec.precision : (type == 'g' ? -1 : 6);
+  if (type == 'g' && precision < 0) {
+    // Default {} formatting: shortest round-trip representation.
+    auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
+    (void)ec;
+    return pad(std::string(buf, end), spec, true);
+  }
+  char cfmt[16];
+  std::snprintf(cfmt, sizeof cfmt, "%%.%d%c", precision, type);
+  std::snprintf(buf, sizeof buf, cfmt, v);
+  return pad(buf, spec, true);
+}
+
+template <typename T>
+std::string render_integral(T v, const FormatSpec& spec) {
+  char buf[32];
+  if (spec.type == 'x') {
+    std::snprintf(buf, sizeof buf, "%llx",
+                  static_cast<unsigned long long>(v));
+  } else if constexpr (std::is_signed_v<T>) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%llu",
+                  static_cast<unsigned long long>(v));
+  }
+  return pad(buf, spec, true);
+}
+
+template <typename T>
+FormatArg make_arg(const T& v) {
+  FormatArg arg;
+  if constexpr (std::is_same_v<T, bool>) {
+    arg.render = [v](const FormatSpec& spec) {
+      return pad(v ? "true" : "false", spec, false);
+    };
+  } else if constexpr (std::is_integral_v<T>) {
+    arg.int_value = static_cast<long long>(v);
+    arg.is_integral = true;
+    arg.render = [v](const FormatSpec& spec) {
+      return render_integral(v, spec);
+    };
+  } else if constexpr (std::is_floating_point_v<T>) {
+    arg.render = [v](const FormatSpec& spec) {
+      return render_double(static_cast<double>(v), spec);
+    };
+  } else if constexpr (std::is_convertible_v<T, std::string_view>) {
+    std::string s{std::string_view(v)};
+    arg.render = [s = std::move(s)](const FormatSpec& spec) {
+      std::string out = s;
+      if (spec.precision >= 0 &&
+          static_cast<int>(out.size()) > spec.precision) {
+        out.resize(static_cast<std::size_t>(spec.precision));
+      }
+      return pad(out, spec, false);
+    };
+  } else {
+    std::ostringstream os;
+    os << v;
+    std::string s = os.str();
+    arg.render = [s = std::move(s)](const FormatSpec& spec) {
+      return pad(s, spec, false);
+    };
+  }
+  return arg;
+}
+
+std::string vformat(std::string_view fmt, std::vector<FormatArg> args);
+
+}  // namespace fmtdetail
+
+/// Format `fmt` with positional `{}` placeholders; see file comment for the
+/// supported spec subset.
+template <typename... Ts>
+std::string format(std::string_view fmt, const Ts&... vs) {
+  std::vector<fmtdetail::FormatArg> args;
+  args.reserve(sizeof...(vs));
+  (args.push_back(fmtdetail::make_arg(vs)), ...);
+  return fmtdetail::vformat(fmt, std::move(args));
+}
+
+}  // namespace avf::util

@@ -1,0 +1,31 @@
+#include "util/logging.hpp"
+
+#include <iostream>
+
+namespace avf::util {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+std::string_view level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+void Logger::write(LogLevel level, std::string_view component, double sim_time,
+                   std::string_view message) {
+  std::ostream& out = sink_ != nullptr ? *sink_ : std::cerr;
+  out << avf::util::format("[{:>5}] t={:.6f} {}: {}\n", level_name(level), sim_time,
+                     component, message);
+}
+
+}  // namespace avf::util

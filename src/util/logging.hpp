@@ -1,0 +1,90 @@
+// Lightweight leveled logging for the AVF framework.
+//
+// The framework runs inside a deterministic discrete-event simulator, so log
+// lines carry the *simulated* time when the caller provides one.  Logging is
+// globally filterable by level and is safe to leave in hot paths: a disabled
+// level costs one branch.
+#pragma once
+
+#include "util/fmt.hpp"
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace avf::util {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global log configuration. Not thread-safe by design: the simulator is
+/// single-threaded and tests set the level once up front.
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  bool enabled(LogLevel level) const { return level >= level_; }
+
+  /// Redirect output (used by tests to capture log lines). Pass nullptr to
+  /// restore stderr.
+  void set_sink(std::ostream* sink) { sink_ = sink; }
+
+  void write(LogLevel level, std::string_view component, double sim_time,
+             std::string_view message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::ostream* sink_ = nullptr;
+};
+
+/// Human-readable level tag ("TRACE", "INFO", ...).
+std::string_view level_name(LogLevel level);
+
+namespace detail {
+template <typename... Args>
+void log(LogLevel level, std::string_view component, double sim_time,
+         std::string_view fmt, Args&&... args) {
+  Logger& logger = Logger::instance();
+  if (!logger.enabled(level)) return;
+  logger.write(level, component, sim_time,
+               avf::util::format(fmt, std::forward<Args>(args)...));
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_trace(std::string_view component, double sim_time,
+               std::string_view fmt, Args&&... args) {
+  detail::log(LogLevel::kTrace, component, sim_time, fmt,
+              std::forward<Args>(args)...);
+}
+
+template <typename... Args>
+void log_debug(std::string_view component, double sim_time,
+               std::string_view fmt, Args&&... args) {
+  detail::log(LogLevel::kDebug, component, sim_time, fmt,
+              std::forward<Args>(args)...);
+}
+
+template <typename... Args>
+void log_info(std::string_view component, double sim_time,
+              std::string_view fmt, Args&&... args) {
+  detail::log(LogLevel::kInfo, component, sim_time, fmt,
+              std::forward<Args>(args)...);
+}
+
+template <typename... Args>
+void log_warn(std::string_view component, double sim_time,
+              std::string_view fmt, Args&&... args) {
+  detail::log(LogLevel::kWarn, component, sim_time, fmt,
+              std::forward<Args>(args)...);
+}
+
+template <typename... Args>
+void log_error(std::string_view component, double sim_time,
+               std::string_view fmt, Args&&... args) {
+  detail::log(LogLevel::kError, component, sim_time, fmt,
+              std::forward<Args>(args)...);
+}
+
+}  // namespace avf::util

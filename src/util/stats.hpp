@@ -1,0 +1,88 @@
+// Streaming statistics and a fixed-capacity sliding window, used by the
+// monitoring agent (history-window estimates) and by the benchmark harnesses.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <deque>
+#include <limits>
+#include <vector>
+
+namespace avf::util {
+
+/// Welford-style streaming mean/variance with min/max tracking.
+class RunningStats {
+ public:
+  void add(double x);
+  void reset();
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double variance() const;  ///< population variance; 0 for < 2 samples
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Sliding window over (time, value) samples; evicts samples older than the
+/// configured horizon relative to the most recent sample.  This is the data
+/// structure behind the monitoring agent's "history window" (paper §6.1).
+class TimeWindow {
+ public:
+  explicit TimeWindow(double horizon) : horizon_(horizon) {}
+
+  void add(double time, double value);
+  void clear() { samples_.clear(); }
+
+  std::size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double horizon() const { return horizon_; }
+
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// Most recent value (0 when empty).
+  double latest() const;
+  /// Least-squares slope of value over time (0 with < 2 samples or zero
+  /// time spread); the monitor uses it to detect drifting availability.
+  double slope() const;
+
+  const std::deque<std::pair<double, double>>& samples() const {
+    return samples_;
+  }
+
+ private:
+  double horizon_;
+  std::deque<std::pair<double, double>> samples_;
+};
+
+/// Exponentially weighted moving average.
+class Ewma {
+ public:
+  explicit Ewma(double alpha) : alpha_(alpha) {}
+
+  void add(double x);
+  bool has_value() const { return initialized_; }
+  double value() const { return value_; }
+  void reset() { initialized_ = false; value_ = 0.0; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+/// Percentile of a sample vector (linear interpolation between ranks).
+/// `q` in [0,1]. Returns 0 for empty input.
+double percentile(std::vector<double> samples, double q);
+
+}  // namespace avf::util

@@ -1,0 +1,86 @@
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include "util/fmt.hpp"
+#include <ostream>
+#include <stdexcept>
+
+namespace avf::util {
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  std::size_t i = (s[0] == '-' || s[0] == '+') ? 1 : 0;
+  bool digit = false;
+  for (; i < s.size(); ++i) {
+    char c = s[i];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digit = true;
+    } else if (c != '.' && c != 'e' && c != 'E' && c != '-' && c != '+' &&
+               c != '%') {
+      return false;
+    }
+  }
+  return digit;
+}
+
+}  // namespace
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument(
+        avf::util::format("table row has {} fields, header has {}", row.size(),
+                    header_.size()));
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::num(double value, int precision) {
+  return avf::util::format("{:.{}f}", value, precision);
+}
+
+void TextTable::save_csv(std::ostream& out) const {
+  CsvWriter writer(out, header_);
+  for (const auto& row : rows_) writer.row(row);
+}
+
+void TextTable::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out << "  ";
+      if (looks_numeric(row[c])) {
+        out << avf::util::format("{:>{}}", row[c], widths[c]);
+      } else {
+        out << avf::util::format("{:<{}}", row[c], widths[c]);
+      }
+    }
+    out << '\n';
+  };
+
+  print_row(header_);
+  std::string rule;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    if (c != 0) rule += "  ";
+    rule.append(widths[c], '-');
+  }
+  out << rule << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace avf::util

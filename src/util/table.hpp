@@ -1,0 +1,31 @@
+// ASCII table rendering for the benchmark harnesses.  The fig* binaries print
+// the same rows/series the paper's figures report; this keeps that output
+// aligned and diff-friendly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace avf::util {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Render with column alignment; numeric-looking fields right-aligned.
+  void print(std::ostream& out) const;
+
+  /// Write the same data as CSV (for plotting the figures).
+  void save_csv(std::ostream& out) const;
+
+  static std::string num(double value, int precision = 3);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace avf::util

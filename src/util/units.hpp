@@ -1,0 +1,24 @@
+// Unit helpers.  The simulator measures time in seconds (double), CPU work in
+// "ops" (a 450 MHz-class host executes 450e6 ops/s), data in bytes, and
+// bandwidth in bytes/second.  These helpers keep call sites legible and match
+// the units the paper reports (KBps, MBps, ms).
+#pragma once
+
+namespace avf::util {
+
+constexpr double kMilli = 1e-3;
+constexpr double kMicro = 1e-6;
+
+/// Kilobytes-per-second as used in the paper (1 KBps = 1000 bytes/s).
+constexpr double kbps(double v) { return v * 1e3; }
+constexpr double mbps(double v) { return v * 1e6; }
+
+constexpr double kilobytes(double v) { return v * 1e3; }
+constexpr double megabytes(double v) { return v * 1e6; }
+
+constexpr double milliseconds(double v) { return v * 1e-3; }
+
+/// Mega-operations per second; host CPU speeds are expressed with this.
+constexpr double mops(double v) { return v * 1e6; }
+
+}  // namespace avf::util

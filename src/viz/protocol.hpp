@@ -1,0 +1,76 @@
+// Wire protocol of the Active Visualization application (paper §2.1/§4.1).
+//
+// The client drives a request/reply loop: it opens an image session, then
+// repeatedly requests the (growing) foveal square up to a resolution level;
+// the server replies with the incremental wavelet tiles, compressed with
+// the session codec.  A separate control message switches the compression
+// type at run time — the transition action in Figure 2
+// (`notify(env.server, new_control.c)`).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/link.hpp"
+
+namespace avf::viz {
+
+enum MsgKind : int {
+  kOpenImage = 1,  ///< client->server: image_id, level, codec
+  kOpenAck = 2,    ///< server->client: width, height, levels
+  kRequest = 3,    ///< client->server: cx, cy, half, level
+  kReply = 4,      ///< server->client: tiles (compressed or premeasured)
+  kSetCodec = 5,   ///< client->server control: codec
+  kShutdown = 6,   ///< stop the server loop
+};
+
+struct OpenImage {
+  std::uint32_t image_id = 0;
+  std::uint8_t level = 0;
+  std::uint8_t codec = 0;
+};
+
+struct OpenAck {
+  std::uint16_t width = 0;
+  std::uint16_t height = 0;
+  std::uint8_t levels = 0;
+};
+
+struct Request {
+  std::uint16_t cx = 0;
+  std::uint16_t cy = 0;
+  std::uint16_t half = 0;
+  std::uint8_t level = 0;
+};
+
+struct Reply {
+  bool complete = false;       ///< everything for this level has been sent
+  std::uint8_t codec = 0;
+  bool premeasured = false;    ///< payload is raw; wire size was overridden
+  std::uint32_t raw_len = 0;   ///< decompressed payload length
+  std::uint32_t wire_len = 0;  ///< compressed length actually charged
+  std::vector<std::uint8_t> payload;
+};
+
+struct SetCodec {
+  std::uint8_t codec = 0;
+};
+
+// -- encode/decode to sim::Message ---------------------------------------
+// Throws std::runtime_error on malformed/mismatched messages.
+
+sim::Message encode(const OpenImage& m);
+sim::Message encode(const OpenAck& m);
+sim::Message encode(const Request& m);
+sim::Message encode(const Reply& m);
+sim::Message encode(const SetCodec& m);
+sim::Message encode_shutdown();
+
+OpenImage decode_open_image(const sim::Message& m);
+OpenAck decode_open_ack(const sim::Message& m);
+Request decode_request(const sim::Message& m);
+Reply decode_reply(sim::Message m);  // takes ownership of the payload
+SetCodec decode_set_codec(const sim::Message& m);
+
+}  // namespace avf::viz

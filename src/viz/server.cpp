@@ -1,0 +1,168 @@
+#include "viz/server.hpp"
+
+#include <stdexcept>
+
+#include "util/fmt.hpp"
+#include "util/logging.hpp"
+
+namespace avf::viz {
+
+std::uint64_t CompressedSizeCache::fingerprint(codec::BytesView payload) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::uint8_t b : payload) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  // Mix in the length to disambiguate prefix collisions.
+  h ^= payload.size();
+  return h;
+}
+
+std::optional<std::size_t> CompressedSizeCache::lookup(
+    codec::CodecId id, codec::BytesView payload) const {
+  std::uint64_t key = fingerprint(payload) * 1099511628211ULL +
+                      static_cast<std::uint64_t>(id);
+  auto it = sizes_.find(key);
+  if (it == sizes_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void CompressedSizeCache::store(codec::CodecId id, codec::BytesView payload,
+                                std::size_t size) {
+  std::uint64_t key = fingerprint(payload) * 1099511628211ULL +
+                      static_cast<std::uint64_t>(id);
+  sizes_[key] = size;
+}
+
+CompressedSizeCache& CompressedSizeCache::global() {
+  static CompressedSizeCache cache;
+  return cache;
+}
+
+VizServer::VizServer(sandbox::Sandbox& box, sim::Endpoint& endpoint)
+    : VizServer(box, endpoint, Options{}) {}
+
+VizServer::VizServer(sandbox::Sandbox& box, sim::Endpoint& endpoint,
+                     Options options)
+    : box_(box), endpoint_(endpoint), options_(options) {}
+
+void VizServer::add_image(std::uint32_t id, const wavelet::Image& image,
+                          int levels) {
+  add_image(id, std::make_shared<const wavelet::Pyramid>(image, levels));
+}
+
+void VizServer::add_image(std::uint32_t id,
+                          std::shared_ptr<const wavelet::Pyramid> pyramid) {
+  StoredImage stored;
+  stored.levels = pyramid->levels();
+  stored.pyramid = std::move(pyramid);
+  images_[id] = std::move(stored);
+}
+
+sim::Task<> VizServer::run() {
+  for (;;) {
+    sim::Message msg = co_await endpoint_.recv();
+    switch (msg.kind) {
+      case kOpenImage:
+        co_await handle_open(decode_open_image(msg));
+        break;
+      case kRequest:
+        co_await handle_request(decode_request(msg));
+        break;
+      case kSetCodec: {
+        SetCodec set = decode_set_codec(msg);
+        if (session_) {
+          session_->codec = static_cast<codec::CodecId>(set.codec);
+          util::log_debug("viz.server", msg.delivered_at,
+                          "session codec -> {}",
+                          codec::codec_name(session_->codec));
+        }
+        break;
+      }
+      case kShutdown:
+        co_return;
+      default:
+        throw std::runtime_error(
+            util::format("viz server: unexpected message kind {}", msg.kind));
+    }
+  }
+}
+
+sim::Task<> VizServer::handle_open(const OpenImage& open) {
+  auto it = images_.find(open.image_id);
+  if (it == images_.end()) {
+    throw std::runtime_error(
+        util::format("viz server: unknown image {}", open.image_id));
+  }
+  co_await box_.compute(options_.fixed_request_ops);
+  Session session;
+  session.image_id = open.image_id;
+  session.encoder = std::make_unique<wavelet::ProgressiveEncoder>(
+      *it->second.pyramid, options_.tile_size);
+  session.codec = static_cast<codec::CodecId>(open.codec);
+  session.level = open.level;
+  session_ = std::move(session);
+
+  OpenAck ack;
+  ack.width = static_cast<std::uint16_t>(it->second.pyramid->full_width());
+  ack.height = static_cast<std::uint16_t>(it->second.pyramid->full_height());
+  ack.levels = static_cast<std::uint8_t>(it->second.levels);
+  co_await box_.send(endpoint_, encode(ack));
+}
+
+sim::Task<> VizServer::handle_request(const Request& request) {
+  if (!session_) {
+    throw std::runtime_error("viz server: request without open session");
+  }
+  ++requests_served_;
+  co_await box_.compute(options_.fixed_request_ops);
+
+  wavelet::Region region{request.cx, request.cy, request.half};
+  wavelet::Bytes raw =
+      session_->encoder->encode_region(region, request.level);
+  raw_bytes_encoded_ += raw.size();
+  // Region extraction cost: proportional to coefficients serialized.
+  co_await box_.compute(options_.encode_ops_per_coeff *
+                        static_cast<double>(raw.size() / 2));
+
+  const codec::Codec& codec = codec::codec_for(session_->codec);
+  Reply reply;
+  reply.complete = session_->encoder->fully_sent(request.level);
+  reply.codec = static_cast<std::uint8_t>(session_->codec);
+  reply.raw_len = static_cast<std::uint32_t>(raw.size());
+
+  // Compression: always charge the codec's CPU cost; use the size cache to
+  // avoid redoing byte-identical compressions (timing is unchanged).
+  co_await box_.compute(codec.compress_ops(raw.size()));
+  std::optional<std::size_t> cached;
+  if (options_.size_cache != nullptr) {
+    cached = options_.size_cache->lookup(session_->codec, raw);
+  }
+  if (cached) {
+    reply.premeasured = true;
+    reply.wire_len = static_cast<std::uint32_t>(*cached);
+    reply.payload = std::move(raw);
+  } else {
+    codec::Bytes compressed = codec.compress(raw);
+    if (options_.size_cache != nullptr) {
+      options_.size_cache->store(session_->codec, raw, compressed.size());
+      // Ship raw with overridden wire size so the client can skip the real
+      // decompression too; the cache now knows the size for future runs.
+      reply.premeasured = true;
+      reply.wire_len = static_cast<std::uint32_t>(compressed.size());
+      reply.payload = std::move(raw);
+    } else {
+      reply.premeasured = false;
+      reply.wire_len = static_cast<std::uint32_t>(compressed.size());
+      reply.payload = std::move(compressed);
+    }
+  }
+  wire_bytes_sent_ += reply.wire_len;
+  co_await box_.send(endpoint_, encode(reply));
+}
+
+}  // namespace avf::viz

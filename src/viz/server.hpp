@@ -1,0 +1,100 @@
+// Server component of the Active Visualization application: stores images
+// as wavelet pyramids, serves progressive foveal requests, compresses reply
+// payloads with the session codec (paper §2.1).
+//
+// CPU cost model (simulated ops, DESIGN.md §5): a fixed per-request cost,
+// a per-coefficient region-extraction cost, and the codec's per-byte
+// compression cost.  Compression output sizes are *real* codec output; a
+// process-wide size cache avoids redoing identical compressions across
+// profiling runs (the payload is then shipped raw with the wire size forced
+// to the cached compressed size — timing-identical, cycles saved).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "codec/codec.hpp"
+#include "sandbox/sandbox.hpp"
+#include "sim/link.hpp"
+#include "sim/task.hpp"
+#include "viz/protocol.hpp"
+#include "wavelet/progressive.hpp"
+
+namespace avf::viz {
+
+/// Process-wide cache: FNV-1a(payload) x codec -> compressed size.
+class CompressedSizeCache {
+ public:
+  std::optional<std::size_t> lookup(codec::CodecId id,
+                                    codec::BytesView payload) const;
+  void store(codec::CodecId id, codec::BytesView payload, std::size_t size);
+
+  std::size_t hits() const { return hits_; }
+  std::size_t misses() const { return misses_; }
+
+  /// Shared instance used by default; individual servers may use their own.
+  static CompressedSizeCache& global();
+
+ private:
+  static std::uint64_t fingerprint(codec::BytesView payload);
+  std::unordered_map<std::uint64_t, std::size_t> sizes_;
+  mutable std::size_t hits_ = 0;
+  mutable std::size_t misses_ = 0;
+};
+
+class VizServer {
+ public:
+  struct Options {
+    int tile_size = 16;
+    double fixed_request_ops = 9e6;        // ~20 ms per request
+    double encode_ops_per_coeff = 20.0;    // pyramid traversal + packing
+    /// nullptr disables premeasured replies: every reply is really
+    /// compressed and really decompressed (used by fidelity tests).
+    CompressedSizeCache* size_cache = &CompressedSizeCache::global();
+  };
+
+  VizServer(sandbox::Sandbox& box, sim::Endpoint& endpoint);
+  VizServer(sandbox::Sandbox& box, sim::Endpoint& endpoint, Options options);
+
+  /// Register an image (decomposes it into a pyramid).
+  void add_image(std::uint32_t id, const wavelet::Image& image, int levels);
+  /// Register a pre-decomposed (possibly shared) pyramid.
+  void add_image(std::uint32_t id,
+                 std::shared_ptr<const wavelet::Pyramid> pyramid);
+
+  /// Serve loop; returns when a kShutdown message arrives.
+  sim::Task<> run();
+
+  std::uint64_t requests_served() const { return requests_served_; }
+  std::uint64_t raw_bytes_encoded() const { return raw_bytes_encoded_; }
+  std::uint64_t wire_bytes_sent() const { return wire_bytes_sent_; }
+
+ private:
+  struct StoredImage {
+    std::shared_ptr<const wavelet::Pyramid> pyramid;
+    int levels = 0;
+  };
+  struct Session {
+    std::uint32_t image_id = 0;
+    std::unique_ptr<wavelet::ProgressiveEncoder> encoder;
+    codec::CodecId codec = codec::CodecId::kNone;
+    int level = 0;
+  };
+
+  sim::Task<> handle_open(const OpenImage& open);
+  sim::Task<> handle_request(const Request& request);
+
+  sandbox::Sandbox& box_;
+  sim::Endpoint& endpoint_;
+  Options options_;
+  std::map<std::uint32_t, StoredImage> images_;
+  std::optional<Session> session_;
+  std::uint64_t requests_served_ = 0;
+  std::uint64_t raw_bytes_encoded_ = 0;
+  std::uint64_t wire_bytes_sent_ = 0;
+};
+
+}  // namespace avf::viz

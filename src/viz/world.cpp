@@ -1,0 +1,288 @@
+#include "viz/world.hpp"
+
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+#include "util/fmt.hpp"
+#include "util/logging.hpp"
+
+namespace avf::viz {
+
+using tunable::ConfigPoint;
+using tunable::Direction;
+
+const tunable::AppSpec& viz_app_spec() {
+  static const tunable::AppSpec spec = [] {
+    tunable::AppSpec s("active-visualization");
+    s.space().add_parameter("dR", {80, 160, 320});
+    s.space().add_parameter("c", {0, 1, 2});  // none, lzw (A), bwt (B)
+    s.space().add_parameter("l", {3, 4});
+    s.metrics().add("transmit_time", Direction::kLowerBetter);
+    s.metrics().add("response_time", Direction::kLowerBetter);
+    s.metrics().add("resolution", Direction::kHigherBetter);
+    s.add_resource_axis("cpu_share");
+    s.add_resource_axis("net_bps");
+    s.add_task(tunable::TaskSpec{
+        .name = "module1",
+        .params = {"l", "dR", "c"},
+        .resources = {"client.CPU", "client.network"},
+        .metrics = {"transmit_time", "response_time", "resolution"},
+        .guard = nullptr,
+    });
+    s.add_transition(tunable::TransitionSpec{
+        .name = "notify-server-compression",
+        .guard = nullptr,  // always permitted
+        .handler =
+            [](const ConfigPoint& from, const ConfigPoint& to) {
+              if (from.get("c") != to.get("c")) {
+                util::log_debug("viz.transition", 0.0,
+                                "compression {} -> {}", from.get("c"),
+                                to.get("c"));
+              }
+            },
+    });
+    return s;
+  }();
+  return spec;
+}
+
+const wavelet::Image& cached_image(int size, std::uint64_t seed) {
+  static std::map<std::pair<int, std::uint64_t>, wavelet::Image> cache;
+  auto key = std::make_pair(size, seed);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(key, wavelet::Image::synthetic(size, size, seed)).first;
+  }
+  return it->second;
+}
+
+std::shared_ptr<const wavelet::Pyramid> cached_pyramid(int size,
+                                                       std::uint64_t seed,
+                                                       int levels) {
+  static std::map<std::tuple<int, std::uint64_t, int>,
+                  std::shared_ptr<const wavelet::Pyramid>>
+      cache;
+  auto key = std::make_tuple(size, seed, levels);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache
+             .emplace(key, std::make_shared<const wavelet::Pyramid>(
+                               cached_image(size, seed), levels))
+             .first;
+  }
+  return it->second;
+}
+
+VizWorld::VizWorld(const WorldSetup& setup) : setup_(setup) {
+  net_ = std::make_unique<sim::Network>(sim_);
+  sim::Host& client_host =
+      net_->add_host("client", setup.client_speed, setup.memory_bytes);
+  sim::Host& server_host =
+      net_->add_host("server", setup.server_speed, setup.memory_bytes);
+  link_ = &net_->connect(client_host, server_host, setup.link_bandwidth_bps,
+                         setup.link_latency_s);
+  channel_ = &net_->open_channel(*link_);
+
+  sandbox::Sandbox::Options client_opts;
+  client_opts.cpu_share = setup.client_cpu_share;
+  client_opts.net_bandwidth_bps = setup.client_net_bps;
+  client_opts.cpu_enforcement = setup.enforcement;
+  client_opts.net_enforcement = setup.net_enforcement;
+  client_opts.quantum = setup.quantum;
+  client_box_ = std::make_unique<sandbox::Sandbox>(client_host, "viz-client",
+                                                   client_opts);
+  client_box_->attach_endpoint(channel_->a());
+
+  sandbox::Sandbox::Options server_opts;
+  server_opts.cpu_share = setup.server_cpu_share;
+  server_opts.net_bandwidth_bps = setup.server_net_bps;
+  server_opts.cpu_enforcement = setup.enforcement;
+  server_opts.net_enforcement = setup.net_enforcement;
+  server_opts.quantum = setup.quantum;
+  server_box_ = std::make_unique<sandbox::Sandbox>(server_host, "viz-server",
+                                                   server_opts);
+  server_box_->attach_endpoint(channel_->b());
+
+  server_ = std::make_unique<VizServer>(*server_box_, channel_->b(),
+                                        setup.server_options);
+  for (int i = 0; i < setup.image_count; ++i) {
+    // add_image would redo the wavelet decomposition per world; reuse the
+    // process-wide pyramid cache instead.
+    server_->add_image(static_cast<std::uint32_t>(i),
+                       cached_pyramid(setup.image_size,
+                                      setup.image_seed + i, setup.levels));
+  }
+}
+
+VizClient& VizWorld::make_client(const ConfigPoint& fixed_config) {
+  client_ = std::make_unique<VizClient>(*client_box_, channel_->a(), nullptr,
+                                        nullptr, setup_.client_options);
+  client_->set_fixed_config(fixed_config);
+  return *client_;
+}
+
+VizClient& VizWorld::make_client(adapt::SteeringAgent& steering,
+                                 adapt::MonitoringAgent& monitor) {
+  client_ = std::make_unique<VizClient>(*client_box_, channel_->a(),
+                                        &steering, &monitor,
+                                        setup_.client_options);
+  return *client_;
+}
+
+namespace {
+
+void apply_resource_schedule(VizWorld& world, const ResourceSchedule& schedule) {
+  apply_schedule(world.simulator(), world.client_box(), schedule.client_cpu);
+  for (const auto& [at, bps] : schedule.link_bandwidth) {
+    sim::Link* link = &world.link();
+    if (at <= world.simulator().now()) {
+      link->set_bandwidth(bps);
+    } else {
+      world.simulator().schedule_at(at,
+                                    [link, b = bps] { link->set_bandwidth(b); });
+    }
+  }
+}
+
+tunable::QosVector qos_of(const std::vector<VizClient::ImageStats>& images) {
+  tunable::QosVector out;
+  if (images.empty()) return out;
+  double transmit = 0.0, response = 0.0;
+  for (const auto& s : images) {
+    transmit += s.transmit_time;
+    response += s.avg_response;
+  }
+  out.set("transmit_time", transmit / static_cast<double>(images.size()));
+  out.set("response_time", response / static_cast<double>(images.size()));
+  out.set("resolution", images.back().resolution);
+  return out;
+}
+
+}  // namespace
+
+SessionResult run_fixed_session(const WorldSetup& setup,
+                                const ConfigPoint& config,
+                                const ResourceSchedule& schedule) {
+  if (!viz_app_spec().space().valid(config)) {
+    throw std::invalid_argument("invalid viz configuration: " + config.key());
+  }
+  VizWorld world(setup);
+  VizClient& client = world.make_client(config);
+  sim::Simulator& sim = world.simulator();
+  sim.spawn(world.server().run());
+  auto driver = [&]() -> sim::Task<> {
+    co_await client.fetch_images(0, setup.image_count);
+    co_await client.shutdown_server();
+  };
+  sim.spawn(driver());
+  apply_resource_schedule(world, schedule);
+  sim.run();
+
+  SessionResult result;
+  result.images = client.history();
+  result.initial_config = config;
+  result.total_time = sim.now();
+  return result;
+}
+
+SessionResult run_adaptive_session(const WorldSetup& setup,
+                                   const perfdb::PerfDatabase& db,
+                                   const adapt::PreferenceList& preferences,
+                                   const ResourceSchedule& schedule,
+                                   const AdaptiveOptions& options) {
+  VizWorld world(setup);
+  sim::Simulator& sim = world.simulator();
+
+  adapt::ResourceScheduler scheduler(db, preferences, options.scheduler);
+  adapt::MonitoringAgent monitor(sim, viz_app_spec().resource_axes(),
+                                 options.monitor);
+  // Static view of initial resources (what the system-wide monitor would
+  // report before the application has made any observations).
+  std::vector<double> initial{
+      setup.client_cpu_share,
+      std::min(setup.link_bandwidth_bps,
+               setup.client_net_bps.value_or(setup.link_bandwidth_bps))};
+  auto decision = scheduler.select(initial);
+  if (!decision) {
+    throw std::runtime_error("adaptive session: empty performance database");
+  }
+  adapt::SteeringAgent steering(viz_app_spec(), decision->config);
+  adapt::AdaptationController controller(sim, scheduler, monitor, steering,
+                                         options.controller);
+  controller.configure(initial);
+  controller.start();
+
+  VizClient& client = world.make_client(steering, monitor);
+  sim.spawn(world.server().run());
+  auto driver = [&]() -> sim::Task<> {
+    co_await client.fetch_images(0, setup.image_count);
+    co_await client.shutdown_server();
+    controller.stop();
+  };
+  sim.spawn(driver());
+  apply_resource_schedule(world, schedule);
+  sim.run();
+
+  SessionResult result;
+  result.images = client.history();
+  result.adaptations = controller.adaptations();
+  result.initial_config = decision->config;
+  result.total_time = sim.now();
+  return result;
+}
+
+perfdb::ProfilingDriver::RunFn make_viz_run_fn(WorldSetup base) {
+  base.image_count = 1;
+  return [base](const ConfigPoint& config,
+                const perfdb::ResourcePoint& at) -> tunable::QosVector {
+    WorldSetup setup = base;
+    setup.client_cpu_share = at[0];
+    setup.link_bandwidth_bps = at[1];
+    SessionResult result = run_fixed_session(setup, config);
+    return qos_of(result.images);
+  };
+}
+
+perfdb::PerfDatabase build_viz_database(const WorldSetup& base,
+                                        const std::vector<double>& cpu_grid,
+                                        const std::vector<double>& bw_grid,
+                                        int refinement_rounds) {
+  perfdb::ProfilingDriver::Options options;
+  options.refinement_rounds = refinement_rounds;
+  perfdb::ProfilingDriver driver(make_viz_run_fn(base), options);
+  return driver.profile(viz_app_spec(), {cpu_grid, bw_grid});
+}
+
+const perfdb::PerfDatabase& standard_viz_database(
+    const std::string& cache_path) {
+  static std::map<std::string, perfdb::PerfDatabase> memo;
+  auto it = memo.find(cache_path);
+  if (it != memo.end()) return it->second;
+
+  if (!cache_path.empty()) {
+    std::ifstream in(cache_path);
+    if (in) {
+      util::log_info("viz.perfdb", 0.0, "loading cached database from {}",
+                     cache_path);
+      auto loaded = perfdb::PerfDatabase::load(in);
+      return memo.emplace(cache_path, std::move(loaded)).first->second;
+    }
+  }
+
+  util::log_info("viz.perfdb", 0.0,
+                 "profiling the configuration space (first run; cached "
+                 "afterwards)");
+  WorldSetup base;
+  std::vector<double> cpu_grid{0.1, 0.2, 0.4, 0.6, 0.9, 1.0};
+  std::vector<double> bw_grid{25e3, 50e3, 100e3, 250e3, 500e3, 1000e3};
+  perfdb::PerfDatabase db = build_viz_database(base, cpu_grid, bw_grid);
+  if (!cache_path.empty()) {
+    std::ofstream out(cache_path);
+    if (out) db.save(out);
+  }
+  return memo.emplace(cache_path, std::move(db)).first->second;
+}
+
+}  // namespace avf::viz

@@ -1,0 +1,159 @@
+// Experiment wiring for the Active Visualization application: the tunable
+// application specification, a simulated two-host world (client + server on
+// a LAN, each in its own sandbox), whole-session runners for fixed and
+// adaptive configurations, and the profiling hookup that populates the
+// performance database by running the app in the virtual testbed
+// (paper §5.2, §7.1).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "adapt/controller.hpp"
+#include "adapt/monitor.hpp"
+#include "adapt/preferences.hpp"
+#include "adapt/scheduler.hpp"
+#include "adapt/steering.hpp"
+#include "perfdb/database.hpp"
+#include "perfdb/driver.hpp"
+#include "sandbox/sandbox.hpp"
+#include "sandbox/schedule.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+#include "tunable/app_spec.hpp"
+#include "viz/client.hpp"
+#include "viz/server.hpp"
+
+namespace avf::viz {
+
+/// The tunability specification of Active Visualization (paper Figure 2):
+/// control parameters dR in {80,160,320}, c in {none,lzw,bwt}, l in {3,4};
+/// QoS metrics transmit_time / response_time (lower better) and resolution
+/// (higher better); resource axes cpu_share and net_bps; one task module
+/// and the notify-server-compression transition.
+const tunable::AppSpec& viz_app_spec();
+
+/// Deterministic synthetic image / pyramid, memoized process-wide (the
+/// "images stored in the server").
+const wavelet::Image& cached_image(int size, std::uint64_t seed);
+std::shared_ptr<const wavelet::Pyramid> cached_pyramid(int size,
+                                                       std::uint64_t seed,
+                                                       int levels);
+
+struct WorldSetup {
+  // Hosts (speeds in ops/s; the 450 Mops default = the paper's PII-450).
+  double client_speed = 450e6;
+  double server_speed = 450e6;
+  std::uint64_t memory_bytes = 128ull << 20;
+
+  // Link: 100 Mbps LAN with a small switch latency by default; experiments
+  // vary the *available* bandwidth by resetting the link bandwidth.
+  double link_bandwidth_bps = 12.5e6;
+  double link_latency_s = 0.005;
+
+  // Sandbox limits.
+  double client_cpu_share = 1.0;
+  double server_cpu_share = 1.0;
+  std::optional<double> client_net_bps;
+  std::optional<double> server_net_bps;
+  sandbox::CpuEnforcement enforcement = sandbox::CpuEnforcement::kFluid;
+  sandbox::NetEnforcement net_enforcement = sandbox::NetEnforcement::kFluid;
+  double quantum = 0.005;
+
+  // Image store.
+  int image_size = 1024;
+  int levels = 4;
+  std::uint64_t image_seed = 2026;
+  int image_count = 10;
+
+  VizServer::Options server_options{};
+  VizClient::Options client_options{};
+};
+
+/// One fully wired simulation universe.
+class VizWorld {
+ public:
+  explicit VizWorld(const WorldSetup& setup);
+
+  sim::Simulator& simulator() { return sim_; }
+  sim::Link& link() { return *link_; }
+  /// The client-side channel endpoint (tests inject protocol traffic here).
+  sim::Endpoint& client_endpoint() { return channel_->a(); }
+  sandbox::Sandbox& client_box() { return *client_box_; }
+  sandbox::Sandbox& server_box() { return *server_box_; }
+  VizServer& server() { return *server_; }
+
+  /// Build the client in fixed-configuration mode.
+  VizClient& make_client(const tunable::ConfigPoint& fixed_config);
+  /// Build the client in adaptive mode (steering + monitoring attached).
+  VizClient& make_client(adapt::SteeringAgent& steering,
+                         adapt::MonitoringAgent& monitor);
+
+  VizClient& client() { return *client_; }
+
+ private:
+  WorldSetup setup_;
+  sim::Simulator sim_;
+  std::unique_ptr<sim::Network> net_;
+  sim::Link* link_ = nullptr;
+  sim::Channel* channel_ = nullptr;
+  std::unique_ptr<sandbox::Sandbox> client_box_;
+  std::unique_ptr<sandbox::Sandbox> server_box_;
+  std::unique_ptr<VizServer> server_;
+  std::unique_ptr<VizClient> client_;
+};
+
+/// Timed resource variations applied during a session.
+struct ResourceSchedule {
+  /// Client CPU-share steps (paper Exp 2/3).
+  std::vector<sandbox::CapChange> client_cpu;
+  /// Link ("network between server and client") bandwidth steps, bytes/s
+  /// (paper Exp 1).
+  std::vector<std::pair<sim::SimTime, double>> link_bandwidth;
+};
+
+struct SessionResult {
+  std::vector<VizClient::ImageStats> images;
+  std::vector<adapt::AdaptationController::AdaptationEvent> adaptations;
+  tunable::ConfigPoint initial_config;
+  double total_time = 0.0;
+};
+
+/// Run a non-adaptive session: `images` downloads under `config`.
+SessionResult run_fixed_session(const WorldSetup& setup,
+                                const tunable::ConfigPoint& config,
+                                const ResourceSchedule& schedule = {});
+
+struct AdaptiveOptions {
+  adapt::MonitoringAgent::Options monitor{};
+  adapt::ResourceScheduler::Options scheduler{};
+  adapt::AdaptationController::Options controller{};
+};
+
+/// Run an adaptive session: initial automatic configuration from the
+/// starting resource view, then monitor/schedule/steer against `db`.
+SessionResult run_adaptive_session(const WorldSetup& setup,
+                                   const perfdb::PerfDatabase& db,
+                                   const adapt::PreferenceList& preferences,
+                                   const ResourceSchedule& schedule = {},
+                                   const AdaptiveOptions& options = {});
+
+/// RunFn for perfdb::ProfilingDriver: resource point = {cpu_share, net_bps};
+/// each run builds a fresh world (one image download) and reports QoS.
+perfdb::ProfilingDriver::RunFn make_viz_run_fn(WorldSetup base);
+
+/// Profile the full configuration space of viz_app_spec() over `cpu_grid` x
+/// `bw_grid` (with optional refinement rounds).
+perfdb::PerfDatabase build_viz_database(
+    const WorldSetup& base, const std::vector<double>& cpu_grid,
+    const std::vector<double>& bw_grid, int refinement_rounds = 0);
+
+/// The database used by the figure benchmarks: built once per process on
+/// the standard grid, cached as CSV at `cache_path` across processes
+/// (pass "" to disable the file cache).
+const perfdb::PerfDatabase& standard_viz_database(
+    const std::string& cache_path = ".avf_viz_perfdb.csv");
+
+}  // namespace avf::viz

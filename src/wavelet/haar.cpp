@@ -1,0 +1,213 @@
+#include "wavelet/haar.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/fmt.hpp"
+
+namespace avf::wavelet {
+
+namespace {
+
+void check_geometry(int width, int height, int levels) {
+  if (levels < 1 || levels > 12) {
+    throw std::invalid_argument(
+        util::format("pyramid levels must be in [1, 12], got {}", levels));
+  }
+  if (width <= 0 || height <= 0 || width % (1 << levels) != 0 ||
+      height % (1 << levels) != 0) {
+    throw std::invalid_argument(util::format(
+        "image {}x{} not divisible by 2^{}", width, height, levels));
+  }
+}
+
+/// One forward 2-D Haar step on the top-left `w x h` region of `work`
+/// (stride `stride`); leaves LL in the top-left quadrant and the three
+/// detail quadrants beside/below it.
+void forward_step(std::vector<std::int32_t>& work, int stride, int w, int h) {
+  std::vector<std::int32_t> row(static_cast<std::size_t>(std::max(w, h)));
+  // Rows.
+  for (int y = 0; y < h; ++y) {
+    std::int32_t* base = work.data() + static_cast<std::size_t>(y) * stride;
+    for (int x = 0; x < w / 2; ++x) {
+      std::int32_t x0 = base[2 * x], x1 = base[2 * x + 1];
+      row[x] = (x0 + x1) >> 1;          // average
+      row[w / 2 + x] = x0 - x1;         // difference
+    }
+    std::copy(row.begin(), row.begin() + w, base);
+  }
+  // Columns.
+  for (int x = 0; x < w; ++x) {
+    for (int y = 0; y < h / 2; ++y) {
+      std::int32_t x0 = work[static_cast<std::size_t>(2 * y) * stride + x];
+      std::int32_t x1 =
+          work[static_cast<std::size_t>(2 * y + 1) * stride + x];
+      row[y] = (x0 + x1) >> 1;
+      row[h / 2 + y] = x0 - x1;
+    }
+    for (int y = 0; y < h; ++y) {
+      work[static_cast<std::size_t>(y) * stride + x] = row[y];
+    }
+  }
+}
+
+/// One inverse 2-D Haar step: quadrants -> interleaved image of `w x h`.
+void inverse_step(std::vector<std::int32_t>& work, int stride, int w, int h) {
+  std::vector<std::int32_t> col(static_cast<std::size_t>(std::max(w, h)));
+  // Columns first (inverse of forward's column pass).
+  for (int x = 0; x < w; ++x) {
+    for (int y = 0; y < h / 2; ++y) {
+      std::int32_t a = work[static_cast<std::size_t>(y) * stride + x];
+      std::int32_t d =
+          work[static_cast<std::size_t>(h / 2 + y) * stride + x];
+      std::int32_t x0 = a + ((d + 1) >> 1);
+      col[2 * y] = x0;
+      col[2 * y + 1] = x0 - d;
+    }
+    for (int y = 0; y < h; ++y) {
+      work[static_cast<std::size_t>(y) * stride + x] = col[y];
+    }
+  }
+  // Rows.
+  for (int y = 0; y < h; ++y) {
+    std::int32_t* base = work.data() + static_cast<std::size_t>(y) * stride;
+    for (int x = 0; x < w / 2; ++x) {
+      std::int32_t a = base[x];
+      std::int32_t d = base[w / 2 + x];
+      std::int32_t x0 = a + ((d + 1) >> 1);
+      col[2 * x] = x0;
+      col[2 * x + 1] = x0 - d;
+    }
+    std::copy(col.begin(), col.begin() + w, base);
+  }
+}
+
+Band make_band(int w, int h) {
+  Band b;
+  b.width = w;
+  b.height = h;
+  b.coeffs.assign(static_cast<std::size_t>(w) * h, 0);
+  return b;
+}
+
+}  // namespace
+
+Pyramid::Pyramid(int width, int height, int levels)
+    : width_(width), height_(height), levels_(levels) {
+  check_geometry(width, height, levels);
+  ll_ = make_band(width >> levels, height >> levels);
+  details_.resize(static_cast<std::size_t>(levels));
+  for (int k = 1; k <= levels; ++k) {
+    int bw = width >> (levels - k + 1);
+    int bh = height >> (levels - k + 1);
+    details_[k - 1] = {make_band(bw, bh), make_band(bw, bh),
+                       make_band(bw, bh)};
+  }
+}
+
+Pyramid::Pyramid(const Image& image, int levels)
+    : Pyramid(image.width(), image.height(), levels) {
+  // Full forward transform in an int32 working frame, then split quadrants
+  // into bands.
+  std::vector<std::int32_t> work(
+      static_cast<std::size_t>(width_) * height_);
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      work[static_cast<std::size_t>(y) * width_ + x] = image.at(x, y);
+    }
+  }
+  int w = width_, h = height_;
+  for (int step = 0; step < levels; ++step) {
+    forward_step(work, width_, w, h);
+    // The detail quadrants produced by this step correspond to
+    // reconstruction level k = levels - step.
+    int k = levels_ - step;
+    Band& lh = details_[k - 1][static_cast<int>(Orientation::kLH)];
+    Band& hl = details_[k - 1][static_cast<int>(Orientation::kHL)];
+    Band& hh = details_[k - 1][static_cast<int>(Orientation::kHH)];
+    for (int y = 0; y < h / 2; ++y) {
+      for (int x = 0; x < w / 2; ++x) {
+        hl.at(x, y) = static_cast<std::int16_t>(
+            work[static_cast<std::size_t>(y) * width_ + w / 2 + x]);
+        lh.at(x, y) = static_cast<std::int16_t>(
+            work[static_cast<std::size_t>(h / 2 + y) * width_ + x]);
+        hh.at(x, y) = static_cast<std::int16_t>(
+            work[static_cast<std::size_t>(h / 2 + y) * width_ + w / 2 + x]);
+      }
+    }
+    w /= 2;
+    h /= 2;
+  }
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      ll_.at(x, y) = static_cast<std::int16_t>(
+          work[static_cast<std::size_t>(y) * width_ + x]);
+    }
+  }
+}
+
+const Band& Pyramid::detail(int k, Orientation o) const {
+  if (k < 1 || k > levels_) {
+    throw std::out_of_range(util::format("detail level {} not in [1,{}]", k,
+                                         levels_));
+  }
+  return details_[k - 1][static_cast<int>(o)];
+}
+
+Band& Pyramid::detail(int k, Orientation o) {
+  if (k < 1 || k > levels_) {
+    throw std::out_of_range(util::format("detail level {} not in [1,{}]", k,
+                                         levels_));
+  }
+  return details_[k - 1][static_cast<int>(o)];
+}
+
+Image Pyramid::reconstruct(int level) const {
+  if (level < 0 || level > levels_) {
+    throw std::out_of_range(
+        util::format("level {} not in [0,{}]", level, levels_));
+  }
+  int out_w = width_at(level);
+  int out_h = height_at(level);
+  std::vector<std::int32_t> work(static_cast<std::size_t>(out_w) * out_h);
+  // Seed with LL.
+  for (int y = 0; y < ll_.height; ++y) {
+    for (int x = 0; x < ll_.width; ++x) {
+      work[static_cast<std::size_t>(y) * out_w + x] = ll_.at(x, y);
+    }
+  }
+  for (int k = 1; k <= level; ++k) {
+    const Band& lh = detail(k, Orientation::kLH);
+    const Band& hl = detail(k, Orientation::kHL);
+    const Band& hh = detail(k, Orientation::kHH);
+    int w = lh.width * 2, h = lh.height * 2;
+    // Lay detail quadrants next to the current LL region in the frame.
+    for (int y = 0; y < lh.height; ++y) {
+      for (int x = 0; x < lh.width; ++x) {
+        work[static_cast<std::size_t>(y) * out_w + w / 2 + x] = hl.at(x, y);
+        work[static_cast<std::size_t>(h / 2 + y) * out_w + x] = lh.at(x, y);
+        work[static_cast<std::size_t>(h / 2 + y) * out_w + w / 2 + x] =
+            hh.at(x, y);
+      }
+    }
+    inverse_step(work, out_w, w, h);
+  }
+  Image img(out_w, out_h);
+  for (int y = 0; y < out_h; ++y) {
+    for (int x = 0; x < out_w; ++x) {
+      img.at(x, y) = static_cast<std::uint8_t>(std::clamp(
+          work[static_cast<std::size_t>(y) * out_w + x], 0, 255));
+    }
+  }
+  return img;
+}
+
+std::size_t Pyramid::coefficients_up_to(int level) const {
+  std::size_t n = ll_.count();
+  for (int k = 1; k <= level; ++k) {
+    n += 3 * detail(k, Orientation::kLH).count();
+  }
+  return n;
+}
+
+}  // namespace avf::wavelet

@@ -1,0 +1,108 @@
+#include "wavelet/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace avf::wavelet {
+
+double Image::mean_abs_diff(const Image& other) const {
+  if (width_ != other.width_ || height_ != other.height_) {
+    throw std::invalid_argument("mean_abs_diff: dimension mismatch");
+  }
+  if (pixels_.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < pixels_.size(); ++i) {
+    sum += std::abs(static_cast<int>(pixels_[i]) -
+                    static_cast<int>(other.pixels_[i]));
+  }
+  return sum / static_cast<double>(pixels_.size());
+}
+
+Image Image::synthetic(int width, int height, std::uint64_t seed) {
+  Image img(width, height);
+  util::SplitMix64 rng(seed);
+
+  // Background: two-axis gradient with a seed-dependent orientation.
+  double gx = rng.uniform(0.3, 1.0);
+  double gy = rng.uniform(0.3, 1.0);
+
+  // Gaussian blobs.
+  struct Blob {
+    double cx, cy, radius, amplitude;
+  };
+  std::vector<Blob> blobs;
+  int n_blobs = 6 + static_cast<int>(rng.next_below(6));
+  for (int i = 0; i < n_blobs; ++i) {
+    blobs.push_back(Blob{rng.uniform(0, width), rng.uniform(0, height),
+                         rng.uniform(width / 16.0, width / 4.0),
+                         rng.uniform(-90.0, 90.0)});
+  }
+
+  // Hard-edged rectangles (keeps high-frequency content non-trivial).
+  struct Rect {
+    int x0, y0, x1, y1;
+    double amplitude;
+  };
+  std::vector<Rect> rects;
+  int n_rects = 3 + static_cast<int>(rng.next_below(4));
+  for (int i = 0; i < n_rects; ++i) {
+    int x0 = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(width)));
+    int y0 =
+        static_cast<int>(rng.next_below(static_cast<std::uint64_t>(height)));
+    int w = 8 + static_cast<int>(rng.next_below(
+                    static_cast<std::uint64_t>(width / 4 + 1)));
+    int h = 8 + static_cast<int>(rng.next_below(
+                    static_cast<std::uint64_t>(height / 4 + 1)));
+    rects.push_back(Rect{x0, y0, std::min(width, x0 + w),
+                         std::min(height, y0 + h), rng.uniform(-60.0, 60.0)});
+  }
+
+  double tex_freq = rng.uniform(0.05, 0.25);
+  // Sensor-noise amplitude: keeps the wavelet detail bands from being
+  // unrealistically sparse, so codec ratios land in the range the paper's
+  // photographic data exhibits (see DESIGN.md calibration notes).
+  constexpr int kNoise = 20;
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      double v = 110.0 + gx * 60.0 * x / width + gy * 60.0 * y / height;
+      for (const Blob& b : blobs) {
+        double dx = x - b.cx, dy = y - b.cy;
+        v += b.amplitude *
+             std::exp(-(dx * dx + dy * dy) / (2.0 * b.radius * b.radius));
+      }
+      for (const Rect& r : rects) {
+        if (x >= r.x0 && x < r.x1 && y >= r.y0 && y < r.y1) v += r.amplitude;
+      }
+      // Mild deterministic texture (sinusoidal; compresses but not freely).
+      v += 6.0 * std::sin(tex_freq * x) * std::cos(tex_freq * 0.8 * y);
+      v += static_cast<double>(rng.next_below(2 * kNoise + 1)) - kNoise;
+      img.at(x, y) =
+          static_cast<std::uint8_t>(std::clamp(v, 0.0, 255.0));
+    }
+  }
+  return img;
+}
+
+Image Image::downsample(int factor) const {
+  if (factor <= 0 || width_ % factor != 0 || height_ % factor != 0) {
+    throw std::invalid_argument("downsample: factor must divide dimensions");
+  }
+  Image out(width_ / factor, height_ / factor);
+  for (int y = 0; y < out.height(); ++y) {
+    for (int x = 0; x < out.width(); ++x) {
+      int sum = 0;
+      for (int dy = 0; dy < factor; ++dy) {
+        for (int dx = 0; dx < factor; ++dx) {
+          sum += at(x * factor + dx, y * factor + dy);
+        }
+      }
+      out.at(x, y) = static_cast<std::uint8_t>(sum / (factor * factor));
+    }
+  }
+  return out;
+}
+
+}  // namespace avf::wavelet

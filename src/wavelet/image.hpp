@@ -1,0 +1,53 @@
+// 8-bit grayscale image and deterministic synthetic image generation.
+//
+// The paper's server stores "large images"; we have no image corpus in this
+// environment, so images are generated procedurally (smooth gradients +
+// blobs + texture + hard edges) from a seed.  The mix matters: smooth areas
+// make wavelet detail coefficients sparse and compressible, edges keep the
+// data non-trivial, so codec ratios are realistic rather than degenerate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace avf::wavelet {
+
+class Image {
+ public:
+  Image() = default;
+  Image(int width, int height)
+      : width_(width), height_(height),
+        pixels_(static_cast<std::size_t>(width) * height, 0) {}
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  std::size_t size_bytes() const { return pixels_.size(); }
+
+  std::uint8_t at(int x, int y) const {
+    return pixels_[static_cast<std::size_t>(y) * width_ + x];
+  }
+  std::uint8_t& at(int x, int y) {
+    return pixels_[static_cast<std::size_t>(y) * width_ + x];
+  }
+
+  const std::vector<std::uint8_t>& pixels() const { return pixels_; }
+
+  bool operator==(const Image&) const = default;
+
+  /// Mean absolute difference against another image of equal dimensions.
+  double mean_abs_diff(const Image& other) const;
+
+  /// Deterministic synthetic test image.
+  static Image synthetic(int width, int height, std::uint64_t seed);
+
+  /// Downsample by pixel-block averaging to (width/f, height/f); `f` must
+  /// divide both dimensions.  Reference for multi-resolution tests.
+  Image downsample(int factor) const;
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<std::uint8_t> pixels_;
+};
+
+}  // namespace avf::wavelet

@@ -1,0 +1,113 @@
+// Progressive foveal transmission of a wavelet pyramid (paper §2.1):
+// "the server transmits an area of the image that corresponds to the user's
+// fovea, starting from the coarsest resolution and progressing up to the
+// user-preferred resolution", never resending data the client already has.
+//
+// Each band is divided into fixed-size coefficient tiles; the encoder keeps
+// per-session sent-state and serializes only the tiles that (a) intersect
+// the requested foveal square mapped into band coordinates and (b) have not
+// been sent yet.  The decoder accumulates tiles into an initially-zero
+// pyramid and can reconstruct a best-effort image at any time.
+//
+// Payload format (little-endian):
+//   u16 tile_count
+//   repeated: u8 band_id | u16 tile_x | u16 tile_y | u8 w | u8 h |
+//             w*h x i16 coefficients
+// band_id 0 = LL; 1 + 3*(k-1) + orientation for detail level k.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "wavelet/haar.hpp"
+
+namespace avf::wavelet {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Rectangular foveal request in full-resolution pixel coordinates.
+struct Region {
+  int cx = 0;
+  int cy = 0;
+  int half = 0;  // half-size: the square spans [cx-half, cx+half)
+};
+
+class ProgressiveEncoder {
+ public:
+  explicit ProgressiveEncoder(const Pyramid& pyramid, int tile_size = 16);
+
+  /// Serialize all not-yet-sent tiles needed to show `region` at
+  /// resolution `level`, marking them sent.  Empty result = nothing new.
+  Bytes encode_region(const Region& region, int level);
+
+  /// True once every tile of every band used by `level` has been sent.
+  bool fully_sent(int level) const;
+
+  /// Forget all sent-state (new client session).
+  void reset();
+
+  std::size_t tiles_sent() const { return tiles_sent_; }
+
+  /// Total tiles across bands used by `level`.
+  std::size_t total_tiles(int level) const;
+
+  int tile_size() const { return tile_; }
+
+ private:
+  const Pyramid& pyramid_;
+  int tile_;
+  // sent_[band_id][tile_index]
+  std::vector<std::vector<bool>> sent_;
+  std::size_t tiles_sent_ = 0;
+};
+
+class ProgressiveDecoder {
+ public:
+  ProgressiveDecoder(int width, int height, int levels, int tile_size = 16);
+
+  struct ApplyResult {
+    std::size_t tiles = 0;
+    std::size_t coefficients = 0;
+  };
+
+  /// Integrate a payload produced by ProgressiveEncoder::encode_region.
+  /// Throws std::runtime_error on malformed input.
+  ApplyResult apply(std::span<const std::uint8_t> payload);
+
+  const Pyramid& pyramid() const { return pyramid_; }
+
+  /// Best-effort reconstruction with whatever has arrived (missing
+  /// coefficients read as zero).
+  Image reconstruct(int level) const { return pyramid_.reconstruct(level); }
+
+  /// Fraction of tiles received among the bands used by `level`.
+  double coverage(int level) const;
+
+  std::size_t coefficients_received() const { return coefficients_; }
+
+ private:
+  Pyramid pyramid_;
+  int tile_;
+  std::vector<std::vector<bool>> received_;
+  std::size_t coefficients_ = 0;
+};
+
+namespace progdetail {
+
+/// Band count for a pyramid with `levels` levels (LL + 3 per level).
+int band_count(int levels);
+
+/// Geometry of band `band_id` within `pyramid`.
+const Band& band_by_id(const Pyramid& pyramid, int band_id);
+Band& band_by_id(Pyramid& pyramid, int band_id);
+
+/// Scale factor from full-resolution coordinates to this band's grid.
+int band_scale(const Pyramid& pyramid, int band_id);
+
+/// Whether `band_id` participates in reconstruction at `level`.
+bool band_in_level(int band_id, int level);
+
+}  // namespace progdetail
+
+}  // namespace avf::wavelet

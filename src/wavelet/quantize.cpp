@@ -1,0 +1,75 @@
+#include "wavelet/quantize.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace avf::wavelet {
+
+namespace {
+
+void check_step(int step) {
+  if (step < 1) throw std::invalid_argument("quantization step must be >= 1");
+}
+
+}  // namespace
+
+void quantize_band(Band& band, int step) {
+  check_step(step);
+  if (step == 1) return;
+  for (std::int16_t& c : band.coeffs) {
+    // Dead-zone: round-to-nearest with ties away from zero.
+    int v = c;
+    int q = (std::abs(v) + step / 2) / step;
+    c = static_cast<std::int16_t>(v < 0 ? -q : q);
+  }
+}
+
+void dequantize_band(Band& band, int step) {
+  check_step(step);
+  if (step == 1) return;
+  for (std::int16_t& c : band.coeffs) {
+    c = static_cast<std::int16_t>(c * step);
+  }
+}
+
+double quantize_details(Pyramid& pyramid, int step) {
+  check_step(step);
+  std::size_t zeros = 0, total = 0;
+  for (int k = 1; k <= pyramid.levels(); ++k) {
+    for (auto o : {Orientation::kLH, Orientation::kHL, Orientation::kHH}) {
+      Band& band = pyramid.detail(k, o);
+      quantize_band(band, step);
+      total += band.count();
+      for (std::int16_t c : band.coeffs) zeros += c == 0 ? 1 : 0;
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(zeros) / total;
+}
+
+void dequantize_details(Pyramid& pyramid, int step) {
+  check_step(step);
+  for (int k = 1; k <= pyramid.levels(); ++k) {
+    for (auto o : {Orientation::kLH, Orientation::kHL, Orientation::kHH}) {
+      dequantize_band(pyramid.detail(k, o), step);
+    }
+  }
+}
+
+double psnr(const Image& a, const Image& b) {
+  if (a.width() != b.width() || a.height() != b.height()) {
+    throw std::invalid_argument("psnr: dimension mismatch");
+  }
+  double mse = 0.0;
+  for (int y = 0; y < a.height(); ++y) {
+    for (int x = 0; x < a.width(); ++x) {
+      double d = static_cast<double>(a.at(x, y)) - b.at(x, y);
+      mse += d * d;
+    }
+  }
+  mse /= static_cast<double>(a.width()) * a.height();
+  if (mse == 0.0) return std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+}  // namespace avf::wavelet

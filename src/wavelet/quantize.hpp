@@ -1,0 +1,29 @@
+// Dead-zone quantization of wavelet detail coefficients — the standard
+// lossy knob of wavelet image coding.  The paper's application transmits
+// losslessly (our default, step = 1), but the server can trade image
+// fidelity for data volume by coarsening the detail bands; the LL band is
+// never quantized (it carries the coarse image).
+#pragma once
+
+#include "wavelet/haar.hpp"
+
+namespace avf::wavelet {
+
+/// Quantize a band in place: c -> round(c / step).  step >= 1.
+void quantize_band(Band& band, int step);
+
+/// Invert quantize_band's scaling: c -> c * step (the rounding loss stays).
+void dequantize_band(Band& band, int step);
+
+/// Quantize every detail band of `pyramid` (LL untouched), returning the
+/// fraction of coefficients that became zero — the compressibility gain.
+double quantize_details(Pyramid& pyramid, int step);
+
+/// Undo the scaling of quantize_details.
+void dequantize_details(Pyramid& pyramid, int step);
+
+/// Peak signal-to-noise ratio between two equal-sized 8-bit images, in dB
+/// (infinity for identical images).
+double psnr(const Image& a, const Image& b);
+
+}  // namespace avf::wavelet

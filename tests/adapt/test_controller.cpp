@@ -1,0 +1,159 @@
+#include "adapt/controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace avf::adapt {
+namespace {
+
+using perfdb::PerfDatabase;
+using tunable::ConfigPoint;
+using tunable::Direction;
+using tunable::MetricSchema;
+using tunable::QosVector;
+
+struct Rig {
+  sim::Simulator sim;
+  tunable::AppSpec spec = make_spec();
+  PerfDatabase db = make_db();
+  ResourceScheduler scheduler{db, {minimize("time")}};
+  MonitoringAgent monitor{sim, {"bw"}, monitor_opts()};
+  SteeringAgent steering{spec, cfg(0)};
+
+  static tunable::AppSpec make_spec() {
+    tunable::AppSpec spec("demo");
+    spec.space().add_parameter("mode", {0, 1});
+    spec.metrics().add("time", Direction::kLowerBetter);
+    spec.add_resource_axis("bw");
+    return spec;
+  }
+
+  static ConfigPoint cfg(int mode) {
+    ConfigPoint p;
+    p.set("mode", mode);
+    return p;
+  }
+
+  static QosVector q(double time) {
+    QosVector out;
+    out.set("time", time);
+    return out;
+  }
+
+  static MonitoringAgent::Options monitor_opts() {
+    MonitoringAgent::Options o;
+    o.window = 2.0;
+    o.trigger_threshold = 0.25;
+    o.consecutive_required = 1;
+    return o;
+  }
+
+  /// mode 0 wins at high bandwidth, mode 1 at low.
+  static PerfDatabase make_db() {
+    MetricSchema s;
+    s.add("time", Direction::kLowerBetter);
+    PerfDatabase db({"bw"}, s);
+    db.insert(cfg(0), {100.0}, q(50.0));
+    db.insert(cfg(0), {1000.0}, q(5.0));
+    db.insert(cfg(1), {100.0}, q(20.0));
+    db.insert(cfg(1), {1000.0}, q(15.0));
+    return db;
+  }
+};
+
+TEST(Controller, ConfigureSelectsInitialConfig) {
+  Rig rig;
+  AdaptationController controller(rig.sim, rig.scheduler, rig.monitor,
+                                  rig.steering);
+  ConfigPoint chosen = controller.configure({1000.0});
+  EXPECT_EQ(chosen, Rig::cfg(0));
+  EXPECT_EQ(rig.steering.active(), Rig::cfg(0));
+  EXPECT_EQ(rig.monitor.baseline(), (std::vector<double>{1000.0}));
+}
+
+TEST(Controller, AdaptsWhenMonitorDetectsChange) {
+  Rig rig;
+  AdaptationController::Options options;
+  options.check_interval = 0.5;
+  AdaptationController controller(rig.sim, rig.scheduler, rig.monitor,
+                                  rig.steering, options);
+  controller.configure({1000.0});
+  controller.start();
+  // Bandwidth collapses at t=2.
+  rig.sim.schedule(2.0, [&] {
+    for (int i = 0; i < 10; ++i) rig.monitor.observe("bw", 100.0);
+  });
+  rig.sim.schedule(5.0, [&] { controller.stop(); });
+  rig.sim.run();
+
+  ASSERT_EQ(controller.adaptations().size(), 1u);
+  const auto& event = controller.adaptations()[0];
+  EXPECT_EQ(event.from, Rig::cfg(0));
+  EXPECT_EQ(event.to, Rig::cfg(1));
+  EXPECT_GE(event.time, 2.0);
+  // Steering has the change staged; the application applies it.
+  EXPECT_TRUE(rig.steering.has_pending());
+  rig.steering.apply_pending();
+  EXPECT_EQ(rig.steering.active(), Rig::cfg(1));
+}
+
+TEST(Controller, NoAdaptationWithoutResourceChange) {
+  Rig rig;
+  AdaptationController::Options options;
+  options.check_interval = 0.5;
+  AdaptationController controller(rig.sim, rig.scheduler, rig.monitor,
+                                  rig.steering, options);
+  controller.configure({1000.0});
+  controller.start();
+  rig.sim.schedule(1.0, [&] {
+    for (int i = 0; i < 5; ++i) rig.monitor.observe("bw", 980.0);
+  });
+  rig.sim.schedule(4.0, [&] { controller.stop(); });
+  rig.sim.run();
+  EXPECT_TRUE(controller.adaptations().empty());
+  EXPECT_GE(controller.checks(), 7u);
+}
+
+TEST(Controller, BaselineReanchorsAfterTrigger) {
+  Rig rig;
+  AdaptationController::Options options;
+  options.check_interval = 0.5;
+  AdaptationController controller(rig.sim, rig.scheduler, rig.monitor,
+                                  rig.steering, options);
+  controller.configure({1000.0});
+  controller.start();
+  rig.sim.schedule(1.0, [&] {
+    for (int i = 0; i < 10; ++i) rig.monitor.observe("bw", 100.0);
+  });
+  rig.sim.schedule(6.0, [&] { controller.stop(); });
+  rig.sim.run();
+  // The sustained 100 bw reading causes exactly one adaptation, not one
+  // per check (the baseline re-anchors).
+  EXPECT_EQ(controller.adaptations().size(), 1u);
+}
+
+TEST(Controller, RejectsBadInterval) {
+  Rig rig;
+  AdaptationController::Options options;
+  options.check_interval = 0.0;
+  EXPECT_THROW(AdaptationController(rig.sim, rig.scheduler, rig.monitor,
+                                    rig.steering, options),
+               std::invalid_argument);
+}
+
+TEST(Controller, StartIsIdempotent) {
+  Rig rig;
+  AdaptationController controller(rig.sim, rig.scheduler, rig.monitor,
+                                  rig.steering);
+  controller.configure({1000.0});
+  controller.start();
+  controller.start();
+  EXPECT_TRUE(controller.running());
+  rig.sim.schedule(1.0, [&] { controller.stop(); });
+  rig.sim.run();
+  EXPECT_FALSE(controller.running());
+}
+
+}  // namespace
+}  // namespace avf::adapt

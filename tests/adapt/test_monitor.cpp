@@ -1,0 +1,126 @@
+#include "adapt/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace avf::adapt {
+namespace {
+
+MonitoringAgent::Options opts(double window = 2.0, double threshold = 0.25,
+                              int consecutive = 2) {
+  MonitoringAgent::Options o;
+  o.window = window;
+  o.trigger_threshold = threshold;
+  o.consecutive_required = consecutive;
+  return o;
+}
+
+TEST(Monitor, EstimateIsWindowMean) {
+  sim::Simulator sim;
+  MonitoringAgent agent(sim, {"cpu_share"}, opts());
+  sim.schedule(0.1, [&] { agent.observe("cpu_share", 0.4); });
+  sim.schedule(0.2, [&] { agent.observe("cpu_share", 0.6); });
+  sim.run();
+  auto e = agent.estimate("cpu_share");
+  ASSERT_TRUE(e);
+  EXPECT_DOUBLE_EQ(*e, 0.5);
+}
+
+TEST(Monitor, NoSamplesMeansNoEstimate) {
+  sim::Simulator sim;
+  MonitoringAgent agent(sim, {"cpu_share"});
+  EXPECT_FALSE(agent.estimate("cpu_share").has_value());
+  EXPECT_THROW((void)agent.estimate("bogus"), std::out_of_range);
+}
+
+TEST(Monitor, StaleSamplesExpire) {
+  sim::Simulator sim;
+  MonitoringAgent agent(sim, {"cpu_share"}, opts(1.0));
+  sim.schedule(0.1, [&] { agent.observe("cpu_share", 0.5); });
+  sim.run();
+  EXPECT_TRUE(agent.estimate("cpu_share").has_value());
+  sim.schedule(5.0, [] {});
+  sim.run();
+  EXPECT_FALSE(agent.estimate("cpu_share").has_value());
+}
+
+TEST(Monitor, EstimatesFallBackToBaseline) {
+  sim::Simulator sim;
+  MonitoringAgent agent(sim, {"cpu_share", "net_bps"});
+  agent.set_baseline({0.9, 500e3});
+  sim.schedule(0.1, [&] { agent.observe("cpu_share", 0.4); });
+  sim.run();
+  auto estimates = agent.estimates();
+  EXPECT_DOUBLE_EQ(estimates[0], 0.4);
+  EXPECT_DOUBLE_EQ(estimates[1], 500e3);  // no net samples yet
+}
+
+TEST(Monitor, TriggersAfterConsecutiveDeviations) {
+  sim::Simulator sim;
+  MonitoringAgent agent(sim, {"cpu_share"}, opts(2.0, 0.25, 2));
+  agent.set_baseline({0.9});
+  sim.schedule(0.1, [&] { agent.observe("cpu_share", 0.4); });
+  sim.run();
+  EXPECT_FALSE(agent.check_triggered());  // first out-of-range check
+  EXPECT_TRUE(agent.check_triggered());   // second consecutive -> trigger
+  EXPECT_EQ(agent.triggers(), 1u);
+  // Counter resets after firing.
+  EXPECT_FALSE(agent.check_triggered());
+}
+
+TEST(Monitor, InRangeResetsHysteresisCounter) {
+  sim::Simulator sim;
+  MonitoringAgent agent(sim, {"cpu_share"}, opts(10.0, 0.25, 2));
+  agent.set_baseline({0.9});
+  sim.schedule(0.1, [&] { agent.observe("cpu_share", 0.4); });
+  sim.run();
+  EXPECT_FALSE(agent.check_triggered());
+  // Recovery: estimate returns to baseline (fresh samples dominate mean).
+  sim.schedule(0.1, [&] {
+    for (int i = 0; i < 50; ++i) agent.observe("cpu_share", 0.9);
+  });
+  sim.run();
+  EXPECT_FALSE(agent.check_triggered());
+  EXPECT_FALSE(agent.check_triggered());  // counter was reset, no trigger
+  EXPECT_EQ(agent.triggers(), 0u);
+}
+
+TEST(Monitor, SmallDeviationsNeverTrigger) {
+  sim::Simulator sim;
+  MonitoringAgent agent(sim, {"cpu_share"}, opts(2.0, 0.25, 1));
+  agent.set_baseline({0.5});
+  sim.schedule(0.1, [&] { agent.observe("cpu_share", 0.55); });
+  sim.run();
+  EXPECT_FALSE(agent.check_triggered());
+}
+
+TEST(Monitor, BaselineDimensionChecked) {
+  sim::Simulator sim;
+  MonitoringAgent agent(sim, {"a", "b"});
+  EXPECT_THROW(agent.set_baseline({1.0}), std::invalid_argument);
+  EXPECT_THROW(MonitoringAgent(sim, {}), std::invalid_argument);
+}
+
+class MonitorThresholds : public ::testing::TestWithParam<double> {};
+
+TEST_P(MonitorThresholds, TriggerOnlyBeyondThreshold) {
+  double threshold = GetParam();
+  sim::Simulator sim;
+  MonitoringAgent agent(sim, {"x"}, opts(2.0, threshold, 1));
+  agent.set_baseline({1.0});
+  sim.schedule(0.1, [&] { agent.observe("x", 1.0 + threshold * 0.9); });
+  sim.run();
+  EXPECT_FALSE(agent.check_triggered());
+  sim.schedule(0.1, [&] {
+    for (int i = 0; i < 50; ++i) agent.observe("x", 1.0 + threshold * 1.5);
+  });
+  sim.run();
+  EXPECT_TRUE(agent.check_triggered());
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, MonitorThresholds,
+                         ::testing::Values(0.1, 0.25, 0.5));
+
+}  // namespace
+}  // namespace avf::adapt

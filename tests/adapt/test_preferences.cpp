@@ -1,0 +1,53 @@
+#include "adapt/preferences.hpp"
+
+#include <gtest/gtest.h>
+
+namespace avf::adapt {
+namespace {
+
+using tunable::QosVector;
+
+QosVector q(double transmit, double response) {
+  QosVector out;
+  out.set("transmit_time", transmit);
+  out.set("response_time", response);
+  return out;
+}
+
+TEST(Preferences, UnconstrainedAlwaysSatisfied) {
+  UserPreference p = minimize("transmit_time");
+  EXPECT_TRUE(p.satisfied_by(q(100.0, 100.0)));
+  EXPECT_EQ(p.objective_metric, "transmit_time");
+  EXPECT_FALSE(p.maximize);
+}
+
+TEST(Preferences, RangeConstraints) {
+  UserPreference p = minimize("transmit_time");
+  p.constraints.push_back({.metric = "response_time", .min = 0.0, .max = 1.0});
+  EXPECT_TRUE(p.satisfied_by(q(5.0, 0.8)));
+  EXPECT_FALSE(p.satisfied_by(q(5.0, 1.2)));
+}
+
+TEST(Preferences, MissingMetricFailsConstraint) {
+  UserPreference p = minimize("transmit_time");
+  p.constraints.push_back({.metric = "nonexistent", .max = 1.0});
+  EXPECT_FALSE(p.satisfied_by(q(5.0, 0.5)));
+}
+
+TEST(Preferences, BetterRespectsDirection) {
+  UserPreference lo = minimize("transmit_time");
+  EXPECT_TRUE(lo.better(1.0, 2.0));
+  EXPECT_FALSE(lo.better(2.0, 1.0));
+  UserPreference hi = maximize_metric("resolution");
+  EXPECT_TRUE(hi.better(4.0, 3.0));
+  EXPECT_TRUE(hi.maximize);
+}
+
+TEST(Preferences, BuilderNames) {
+  EXPECT_EQ(minimize("x").name, "minimize x");
+  EXPECT_EQ(maximize_metric("y").name, "maximize y");
+  EXPECT_EQ(minimize("x", "custom").name, "custom");
+}
+
+}  // namespace
+}  // namespace avf::adapt

@@ -1,0 +1,105 @@
+#include "adapt/steering.hpp"
+
+#include <gtest/gtest.h>
+
+namespace avf::adapt {
+namespace {
+
+using tunable::AppSpec;
+using tunable::ConfigPoint;
+
+AppSpec make_spec(bool veto_mode2 = false) {
+  AppSpec spec("demo");
+  spec.space().add_parameter("mode", {0, 1, 2});
+  spec.metrics().add("latency", tunable::Direction::kLowerBetter);
+  spec.add_transition(tunable::TransitionSpec{
+      .name = "veto",
+      .guard =
+          [veto_mode2](const ConfigPoint&, const ConfigPoint& to) {
+            return !(veto_mode2 && to.get("mode") == 2);
+          },
+      .handler = nullptr});
+  return spec;
+}
+
+ConfigPoint cfg(int mode) {
+  ConfigPoint p;
+  p.set("mode", mode);
+  return p;
+}
+
+TEST(Steering, InitialConfigValidated) {
+  AppSpec spec = make_spec();
+  EXPECT_THROW(SteeringAgent(spec, cfg(9)), std::invalid_argument);
+  SteeringAgent agent(spec, cfg(0));
+  EXPECT_EQ(agent.active(), cfg(0));
+}
+
+TEST(Steering, ChangeTakesEffectOnlyAtApplyPoint) {
+  AppSpec spec = make_spec();
+  SteeringAgent agent(spec, cfg(0));
+  EXPECT_TRUE(agent.request(cfg(1)));
+  EXPECT_EQ(agent.active(), cfg(0));  // not yet
+  EXPECT_TRUE(agent.has_pending());
+  EXPECT_TRUE(agent.apply_pending());
+  EXPECT_EQ(agent.active(), cfg(1));
+  EXPECT_FALSE(agent.has_pending());
+  EXPECT_EQ(agent.applied(), 1u);
+}
+
+TEST(Steering, RedundantRequestsIgnored) {
+  AppSpec spec = make_spec();
+  SteeringAgent agent(spec, cfg(0));
+  EXPECT_FALSE(agent.request(cfg(0)));         // already active
+  EXPECT_TRUE(agent.request(cfg(1)));
+  EXPECT_FALSE(agent.request(cfg(1)));         // already pending
+  EXPECT_FALSE(agent.request(cfg(9)));         // invalid
+  // Requesting the active config cancels the staged change.
+  EXPECT_FALSE(agent.request(cfg(0)));
+  EXPECT_FALSE(agent.has_pending());
+}
+
+TEST(Steering, GuardVetoCancelsChange) {
+  AppSpec spec = make_spec(/*veto_mode2=*/true);
+  SteeringAgent agent(spec, cfg(0));
+  agent.request(cfg(2));
+  EXPECT_FALSE(agent.apply_pending());
+  EXPECT_EQ(agent.active(), cfg(0));
+  EXPECT_EQ(agent.vetoed(), 1u);
+  // Non-vetoed target still works.
+  agent.request(cfg(1));
+  EXPECT_TRUE(agent.apply_pending());
+}
+
+TEST(Steering, HandlersAndAckRun) {
+  AppSpec spec("demo");
+  spec.space().add_parameter("mode", {0, 1});
+  spec.metrics().add("m", tunable::Direction::kLowerBetter);
+  std::vector<std::string> log;
+  spec.add_transition(tunable::TransitionSpec{
+      .name = "handler",
+      .guard = nullptr,
+      .handler =
+          [&](const ConfigPoint& from, const ConfigPoint& to) {
+            log.push_back("handler " + from.key() + "->" + to.key());
+          }});
+  SteeringAgent agent(spec, cfg(0));
+  agent.set_on_applied([&](const ConfigPoint& from, const ConfigPoint& to) {
+    log.push_back("ack " + from.key() + "->" + to.key());
+  });
+  agent.request(cfg(1));
+  agent.apply_pending();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0], "handler mode=0->mode=1");
+  EXPECT_EQ(log[1], "ack mode=0->mode=1");
+}
+
+TEST(Steering, ApplyWithoutPendingIsNoop) {
+  AppSpec spec = make_spec();
+  SteeringAgent agent(spec, cfg(0));
+  EXPECT_FALSE(agent.apply_pending());
+  EXPECT_EQ(agent.applied(), 0u);
+}
+
+}  // namespace
+}  // namespace avf::adapt

@@ -1,0 +1,211 @@
+#include "codec/bwt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+
+#include "codec/lzw.hpp"
+#include "util/rng.hpp"
+
+namespace avf::codec {
+namespace {
+
+using namespace bwtdetail;
+
+Bytes to_bytes(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+Bytes random_bytes(std::size_t n, std::uint64_t seed, int alphabet = 256) {
+  util::SplitMix64 rng(seed);
+  Bytes out(n);
+  for (auto& b : out) {
+    b = static_cast<std::uint8_t>(rng.next_below(alphabet));
+  }
+  return out;
+}
+
+TEST(SuffixArray, Banana) {
+  Bytes s = to_bytes("banana");
+  // Suffixes of "banana$": $ a$ ana$ anana$ banana$ na$ nana$
+  std::vector<std::uint32_t> sa = suffix_array(s);
+  EXPECT_EQ(sa, (std::vector<std::uint32_t>{6, 5, 3, 1, 0, 4, 2}));
+}
+
+TEST(SuffixArray, EmptyAndSingle) {
+  EXPECT_EQ(suffix_array({}).size(), 1u);
+  Bytes one = {65};
+  EXPECT_EQ(suffix_array(one), (std::vector<std::uint32_t>{1, 0}));
+}
+
+TEST(Bwt, ForwardBanana) {
+  Bytes s = to_bytes("banana");
+  std::uint32_t primary = 0;
+  Bytes l = bwt_forward(s, primary);
+  EXPECT_EQ(std::string(l.begin(), l.end()), "annbaa");
+  EXPECT_EQ(primary, 4u);
+}
+
+TEST(Bwt, InverseBanana) {
+  Bytes l = to_bytes("annbaa");
+  Bytes s = bwt_inverse(l, 4);
+  EXPECT_EQ(std::string(s.begin(), s.end()), "banana");
+}
+
+TEST(Bwt, RoundTripRandom) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    Bytes in = random_bytes(1000 + seed * 137, seed);
+    std::uint32_t primary = 0;
+    Bytes l = bwt_forward(in, primary);
+    EXPECT_EQ(bwt_inverse(l, primary), in);
+  }
+}
+
+TEST(Bwt, InverseRejectsBadPrimary) {
+  Bytes l = to_bytes("annbaa");
+  EXPECT_THROW(bwt_inverse(l, 100), std::runtime_error);
+}
+
+TEST(Mtf, KnownSequence) {
+  Bytes in = {1, 1, 0, 2};
+  Bytes enc = mtf_encode(in);
+  // 1 at index 1; then 1 at front (0); 0 now at index 1; 2 at index 2.
+  EXPECT_EQ(enc, (Bytes{1, 0, 1, 2}));
+  EXPECT_EQ(mtf_decode(enc), in);
+}
+
+TEST(Mtf, RoundTripRandom) {
+  Bytes in = random_bytes(5000, 99);
+  EXPECT_EQ(mtf_decode(mtf_encode(in)), in);
+}
+
+TEST(Rle, EncodesRuns) {
+  Bytes in = {5, 5, 5, 5, 5, 7};
+  Bytes enc = rle_encode(in);
+  EXPECT_EQ(rle_decode(enc), in);
+  EXPECT_LT(enc.size(), in.size());
+}
+
+TEST(Rle, LiteralsPassThrough) {
+  Bytes in = {1, 2, 3, 4, 5};
+  EXPECT_EQ(rle_decode(rle_encode(in)), in);
+}
+
+TEST(Rle, LongRunsSplit) {
+  Bytes in(1000, 0);
+  Bytes enc = rle_encode(in);
+  EXPECT_EQ(rle_decode(enc), in);
+  EXPECT_LT(enc.size(), 20u);
+}
+
+TEST(Rle, RoundTripRandom) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    Bytes in = random_bytes(3000, seed, seed % 2 ? 3 : 256);
+    EXPECT_EQ(rle_decode(rle_encode(in)), in);
+  }
+}
+
+TEST(Rle, InvalidControlByteThrows) {
+  Bytes bad = {128, 1};
+  EXPECT_THROW(rle_decode(bad), std::runtime_error);
+}
+
+TEST(Rle, TruncatedThrows) {
+  Bytes bad = {3};  // promises 4 literals, provides none
+  EXPECT_THROW(rle_decode(bad), std::runtime_error);
+}
+
+TEST(Huffman, RoundTripSkewed) {
+  Bytes in;
+  for (int i = 0; i < 1000; ++i) in.push_back(i % 10 == 0 ? 200 : 7);
+  std::uint8_t lengths[256];
+  Bytes enc = huffman_encode(in, lengths);
+  EXPECT_LT(enc.size(), in.size() / 4);
+  EXPECT_EQ(huffman_decode(enc, lengths, in.size()), in);
+}
+
+TEST(Huffman, SingleSymbolInput) {
+  Bytes in(100, 42);
+  std::uint8_t lengths[256];
+  Bytes enc = huffman_encode(in, lengths);
+  EXPECT_EQ(lengths[42], 1);
+  EXPECT_EQ(huffman_decode(enc, lengths, in.size()), in);
+}
+
+TEST(Huffman, RoundTripUniform) {
+  Bytes in = random_bytes(10000, 5);
+  std::uint8_t lengths[256];
+  Bytes enc = huffman_encode(in, lengths);
+  EXPECT_EQ(huffman_decode(enc, lengths, in.size()), in);
+}
+
+TEST(BwtCodec, RoundTripEmpty) {
+  BwtCodec c;
+  EXPECT_TRUE(c.decompress(c.compress({})).empty());
+}
+
+TEST(BwtCodec, RoundTripText) {
+  BwtCodec c;
+  std::string s;
+  for (int i = 0; i < 500; ++i) s += "the quick brown fox ";
+  Bytes in = to_bytes(s);
+  Bytes compressed = c.compress(in);
+  EXPECT_LT(compressed.size(), in.size() / 5);
+  EXPECT_EQ(c.decompress(compressed), in);
+}
+
+TEST(BwtCodec, RoundTripAcrossBlockBoundaries) {
+  BwtCodec c(4096);  // small blocks: multiple blocks in one stream
+  Bytes in = random_bytes(20000, 3, 16);
+  EXPECT_EQ(c.decompress(c.compress(in)), in);
+}
+
+TEST(BwtCodec, BeatsLzwOnContextualData) {
+  // The paper's premise for compression B: better ratio than A.  BWT
+  // exploits byte *context*, so use data with repeated multi-byte motifs
+  // (like text or wavelet tiles), not memoryless noise.
+  Bytes in;
+  util::SplitMix64 rng(11);
+  const char* words[] = {"wavelet", "fovea", "resolution", "bandwidth",
+                         "adapt"};
+  while (in.size() < 60000) {
+    const char* w = words[rng.next_below(5)];
+    while (*w) in.push_back(static_cast<std::uint8_t>(*w++));
+    in.push_back(' ');
+  }
+  BwtCodec bwt;
+  LzwCodec lzw;
+  EXPECT_LT(bwt.compress(in).size(), lzw.compress(in).size());
+  EXPECT_EQ(bwt.decompress(bwt.compress(in)), in);
+}
+
+TEST(BwtCodec, CostsMoreCpuThanLzw) {
+  BwtCodec bwt;
+  LzwCodec lzw;
+  EXPECT_GT(bwt.cost().compress_ops_per_byte,
+            5.0 * lzw.cost().compress_ops_per_byte);
+  EXPECT_GT(bwt.cost().decompress_ops_per_byte,
+            lzw.cost().decompress_ops_per_byte);
+}
+
+TEST(BwtCodec, TruncatedStreamThrows) {
+  BwtCodec c;
+  Bytes in = random_bytes(5000, 21, 8);
+  Bytes compressed = c.compress(in);
+  compressed.resize(compressed.size() - 10);
+  EXPECT_THROW(c.decompress(compressed), std::runtime_error);
+}
+
+class BwtSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BwtSizes, RoundTrip) {
+  BwtCodec c;
+  Bytes in = random_bytes(GetParam(), GetParam() + 17, 32);
+  EXPECT_EQ(c.decompress(c.compress(in)), in);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BwtSizes,
+                         ::testing::Values(1, 2, 7, 255, 4096, 65536, 70000,
+                                           150000));
+
+}  // namespace
+}  // namespace avf::codec

@@ -1,0 +1,113 @@
+#include "codec/lzw.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace avf::codec {
+namespace {
+
+Bytes random_bytes(std::size_t n, std::uint64_t seed, int alphabet = 256) {
+  util::SplitMix64 rng(seed);
+  Bytes out(n);
+  for (auto& b : out) {
+    b = static_cast<std::uint8_t>(rng.next_below(alphabet));
+  }
+  return out;
+}
+
+Bytes repetitive_bytes(std::size_t n) {
+  Bytes out;
+  out.reserve(n);
+  const char* pattern = "abcabcabdabcabcabd";
+  while (out.size() < n) {
+    out.push_back(static_cast<std::uint8_t>(pattern[out.size() % 18]));
+  }
+  return out;
+}
+
+TEST(Lzw, RoundTripEmpty) {
+  LzwCodec c;
+  Bytes compressed = c.compress({});
+  EXPECT_TRUE(c.decompress(compressed).empty());
+}
+
+TEST(Lzw, RoundTripSingleByte) {
+  LzwCodec c;
+  Bytes in = {42};
+  EXPECT_EQ(c.decompress(c.compress(in)), in);
+}
+
+TEST(Lzw, RoundTripShortText) {
+  LzwCodec c;
+  std::string s = "TOBEORNOTTOBEORTOBEORNOT";
+  Bytes in(s.begin(), s.end());
+  EXPECT_EQ(c.decompress(c.compress(in)), in);
+}
+
+TEST(Lzw, RoundTripAllByteValues) {
+  LzwCodec c;
+  Bytes in(256);
+  std::iota(in.begin(), in.end(), 0);
+  EXPECT_EQ(c.decompress(c.compress(in)), in);
+}
+
+TEST(Lzw, CompressesRepetitiveData) {
+  LzwCodec c;
+  Bytes in = repetitive_bytes(100000);
+  Bytes compressed = c.compress(in);
+  EXPECT_LT(compressed.size(), in.size() / 4);
+  EXPECT_EQ(c.decompress(compressed), in);
+}
+
+TEST(Lzw, RandomDataRoundTrips) {
+  LzwCodec c;
+  Bytes in = random_bytes(50000, 123);
+  EXPECT_EQ(c.decompress(c.compress(in)), in);
+}
+
+TEST(Lzw, DictionaryResetPathRoundTrips) {
+  // Enough high-entropy data to exhaust the 16-bit dictionary and force a
+  // CLEAR + reset inside the stream.
+  LzwCodec c;
+  Bytes in = random_bytes(1 << 20, 7);
+  Bytes compressed = c.compress(in);
+  EXPECT_EQ(c.decompress(compressed), in);
+}
+
+TEST(Lzw, TruncatedInputThrows) {
+  LzwCodec c;
+  Bytes in = repetitive_bytes(1000);
+  Bytes compressed = c.compress(in);
+  compressed.resize(compressed.size() / 2);
+  EXPECT_THROW(c.decompress(compressed), std::runtime_error);
+}
+
+TEST(Lzw, EmptyInputToDecompressThrows) {
+  LzwCodec c;
+  EXPECT_THROW(c.decompress({}), std::runtime_error);
+}
+
+TEST(Lzw, CostModelIsCheaperThanBwt) {
+  LzwCodec c;
+  EXPECT_GT(c.cost().compress_ops_per_byte, 0.0);
+  EXPECT_GT(c.cost().decompress_ops_per_byte, 0.0);
+  EXPECT_LT(c.cost().decompress_ops_per_byte, c.cost().compress_ops_per_byte);
+}
+
+class LzwSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LzwSizes, RoundTripLowEntropy) {
+  LzwCodec c;
+  Bytes in = random_bytes(GetParam(), GetParam() * 31 + 1, 8);
+  EXPECT_EQ(c.decompress(c.compress(in)), in);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LzwSizes,
+                         ::testing::Values(1, 2, 3, 15, 256, 4095, 65536,
+                                           200000));
+
+}  // namespace
+}  // namespace avf::codec

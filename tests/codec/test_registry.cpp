@@ -1,0 +1,43 @@
+#include "codec/codec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace avf::codec {
+namespace {
+
+TEST(Registry, LooksUpById) {
+  EXPECT_EQ(codec_for(CodecId::kNone).name(), "none");
+  EXPECT_EQ(codec_for(CodecId::kLzw).name(), "lzw");
+  EXPECT_EQ(codec_for(CodecId::kBwt).name(), "bwt");
+}
+
+TEST(Registry, LooksUpByName) {
+  EXPECT_EQ(&codec_by_name("lzw"), &codec_for(CodecId::kLzw));
+  EXPECT_THROW(codec_by_name("gzip"), std::invalid_argument);
+}
+
+TEST(Registry, AllIdsCoverAllCodecs) {
+  auto ids = all_codec_ids();
+  EXPECT_EQ(ids.size(), 3u);
+}
+
+TEST(Registry, InstancesAreSingletons) {
+  EXPECT_EQ(&codec_for(CodecId::kBwt), &codec_for(CodecId::kBwt));
+}
+
+TEST(NullCodec, PassesThrough) {
+  const Codec& c = codec_for(CodecId::kNone);
+  Bytes in = {1, 2, 3};
+  EXPECT_EQ(c.compress(in), in);
+  EXPECT_EQ(c.decompress(in), in);
+}
+
+TEST(Codec, OpsHelpersScaleWithSize) {
+  const Codec& c = codec_for(CodecId::kLzw);
+  EXPECT_DOUBLE_EQ(c.compress_ops(1000), 1000 * c.cost().compress_ops_per_byte);
+  EXPECT_DOUBLE_EQ(c.decompress_ops(500),
+                   500 * c.cost().decompress_ops_per_byte);
+}
+
+}  // namespace
+}  // namespace avf::codec

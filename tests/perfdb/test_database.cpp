@@ -1,0 +1,160 @@
+#include "perfdb/database.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace avf::perfdb {
+namespace {
+
+using tunable::ConfigPoint;
+using tunable::Direction;
+using tunable::MetricSchema;
+using tunable::QosVector;
+
+MetricSchema schema() {
+  MetricSchema s;
+  s.add("time", Direction::kLowerBetter);
+  s.add("quality", Direction::kHigherBetter);
+  return s;
+}
+
+ConfigPoint cfg(int v) {
+  ConfigPoint p;
+  p.set("mode", v);
+  return p;
+}
+
+QosVector q(double time, double quality) {
+  QosVector out;
+  out.set("time", time);
+  out.set("quality", quality);
+  return out;
+}
+
+PerfDatabase simple_db() {
+  PerfDatabase db({"cpu"}, schema());
+  // time = 10 / cpu (linear in the samples below), quality constant.
+  db.insert(cfg(0), {0.5}, q(20.0, 3.0));
+  db.insert(cfg(0), {1.0}, q(10.0, 3.0));
+  return db;
+}
+
+TEST(PerfDb, InsertAndQueryBasics) {
+  PerfDatabase db = simple_db();
+  EXPECT_EQ(db.size(), 2u);
+  EXPECT_TRUE(db.has_config(cfg(0)));
+  EXPECT_FALSE(db.has_config(cfg(1)));
+  EXPECT_EQ(db.records(cfg(0)).size(), 2u);
+  EXPECT_EQ(db.grid_values(cfg(0), "cpu"),
+            (std::vector<double>{0.5, 1.0}));
+  EXPECT_THROW((void)db.grid_values(cfg(0), "nope"), std::out_of_range);
+}
+
+TEST(PerfDb, RejectsBadInput) {
+  EXPECT_THROW(PerfDatabase({}, schema()), std::invalid_argument);
+  EXPECT_THROW(PerfDatabase({"cpu"}, MetricSchema{}), std::invalid_argument);
+  PerfDatabase db({"cpu"}, schema());
+  EXPECT_THROW(db.insert(cfg(0), {0.5, 0.6}, q(1, 1)), std::invalid_argument);
+  QosVector incomplete;
+  incomplete.set("time", 1.0);
+  EXPECT_THROW(db.insert(cfg(0), {0.5}, incomplete), std::invalid_argument);
+}
+
+TEST(PerfDb, ReinsertOverwrites) {
+  PerfDatabase db = simple_db();
+  db.insert(cfg(0), {1.0}, q(99.0, 1.0));
+  EXPECT_EQ(db.size(), 2u);
+  auto p = db.predict(cfg(0), {1.0});
+  EXPECT_DOUBLE_EQ(p->get("time"), 99.0);
+}
+
+TEST(PerfDb, ExactPointPrediction) {
+  PerfDatabase db = simple_db();
+  auto p = db.predict(cfg(0), {0.5});
+  ASSERT_TRUE(p);
+  EXPECT_DOUBLE_EQ(p->get("time"), 20.0);
+}
+
+TEST(PerfDb, LinearInterpolationBetweenSamples) {
+  PerfDatabase db = simple_db();
+  auto p = db.predict(cfg(0), {0.75}, Lookup::kInterpolate);
+  ASSERT_TRUE(p);
+  EXPECT_DOUBLE_EQ(p->get("time"), 15.0);
+  EXPECT_DOUBLE_EQ(p->get("quality"), 3.0);
+}
+
+TEST(PerfDb, NearestModeSnapsToClosestSample) {
+  PerfDatabase db = simple_db();
+  auto p = db.predict(cfg(0), {0.6}, Lookup::kNearest);
+  ASSERT_TRUE(p);
+  EXPECT_DOUBLE_EQ(p->get("time"), 20.0);  // 0.6 closer to 0.5
+}
+
+TEST(PerfDb, ClampsOutsideHull) {
+  PerfDatabase db = simple_db();
+  EXPECT_DOUBLE_EQ(db.predict(cfg(0), {0.1})->get("time"), 20.0);
+  EXPECT_DOUBLE_EQ(db.predict(cfg(0), {2.0})->get("time"), 10.0);
+}
+
+TEST(PerfDb, UnknownConfigReturnsNullopt) {
+  PerfDatabase db = simple_db();
+  EXPECT_FALSE(db.predict(cfg(7), {0.5}).has_value());
+}
+
+TEST(PerfDb, BilinearInterpolationOn2DGrid) {
+  PerfDatabase db({"cpu", "bw"}, schema());
+  // time = 10*cpu + bw (exactly bilinear).
+  for (double cpu : {0.0, 1.0}) {
+    for (double bw : {0.0, 100.0}) {
+      db.insert(cfg(0), {cpu, bw}, q(10 * cpu + bw, 1.0));
+    }
+  }
+  auto p = db.predict(cfg(0), {0.25, 40.0});
+  ASSERT_TRUE(p);
+  EXPECT_NEAR(p->get("time"), 10 * 0.25 + 40.0, 1e-12);
+}
+
+TEST(PerfDb, IncompleteCellFallsBackToNearest) {
+  PerfDatabase db({"cpu", "bw"}, schema());
+  db.insert(cfg(0), {0.0, 0.0}, q(1.0, 1.0));
+  db.insert(cfg(0), {1.0, 0.0}, q(2.0, 1.0));
+  db.insert(cfg(0), {0.0, 1.0}, q(3.0, 1.0));
+  // (1,1) corner missing: interpolation at the cell interior must still
+  // return something (nearest).
+  auto p = db.predict(cfg(0), {0.9, 0.9}, Lookup::kInterpolate);
+  ASSERT_TRUE(p);
+  EXPECT_GT(p->get("time"), 0.0);
+}
+
+TEST(PerfDb, EraseConfigRemovesRecords) {
+  PerfDatabase db = simple_db();
+  db.erase_config(cfg(0));
+  EXPECT_EQ(db.size(), 0u);
+  EXPECT_FALSE(db.predict(cfg(0), {0.5}).has_value());
+}
+
+TEST(PerfDb, SaveLoadRoundTrip) {
+  PerfDatabase db({"cpu", "bw"}, schema());
+  db.insert(cfg(0), {0.5, 100.0}, q(20.0, 3.0));
+  db.insert(cfg(1), {1.0, 200.0}, q(10.0, 4.0));
+  std::stringstream buffer;
+  db.save(buffer);
+  PerfDatabase loaded = PerfDatabase::load(buffer);
+  EXPECT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded.axes(), db.axes());
+  EXPECT_EQ(loaded.schema().names(), db.schema().names());
+  EXPECT_EQ(loaded.schema().metric("quality").direction,
+            Direction::kHigherBetter);
+  auto p = loaded.predict(cfg(1), {1.0, 200.0});
+  ASSERT_TRUE(p);
+  EXPECT_DOUBLE_EQ(p->get("quality"), 4.0);
+}
+
+TEST(PerfDb, DimensionMismatchOnPredictThrows) {
+  PerfDatabase db = simple_db();
+  EXPECT_THROW((void)db.predict(cfg(0), {0.5, 0.5}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace avf::perfdb

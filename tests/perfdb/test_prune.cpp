@@ -1,0 +1,116 @@
+#include "perfdb/prune.hpp"
+
+#include <gtest/gtest.h>
+
+namespace avf::perfdb {
+namespace {
+
+using tunable::ConfigPoint;
+using tunable::Direction;
+using tunable::MetricSchema;
+using tunable::QosVector;
+
+MetricSchema schema() {
+  MetricSchema s;
+  s.add("time", Direction::kLowerBetter);
+  return s;
+}
+
+ConfigPoint cfg(int v) {
+  ConfigPoint p;
+  p.set("mode", v);
+  return p;
+}
+
+QosVector q(double time) {
+  QosVector out;
+  out.set("time", time);
+  return out;
+}
+
+TEST(Prune, DropsDominatedConfig) {
+  PerfDatabase db({"cpu"}, schema());
+  for (double cpu : {0.5, 1.0}) {
+    db.insert(cfg(0), {cpu}, q(10.0 / cpu));      // better everywhere
+    db.insert(cfg(1), {cpu}, q(20.0 / cpu));      // dominated
+  }
+  PruneResult result = analyze_prune(db, 1e-6);
+  ASSERT_EQ(result.kept.size(), 1u);
+  EXPECT_EQ(result.kept[0], cfg(0));
+  ASSERT_EQ(result.dominated.size(), 1u);
+  EXPECT_EQ(result.dominated[0], cfg(1));
+}
+
+TEST(Prune, KeepsCrossoverConfigs) {
+  // The paper's "maximal subset": configs that win somewhere must stay.
+  PerfDatabase db({"bw"}, schema());
+  db.insert(cfg(0), {1.0}, q(10.0));
+  db.insert(cfg(0), {2.0}, q(9.0));
+  db.insert(cfg(1), {1.0}, q(12.0));  // loses at bw=1
+  db.insert(cfg(1), {2.0}, q(5.0));   // wins at bw=2
+  PruneResult result = analyze_prune(db, 1e-6);
+  EXPECT_EQ(result.kept.size(), 2u);
+  EXPECT_TRUE(result.dominated.empty());
+}
+
+TEST(Prune, MergesEquivalentConfigs) {
+  PerfDatabase db({"cpu"}, schema());
+  for (double cpu : {0.5, 1.0}) {
+    db.insert(cfg(0), {cpu}, q(10.0 / cpu));
+    db.insert(cfg(1), {cpu}, q(10.0 / cpu * 1.001));  // within 1%
+  }
+  PruneResult result = analyze_prune(db, 0.01);
+  ASSERT_EQ(result.kept.size(), 1u);
+  EXPECT_EQ(result.merged_into.size(), 1u);
+  EXPECT_EQ(result.merged_into.at(cfg(1).key()), cfg(0).key());
+}
+
+TEST(Prune, EqualConfigsMergeNotDominate) {
+  PerfDatabase db({"cpu"}, schema());
+  db.insert(cfg(0), {1.0}, q(10.0));
+  db.insert(cfg(1), {1.0}, q(10.0));
+  PruneResult result = analyze_prune(db, 1e-9);
+  EXPECT_EQ(result.kept.size(), 1u);
+  EXPECT_TRUE(result.dominated.empty());
+  EXPECT_EQ(result.merged_into.size(), 1u);
+}
+
+TEST(Prune, DisjointSampleSetsAreIncomparable) {
+  PerfDatabase db({"cpu"}, schema());
+  db.insert(cfg(0), {0.5}, q(10.0));
+  db.insert(cfg(1), {1.0}, q(999.0));  // sampled elsewhere only
+  PruneResult result = analyze_prune(db, 1e-6);
+  EXPECT_EQ(result.kept.size(), 2u);
+}
+
+TEST(Prune, ApplyProducesReducedDatabase) {
+  PerfDatabase db({"cpu"}, schema());
+  for (double cpu : {0.5, 1.0}) {
+    db.insert(cfg(0), {cpu}, q(10.0 / cpu));
+    db.insert(cfg(1), {cpu}, q(20.0 / cpu));
+  }
+  PerfDatabase pruned = apply_prune(db, analyze_prune(db, 1e-6));
+  EXPECT_EQ(pruned.configs().size(), 1u);
+  EXPECT_EQ(pruned.size(), 2u);
+  // Predictions for the kept config survive intact.
+  EXPECT_DOUBLE_EQ(pruned.predict(cfg(0), {1.0})->get("time"), 10.0);
+}
+
+TEST(Prune, MultiMetricTradeoffKept) {
+  MetricSchema s;
+  s.add("time", Direction::kLowerBetter);
+  s.add("quality", Direction::kHigherBetter);
+  PerfDatabase db({"cpu"}, s);
+  QosVector fast_low, slow_high;
+  fast_low.set("time", 1.0);
+  fast_low.set("quality", 2.0);
+  slow_high.set("time", 5.0);
+  slow_high.set("quality", 9.0);
+  db.insert(cfg(0), {1.0}, fast_low);
+  db.insert(cfg(1), {1.0}, slow_high);
+  PruneResult result = analyze_prune(db, 1e-6);
+  EXPECT_EQ(result.kept.size(), 2u);  // neither dominates across metrics
+}
+
+}  // namespace
+}  // namespace avf::perfdb

@@ -1,0 +1,87 @@
+#include "perfdb/sensitivity.hpp"
+
+#include <gtest/gtest.h>
+
+namespace avf::perfdb {
+namespace {
+
+using tunable::ConfigPoint;
+using tunable::Direction;
+using tunable::MetricSchema;
+using tunable::QosVector;
+
+MetricSchema schema() {
+  MetricSchema s;
+  s.add("time", Direction::kLowerBetter);
+  return s;
+}
+
+ConfigPoint cfg(int v) {
+  ConfigPoint p;
+  p.set("mode", v);
+  return p;
+}
+
+QosVector q(double time) {
+  QosVector out;
+  out.set("time", time);
+  return out;
+}
+
+TEST(Sensitivity, FlatRegionsProduceNoSuggestions) {
+  PerfDatabase db({"cpu"}, schema());
+  db.insert(cfg(0), {0.25}, q(10.0));
+  db.insert(cfg(0), {0.5}, q(10.5));
+  db.insert(cfg(0), {1.0}, q(11.0));
+  EXPECT_TRUE(sensitivity_analysis(db, 0.5).empty());
+}
+
+TEST(Sensitivity, SteepChangeSuggestsMidpoint) {
+  PerfDatabase db({"cpu"}, schema());
+  db.insert(cfg(0), {0.25}, q(100.0));
+  db.insert(cfg(0), {0.5}, q(10.0));  // 10x drop
+  db.insert(cfg(0), {1.0}, q(9.0));
+  auto suggestions = sensitivity_analysis(db, 0.5);
+  ASSERT_EQ(suggestions.size(), 1u);
+  EXPECT_EQ(suggestions[0].config, cfg(0));
+  EXPECT_DOUBLE_EQ(suggestions[0].point[0], 0.375);
+  EXPECT_EQ(suggestions[0].axis, "cpu");
+  EXPECT_GT(suggestions[0].relative_change, 0.5);
+}
+
+TEST(Sensitivity, SortedByStrengthAndDeduplicated) {
+  PerfDatabase db({"cpu"}, schema());
+  db.insert(cfg(0), {0.25}, q(100.0));
+  db.insert(cfg(0), {0.5}, q(10.0));    // change 0.9
+  db.insert(cfg(0), {1.0}, q(5.0));     // change 0.5
+  auto suggestions = sensitivity_analysis(db, 0.3);
+  ASSERT_EQ(suggestions.size(), 2u);
+  EXPECT_GT(suggestions[0].relative_change, suggestions[1].relative_change);
+}
+
+TEST(Sensitivity, MultiAxisNeighborsRequireMatchingOtherCoords) {
+  PerfDatabase db({"cpu", "bw"}, schema());
+  db.insert(cfg(0), {0.5, 100.0}, q(10.0));
+  db.insert(cfg(0), {1.0, 200.0}, q(100.0));
+  // No neighbor pair differs in exactly one axis -> no suggestions even
+  // though values change a lot.
+  EXPECT_TRUE(sensitivity_analysis(db, 0.1).empty());
+
+  db.insert(cfg(0), {1.0, 100.0}, q(50.0));
+  auto suggestions = sensitivity_analysis(db, 0.5);
+  EXPECT_FALSE(suggestions.empty());
+}
+
+TEST(Sensitivity, PerConfigIndependence) {
+  PerfDatabase db({"cpu"}, schema());
+  db.insert(cfg(0), {0.5}, q(10.0));
+  db.insert(cfg(0), {1.0}, q(10.2));
+  db.insert(cfg(1), {0.5}, q(10.0));
+  db.insert(cfg(1), {1.0}, q(100.0));
+  auto suggestions = sensitivity_analysis(db, 0.5);
+  ASSERT_EQ(suggestions.size(), 1u);
+  EXPECT_EQ(suggestions[0].config, cfg(1));
+}
+
+}  // namespace
+}  // namespace avf::perfdb

@@ -1,0 +1,63 @@
+#include "sandbox/admission.hpp"
+
+#include <gtest/gtest.h>
+
+namespace avf::sandbox {
+namespace {
+
+TEST(Admission, AdmitsWithinThreshold) {
+  AdmissionController ctl(0.9, 1e6, 1000);
+  Admission a = ctl.try_admit({.cpu_share = 0.5});
+  EXPECT_TRUE(a.valid());
+  Admission b = ctl.try_admit({.cpu_share = 0.4});
+  EXPECT_TRUE(b.valid());
+  EXPECT_DOUBLE_EQ(ctl.cpu_admitted(), 0.9);
+}
+
+TEST(Admission, RejectsOverCpuThreshold) {
+  AdmissionController ctl(0.9, 1e6, 1000);
+  Admission a = ctl.try_admit({.cpu_share = 0.7});
+  Admission b = ctl.try_admit({.cpu_share = 0.3});
+  EXPECT_TRUE(a.valid());
+  EXPECT_FALSE(b.valid());
+  EXPECT_DOUBLE_EQ(ctl.cpu_admitted(), 0.7);
+}
+
+TEST(Admission, RejectsOverNetOrMem) {
+  AdmissionController ctl(1.0, 100.0, 50);
+  EXPECT_FALSE(ctl.try_admit({.net_bps = 200.0}).valid());
+  EXPECT_FALSE(ctl.try_admit({.mem_bytes = 80}).valid());
+  EXPECT_TRUE(ctl.try_admit({.net_bps = 100.0, .mem_bytes = 50}).valid());
+}
+
+TEST(Admission, ReleaseFreesCapacity) {
+  AdmissionController ctl(1.0, 1e6, 1000);
+  {
+    Admission a = ctl.try_admit({.cpu_share = 0.8});
+    EXPECT_TRUE(a.valid());
+    EXPECT_FALSE(ctl.would_admit({.cpu_share = 0.5}));
+  }
+  EXPECT_TRUE(ctl.would_admit({.cpu_share = 0.5}));
+  EXPECT_DOUBLE_EQ(ctl.cpu_admitted(), 0.0);
+}
+
+TEST(Admission, ExplicitReleaseAndMove) {
+  AdmissionController ctl(1.0, 1e6, 1000);
+  Admission a = ctl.try_admit({.cpu_share = 0.5, .mem_bytes = 100});
+  Admission b = std::move(a);
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(b.valid());
+  b.release();
+  EXPECT_DOUBLE_EQ(ctl.cpu_admitted(), 0.0);
+  EXPECT_EQ(ctl.mem_admitted(), 0u);
+  b.release();  // no-op
+}
+
+TEST(Admission, InvalidTicketIsInert) {
+  Admission a;
+  EXPECT_FALSE(a.valid());
+  a.release();  // must not crash
+}
+
+}  // namespace
+}  // namespace avf::sandbox

@@ -1,0 +1,135 @@
+#include "sim/mailbox.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+
+namespace avf::sim {
+namespace {
+
+TEST(Mailbox, RecvAfterPushIsImmediate) {
+  Simulator sim;
+  Mailbox<int> box(sim);
+  int got = 0;
+  auto proc = [&]() -> Task<> { got = co_await box.recv(); };
+  box.push(7);
+  sim.spawn(proc());
+  sim.run();
+  EXPECT_EQ(got, 7);
+}
+
+TEST(Mailbox, RecvBlocksUntilPush) {
+  Simulator sim;
+  Mailbox<int> box(sim);
+  double recv_time = -1.0;
+  int got = 0;
+  auto receiver = [&]() -> Task<> {
+    got = co_await box.recv();
+    recv_time = sim.now();
+  };
+  sim.spawn(receiver());
+  sim.schedule(2.0, [&] { box.push(42); });
+  sim.run();
+  EXPECT_EQ(got, 42);
+  EXPECT_DOUBLE_EQ(recv_time, 2.0);
+}
+
+TEST(Mailbox, FifoOrderAcrossMultipleItems) {
+  Simulator sim;
+  Mailbox<int> box(sim);
+  std::vector<int> got;
+  auto receiver = [&]() -> Task<> {
+    for (int i = 0; i < 3; ++i) got.push_back(co_await box.recv());
+  };
+  sim.spawn(receiver());
+  sim.schedule(1.0, [&] {
+    box.push(1);
+    box.push(2);
+    box.push(3);
+  });
+  sim.run();
+  EXPECT_EQ(got, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Mailbox, MultipleWaitersServedFifo) {
+  Simulator sim;
+  Mailbox<std::string> box(sim);
+  std::vector<std::string> log;
+  auto receiver = [&](std::string name) -> Task<> {
+    std::string item = co_await box.recv();
+    log.push_back(name + ":" + item);
+  };
+  sim.spawn(receiver("first"));
+  sim.spawn(receiver("second"));
+  sim.schedule(1.0, [&] { box.push("a"); });
+  sim.schedule(2.0, [&] { box.push("b"); });
+  sim.run();
+  EXPECT_EQ(log, (std::vector<std::string>{"first:a", "second:b"}));
+}
+
+TEST(Mailbox, TryRecvDoesNotStealReservedItems) {
+  Simulator sim;
+  Mailbox<int> box(sim);
+  int got = 0;
+  auto receiver = [&]() -> Task<> { got = co_await box.recv(); };
+  sim.spawn(receiver());
+  sim.schedule(1.0, [&] {
+    box.push(5);
+    // The push reserved the item for the blocked receiver; try_recv must
+    // not see anything.
+    EXPECT_FALSE(box.try_recv().has_value());
+  });
+  sim.run();
+  EXPECT_EQ(got, 5);
+}
+
+TEST(Mailbox, TryRecvTakesUnreservedItem) {
+  Simulator sim;
+  Mailbox<int> box(sim);
+  box.push(9);
+  auto item = box.try_recv();
+  ASSERT_TRUE(item.has_value());
+  EXPECT_EQ(*item, 9);
+  EXPECT_FALSE(box.try_recv().has_value());
+}
+
+TEST(Mailbox, SizeTracksContents) {
+  Simulator sim;
+  Mailbox<int> box(sim);
+  EXPECT_TRUE(box.empty());
+  box.push(1);
+  box.push(2);
+  EXPECT_EQ(box.size(), 2u);
+}
+
+TEST(Mailbox, StressManyItemsManyWaiters) {
+  Simulator sim;
+  Mailbox<int> box(sim);
+  constexpr int kItems = 100;
+  std::vector<int> got;
+  auto receiver = [&]() -> Task<> {
+    for (;;) {
+      int v = co_await box.recv();
+      got.push_back(v);
+      if (v == kItems - 1) co_return;
+    }
+  };
+  sim.spawn(receiver());
+  auto sender = [&]() -> Task<> {
+    for (int i = 0; i < kItems; ++i) {
+      box.push(i);
+      if (i % 7 == 0) co_await sim.delay(0.001);
+    }
+  };
+  sim.spawn(sender());
+  sim.run();
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kItems));
+  for (int i = 0; i < kItems; ++i) EXPECT_EQ(got[i], i);
+}
+
+}  // namespace
+}  // namespace avf::sim

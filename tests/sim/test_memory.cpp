@@ -1,0 +1,70 @@
+#include "sim/memory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace avf::sim {
+namespace {
+
+TEST(Memory, ReserveAndReleaseTracksUsage) {
+  MemoryResource mem("m", 1000);
+  {
+    MemoryReservation r = mem.reserve(1, 400);
+    EXPECT_EQ(mem.used(), 400u);
+    EXPECT_EQ(mem.used_by(1), 400u);
+    EXPECT_EQ(mem.available(), 600u);
+  }
+  EXPECT_EQ(mem.used(), 0u);
+  EXPECT_EQ(mem.used_by(1), 0u);
+}
+
+TEST(Memory, DeniesOverCapacity) {
+  MemoryResource mem("m", 100);
+  MemoryReservation a = mem.reserve(1, 80);
+  MemoryReservation b = mem.try_reserve(2, 30);
+  EXPECT_FALSE(b.valid());
+  EXPECT_THROW((void)mem.reserve(2, 30), std::runtime_error);
+}
+
+TEST(Memory, PerOwnerCapEnforced) {
+  MemoryResource mem("m", 1000);
+  mem.set_cap(7, 100);
+  MemoryReservation a = mem.try_reserve(7, 90);
+  EXPECT_TRUE(a.valid());
+  MemoryReservation b = mem.try_reserve(7, 20);
+  EXPECT_FALSE(b.valid());
+  // Other owners are unaffected.
+  MemoryReservation c = mem.try_reserve(8, 500);
+  EXPECT_TRUE(c.valid());
+}
+
+TEST(Memory, RemoveCapRestoresUnlimited) {
+  MemoryResource mem("m", 1000);
+  mem.set_cap(7, 10);
+  EXPECT_FALSE(mem.try_reserve(7, 20).valid());
+  mem.remove_cap(7);
+  EXPECT_TRUE(mem.try_reserve(7, 20).valid());
+}
+
+TEST(Memory, MoveTransfersOwnership) {
+  MemoryResource mem("m", 100);
+  MemoryReservation a = mem.reserve(1, 50);
+  MemoryReservation b = std::move(a);
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(b.valid());
+  EXPECT_EQ(mem.used(), 50u);
+  b.release();
+  EXPECT_EQ(mem.used(), 0u);
+  b.release();  // double release is a no-op
+}
+
+TEST(Memory, MoveAssignReleasesPrevious) {
+  MemoryResource mem("m", 100);
+  MemoryReservation a = mem.reserve(1, 40);
+  MemoryReservation b = mem.reserve(2, 30);
+  a = std::move(b);
+  EXPECT_EQ(mem.used(), 30u);  // the 40-byte hold was released
+  EXPECT_EQ(mem.used_by(2), 30u);
+}
+
+}  // namespace
+}  // namespace avf::sim

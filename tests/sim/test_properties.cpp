@@ -1,0 +1,189 @@
+// Property tests: invariants of the simulation kernel under randomized
+// workloads — work conservation, capacity limits, determinism.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/fluid_resource.hpp"
+#include "sim/host.hpp"
+#include "sim/link.hpp"
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+#include "util/rng.hpp"
+
+namespace avf::sim {
+namespace {
+
+/// Randomized consumer mix on one resource: random amounts, caps, weights,
+/// arrival times, plus random mid-flight cap changes.
+struct RandomWorkload {
+  explicit RandomWorkload(std::uint64_t seed) : rng(seed) {}
+
+  util::SplitMix64 rng;
+  double total_requested = 0.0;
+  int completions = 0;
+
+  void build(Simulator& sim, FluidResource& res, int consumers) {
+    for (int i = 0; i < consumers; ++i) {
+      double amount = rng.uniform(1e3, 5e6);
+      double cap = rng.uniform(0.05, 1.0);
+      double weight = rng.uniform(0.1, 4.0);
+      double arrival = rng.uniform(0.0, 2.0);
+      total_requested += amount;
+      ShareSlotPtr slot = make_share_slot(cap, weight);
+      sim.schedule(arrival, [&sim, &res, this, amount, slot] {
+        auto consumer = [](RandomWorkload* self, FluidResource* r,
+                           double amt, ShareSlotPtr s) -> Task<> {
+          co_await r->consume(amt, s, kNoOwner);
+          ++self->completions;
+        };
+        sim.spawn(consumer(this, &res, amount, slot));
+      });
+      // Random cap churn.
+      double change_at = rng.uniform(0.5, 4.0);
+      double new_cap = rng.uniform(0.05, 1.0);
+      sim.schedule(change_at, [&res, slot, new_cap] {
+        slot->cap = new_cap;
+        res.reallocate();
+      });
+    }
+  }
+};
+
+class FluidPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FluidPropertyTest, WorkIsConservedUnderChurn) {
+  Simulator sim;
+  FluidResource res(sim, "cpu", 3e6);
+  RandomWorkload workload(GetParam());
+  workload.build(sim, res, 24);
+  sim.run();
+  EXPECT_EQ(workload.completions, 24);
+  // Everything requested was served, nothing more (relative tolerance for
+  // float accumulation over many reallocation cycles).
+  EXPECT_NEAR(res.total_served(), workload.total_requested,
+              1e-6 * workload.total_requested);
+}
+
+TEST_P(FluidPropertyTest, AllocatedRateNeverExceedsCapacity) {
+  Simulator sim;
+  FluidResource res(sim, "cpu", 3e6);
+  RandomWorkload workload(GetParam() ^ 0xABCDEF);
+  workload.build(sim, res, 16);
+  double max_alloc = 0.0;
+  // Sample the allocation at fine granularity through the run.
+  for (int i = 0; i < 500; ++i) {
+    sim.schedule(i * 0.01, [&] {
+      max_alloc = std::max(max_alloc, res.allocated_rate());
+    });
+  }
+  sim.run();
+  EXPECT_LE(max_alloc, 3e6 * (1.0 + 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FluidPropertyTest,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 99999u));
+
+TEST(FluidProperty, CapsAreRespectedAtEveryInstant) {
+  // A capped consumer must never progress faster than cap * capacity,
+  // regardless of competition coming and going.
+  Simulator sim;
+  FluidResource res(sim, "cpu", 1e6);
+  ShareSlotPtr capped = make_share_slot(0.3);
+  OwnerId owner = sim.new_owner_id();
+  auto consumer = [&]() -> Task<> {
+    co_await res.consume(2e6, capped, owner);
+  };
+  sim.spawn(consumer());
+  // Competitors churn.
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(0.3 * i, [&sim, &res] {
+      auto other = [](FluidResource* r) -> Task<> {
+        co_await r->consume(1e5, make_share_slot());
+      };
+      sim.spawn(other(&res));
+    });
+  }
+  double last_served = 0.0;
+  double last_time = 0.0;
+  bool violated = false;
+  for (int i = 1; i <= 100; ++i) {
+    sim.schedule(0.1 * i, [&, i] {
+      double served = res.served(owner);
+      double rate = (served - last_served) / (0.1);
+      if (rate > 0.3 * 1e6 * (1 + 1e-9)) violated = true;
+      last_served = served;
+      last_time = 0.1 * i;
+    });
+  }
+  sim.run();
+  EXPECT_FALSE(violated);
+}
+
+TEST(SimDeterminism, IdenticalRunsProduceIdenticalTraces) {
+  auto run_once = [](std::uint64_t seed) {
+    Simulator sim;
+    FluidResource res(sim, "cpu", 2e6);
+    RandomWorkload workload(seed);
+    workload.build(sim, res, 20);
+    sim.run();
+    return std::make_tuple(sim.now(), sim.events_processed(),
+                           res.total_served());
+  };
+  auto a = run_once(17);
+  auto b = run_once(17);
+  EXPECT_EQ(a, b);
+}
+
+TEST(SimDeterminism, MessageTimelineIsReproducible) {
+  auto run_once = []() {
+    Simulator sim;
+    Link link(sim, "l", 1e5, 0.003);
+    Channel ch(link);
+    std::vector<double> deliveries;
+    auto sender = [&]() -> Task<> {
+      util::SplitMix64 rng(5);
+      for (int i = 0; i < 50; ++i) {
+        Message m;
+        m.kind = i;
+        m.payload.assign(100 + rng.next_below(5000), 0);
+        co_await ch.a().send(std::move(m));
+        co_await sim.delay(rng.uniform(0.0, 0.05));
+      }
+    };
+    auto receiver = [&]() -> Task<> {
+      for (int i = 0; i < 50; ++i) {
+        Message m = co_await ch.b().recv();
+        deliveries.push_back(m.delivered_at);
+      }
+    };
+    sim.spawn(receiver());
+    sim.spawn(sender());
+    sim.run();
+    return deliveries;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(FluidProperty, ManySmallRequestsMatchOneBigRequest) {
+  // Chunked consumption takes the same simulated time as one large
+  // request when the consumer is alone (no scheduling artifacts).
+  auto timed = [](int chunks) {
+    Simulator sim;
+    FluidResource res(sim, "cpu", 1e6);
+    double done = -1.0;
+    auto consumer = [&, chunks]() -> Task<> {
+      for (int i = 0; i < chunks; ++i) {
+        co_await res.consume(3e6 / chunks, make_share_slot(0.5));
+      }
+      done = sim.now();
+    };
+    sim.spawn(consumer());
+    sim.run();
+    return done;
+  };
+  EXPECT_NEAR(timed(1), timed(100), 1e-6);
+}
+
+}  // namespace
+}  // namespace avf::sim

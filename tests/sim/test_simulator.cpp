@@ -1,0 +1,129 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace avf::sim {
+namespace {
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0.0);
+}
+
+TEST(Simulator, FiresEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(2.0, [&] { order.push_back(2); });
+  sim.schedule(1.0, [&] { order.push_back(1); });
+  sim.schedule(3.0, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, EqualTimestampsFireFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, NestedSchedulingAdvancesClock) {
+  Simulator sim;
+  double inner_time = -1.0;
+  sim.schedule(1.0, [&] {
+    sim.schedule(0.5, [&] { inner_time = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(inner_time, 1.5);
+}
+
+TEST(Simulator, RejectsNegativeDelay) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, RejectsSchedulingInThePast) {
+  Simulator sim;
+  sim.schedule(2.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  EventHandle h = sim.schedule(1.0, [&] { fired = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelAfterFireIsNoop) {
+  Simulator sim;
+  EventHandle h = sim.schedule(1.0, [] {});
+  sim.run();
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // must not crash
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  std::vector<double> fired;
+  sim.schedule(1.0, [&] { fired.push_back(1.0); });
+  sim.schedule(2.0, [&] { fired.push_back(2.0); });
+  sim.schedule(5.0, [&] { fired.push_back(5.0); });
+  sim.run_until(3.0);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(sim.now(), 3.0);
+  sim.run();
+  EXPECT_EQ(fired.size(), 3u);
+}
+
+TEST(Simulator, RunUntilIncludesBoundaryEvents) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule(3.0, [&] { fired = true; });
+  sim.run_until(3.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, StepExecutesOneEvent) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule(1.0, [&] { ++count; });
+  sim.schedule(2.0, [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, CountsProcessedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 10; ++i) sim.schedule(1.0, [] {});
+  EventHandle h = sim.schedule(1.0, [] {});
+  h.cancel();
+  sim.run();
+  EXPECT_EQ(sim.events_processed(), 10u);  // cancelled event not counted
+}
+
+TEST(Simulator, OwnerIdsAreUnique) {
+  Simulator sim;
+  OwnerId a = sim.new_owner_id();
+  OwnerId b = sim.new_owner_id();
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, kNoOwner);
+}
+
+}  // namespace
+}  // namespace avf::sim

@@ -1,0 +1,64 @@
+#include "tunable/app_spec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace avf::tunable {
+namespace {
+
+AppSpec make_spec() {
+  AppSpec spec("demo");
+  spec.space().add_parameter("mode", {0, 1});
+  spec.metrics().add("latency", Direction::kLowerBetter);
+  spec.add_resource_axis("cpu_share");
+  return spec;
+}
+
+TEST(AppSpec, BasicDeclarations) {
+  AppSpec spec = make_spec();
+  EXPECT_EQ(spec.name(), "demo");
+  EXPECT_EQ(spec.space().parameter_count(), 1u);
+  EXPECT_EQ(spec.resource_axes(),
+            (std::vector<std::string>{"cpu_share"}));
+  EXPECT_THROW(spec.add_resource_axis("cpu_share"), std::invalid_argument);
+}
+
+TEST(AppSpec, TaskGuardsFilterActiveTasks) {
+  AppSpec spec = make_spec();
+  spec.add_task(TaskSpec{.name = "always",
+                         .params = {"mode"},
+                         .resources = {},
+                         .metrics = {"latency"},
+                         .guard = nullptr});
+  spec.add_task(TaskSpec{
+      .name = "mode1-only",
+      .params = {"mode"},
+      .resources = {},
+      .metrics = {},
+      .guard = [](const ConfigPoint& p) { return p.get("mode") == 1; }});
+
+  ConfigPoint mode0;
+  mode0.set("mode", 0);
+  auto active0 = spec.active_tasks(mode0);
+  ASSERT_EQ(active0.size(), 1u);
+  EXPECT_EQ(active0[0]->name, "always");
+
+  ConfigPoint mode1;
+  mode1.set("mode", 1);
+  EXPECT_EQ(spec.active_tasks(mode1).size(), 2u);
+}
+
+TEST(AppSpec, TransitionsStored) {
+  AppSpec spec = make_spec();
+  int fired = 0;
+  spec.add_transition(TransitionSpec{
+      .name = "t",
+      .guard = nullptr,
+      .handler = [&](const ConfigPoint&, const ConfigPoint&) { ++fired; }});
+  ASSERT_EQ(spec.transitions().size(), 1u);
+  ConfigPoint p;
+  spec.transitions()[0].handler(p, p);
+  EXPECT_EQ(fired, 1);
+}
+
+}  // namespace
+}  // namespace avf::tunable

@@ -1,0 +1,100 @@
+#include "tunable/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace avf::tunable {
+namespace {
+
+TEST(ConfigPoint, SetGetAndKey) {
+  ConfigPoint p;
+  p.set("dR", 80);
+  p.set("c", 1);
+  p.set("l", 4);
+  EXPECT_EQ(p.get("dR"), 80);
+  EXPECT_EQ(p.key(), "c=1,dR=80,l=4");  // canonical: sorted by name
+  EXPECT_THROW(p.get("missing"), std::out_of_range);
+  EXPECT_EQ(p.try_get("missing"), std::nullopt);
+}
+
+TEST(ConfigPoint, WithReturnsModifiedCopy) {
+  ConfigPoint p;
+  p.set("a", 1);
+  ConfigPoint q = p.with("a", 2);
+  EXPECT_EQ(p.get("a"), 1);
+  EXPECT_EQ(q.get("a"), 2);
+}
+
+TEST(ConfigPoint, ParseRoundTrips) {
+  ConfigPoint p;
+  p.set("dR", 320);
+  p.set("c", 2);
+  EXPECT_EQ(ConfigPoint::parse(p.key()), p);
+  EXPECT_THROW(ConfigPoint::parse("noequals"), std::invalid_argument);
+  EXPECT_THROW(ConfigPoint::parse("=5"), std::invalid_argument);
+}
+
+TEST(ConfigPoint, Ordering) {
+  ConfigPoint a, b;
+  a.set("x", 1);
+  b.set("x", 2);
+  EXPECT_LT(a, b);
+  EXPECT_NE(a, b);
+}
+
+TEST(ConfigSpace, EnumeratesCartesianProduct) {
+  ConfigSpace space;
+  space.add_parameter("a", {1, 2});
+  space.add_parameter("b", {10, 20, 30});
+  auto all = space.enumerate();
+  EXPECT_EQ(all.size(), 6u);
+  // First point is all-first-values; last is all-last-values.
+  EXPECT_EQ(all.front().get("a"), 1);
+  EXPECT_EQ(all.front().get("b"), 10);
+  EXPECT_EQ(all.back().get("a"), 2);
+  EXPECT_EQ(all.back().get("b"), 30);
+}
+
+TEST(ConfigSpace, GuardsFilterEnumeration) {
+  ConfigSpace space;
+  space.add_parameter("a", {1, 2, 3});
+  space.add_parameter("b", {1, 2, 3});
+  space.add_guard("a <= b",
+                  [](const ConfigPoint& p) { return p.get("a") <= p.get("b"); });
+  auto all = space.enumerate();
+  EXPECT_EQ(all.size(), 6u);  // upper triangle of 3x3
+  for (const auto& p : all) EXPECT_LE(p.get("a"), p.get("b"));
+}
+
+TEST(ConfigSpace, ValidChecksDomainAndGuards) {
+  ConfigSpace space;
+  space.add_parameter("a", {1, 2});
+  space.add_guard("a != 2", [](const ConfigPoint& p) { return p.get("a") != 2; });
+  ConfigPoint ok;
+  ok.set("a", 1);
+  EXPECT_TRUE(space.valid(ok));
+  ConfigPoint guard_fail;
+  guard_fail.set("a", 2);
+  EXPECT_FALSE(space.valid(guard_fail));
+  ConfigPoint out_of_domain;
+  out_of_domain.set("a", 5);
+  EXPECT_FALSE(space.valid(out_of_domain));
+  ConfigPoint missing_param;
+  EXPECT_FALSE(space.valid(missing_param));
+}
+
+TEST(ConfigSpace, RejectsBadDeclarations) {
+  ConfigSpace space;
+  EXPECT_THROW(space.add_parameter("a", {}), std::invalid_argument);
+  space.add_parameter("a", {1});
+  EXPECT_THROW(space.add_parameter("a", {2}), std::invalid_argument);
+  EXPECT_THROW(space.parameter("zz"), std::out_of_range);
+  EXPECT_EQ(space.parameter("a").values.size(), 1u);
+}
+
+TEST(ConfigSpace, EmptySpaceEnumeratesNothing) {
+  ConfigSpace space;
+  EXPECT_TRUE(space.enumerate().empty());
+}
+
+}  // namespace
+}  // namespace avf::tunable

@@ -1,0 +1,70 @@
+#include "tunable/qos.hpp"
+
+#include <gtest/gtest.h>
+
+namespace avf::tunable {
+namespace {
+
+QosVector make(double transmit, double resolution) {
+  QosVector q;
+  q.set("transmit_time", transmit);
+  q.set("resolution", resolution);
+  return q;
+}
+
+MetricSchema schema() {
+  MetricSchema s;
+  s.add("transmit_time", Direction::kLowerBetter);
+  s.add("resolution", Direction::kHigherBetter);
+  return s;
+}
+
+TEST(Qos, AtLeastAsGoodRespectsDirection) {
+  EXPECT_TRUE(at_least_as_good(1.0, 2.0, Direction::kLowerBetter));
+  EXPECT_FALSE(at_least_as_good(3.0, 2.0, Direction::kLowerBetter));
+  EXPECT_TRUE(at_least_as_good(3.0, 2.0, Direction::kHigherBetter));
+  EXPECT_TRUE(at_least_as_good(2.0, 2.0, Direction::kHigherBetter));
+}
+
+TEST(Qos, VectorAccess) {
+  QosVector q = make(5.0, 4.0);
+  EXPECT_EQ(q.get("transmit_time"), 5.0);
+  EXPECT_THROW(q.get("nope"), std::out_of_range);
+  EXPECT_FALSE(q.try_get("nope").has_value());
+}
+
+TEST(MetricSchemaTest, RejectsDuplicates) {
+  MetricSchema s;
+  s.add("m", Direction::kLowerBetter);
+  EXPECT_THROW(s.add("m", Direction::kHigherBetter), std::invalid_argument);
+  EXPECT_THROW(s.metric("other"), std::out_of_range);
+}
+
+TEST(MetricSchemaTest, DominanceRequiresAllAndStrict) {
+  MetricSchema s = schema();
+  // Better on both -> dominates.
+  EXPECT_TRUE(s.dominates(make(1.0, 4.0), make(2.0, 3.0)));
+  // Equal everywhere -> no strict domination.
+  EXPECT_FALSE(s.dominates(make(1.0, 4.0), make(1.0, 4.0)));
+  // Trade-off -> no domination either way.
+  EXPECT_FALSE(s.dominates(make(1.0, 3.0), make(2.0, 4.0)));
+  EXPECT_FALSE(s.dominates(make(2.0, 4.0), make(1.0, 3.0)));
+  // Better on one, equal on the other -> dominates.
+  EXPECT_TRUE(s.dominates(make(1.0, 4.0), make(2.0, 4.0)));
+}
+
+TEST(MetricSchemaTest, EquivalenceIsRelative) {
+  MetricSchema s = schema();
+  EXPECT_TRUE(s.equivalent(make(100.0, 4.0), make(101.0, 4.0), 0.02));
+  EXPECT_FALSE(s.equivalent(make(100.0, 4.0), make(110.0, 4.0), 0.02));
+  EXPECT_TRUE(s.equivalent(make(0.0, 0.0), make(0.001, 0.0), 0.01));
+}
+
+TEST(MetricSchemaTest, NamesInDeclarationOrder) {
+  MetricSchema s = schema();
+  EXPECT_EQ(s.names(),
+            (std::vector<std::string>{"transmit_time", "resolution"}));
+}
+
+}  // namespace
+}  // namespace avf::tunable

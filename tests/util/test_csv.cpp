@@ -1,0 +1,96 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace avf::util {
+namespace {
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter w(out, {"a", "b"});
+  w.row({"1", "2"});
+  w.row({"x", "y"});
+  EXPECT_EQ(out.str(), "a,b\n1,2\nx,y\n");
+}
+
+TEST(CsvWriter, RejectsRaggedRow) {
+  std::ostringstream out;
+  CsvWriter w(out, {"a", "b"});
+  EXPECT_THROW(w.row({"only-one"}), std::invalid_argument);
+}
+
+TEST(CsvWriter, QuotesSpecialCharacters) {
+  std::ostringstream out;
+  CsvWriter w(out, {"v"});
+  w.row({"has,comma"});
+  w.row({"has\"quote"});
+  EXPECT_EQ(out.str(), "v\n\"has,comma\"\n\"has\"\"quote\"\n");
+}
+
+TEST(CsvEscape, PassesPlainFieldsThrough) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape(""), "");
+}
+
+TEST(CsvRead, ParsesSimpleDocument) {
+  std::istringstream in("a,b\n1,2\n3,4\n");
+  CsvDocument doc = read_csv(in);
+  ASSERT_EQ(doc.header, (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(doc.rows.size(), 2u);
+  EXPECT_EQ(doc.rows[0], (std::vector<std::string>{"1", "2"}));
+  EXPECT_EQ(doc.rows[1], (std::vector<std::string>{"3", "4"}));
+}
+
+TEST(CsvRead, HandlesQuotedFields) {
+  std::istringstream in("v\n\"a,b\"\n\"with\"\"quote\"\n");
+  CsvDocument doc = read_csv(in);
+  ASSERT_EQ(doc.rows.size(), 2u);
+  EXPECT_EQ(doc.rows[0][0], "a,b");
+  EXPECT_EQ(doc.rows[1][0], "with\"quote");
+}
+
+TEST(CsvRead, HandlesCrLfAndMissingTrailingNewline) {
+  std::istringstream in("a,b\r\n1,2\r\n3,4");
+  CsvDocument doc = read_csv(in);
+  ASSERT_EQ(doc.rows.size(), 2u);
+  EXPECT_EQ(doc.rows[1][1], "4");
+}
+
+TEST(CsvRead, SkipsBlankLines) {
+  std::istringstream in("a\n\n1\n\n2\n");
+  CsvDocument doc = read_csv(in);
+  EXPECT_EQ(doc.rows.size(), 2u);
+}
+
+TEST(CsvRead, ThrowsOnRaggedRow) {
+  std::istringstream in("a,b\n1\n");
+  EXPECT_THROW(read_csv(in), std::runtime_error);
+}
+
+TEST(CsvRead, ThrowsOnUnterminatedQuote) {
+  std::istringstream in("a\n\"oops\n");
+  EXPECT_THROW(read_csv(in), std::runtime_error);
+}
+
+TEST(CsvRead, ColumnLookup) {
+  std::istringstream in("x,y,z\n1,2,3\n");
+  CsvDocument doc = read_csv(in);
+  EXPECT_EQ(doc.column("y"), 1u);
+  EXPECT_THROW(doc.column("missing"), std::out_of_range);
+}
+
+TEST(CsvRoundTrip, WriterOutputParsesBack) {
+  std::ostringstream out;
+  CsvWriter w(out, {"name", "value"});
+  w.row({"weird,\"field\"", "0.125"});
+  std::istringstream in(out.str());
+  CsvDocument doc = read_csv(in);
+  ASSERT_EQ(doc.rows.size(), 1u);
+  EXPECT_EQ(doc.rows[0][0], "weird,\"field\"");
+  EXPECT_EQ(doc.rows[0][1], "0.125");
+}
+
+}  // namespace
+}  // namespace avf::util

@@ -1,0 +1,76 @@
+#include "util/fmt.hpp"
+
+#include <gtest/gtest.h>
+
+namespace avf::util {
+namespace {
+
+TEST(Fmt, PlainText) { EXPECT_EQ(format("hello"), "hello"); }
+
+TEST(Fmt, DefaultPlaceholders) {
+  EXPECT_EQ(format("{} {} {}", 1, "two", 3.5), "1 two 3.5");
+}
+
+TEST(Fmt, EscapedBraces) {
+  EXPECT_EQ(format("{{}} {}", 7), "{} 7");
+  EXPECT_EQ(format("a}}b"), "a}b");
+}
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(format("{:.3f}", 1.23456), "1.235");
+  EXPECT_EQ(format("{:.0f}", 2.6), "3");
+}
+
+TEST(Fmt, ScientificStyle) {
+  EXPECT_EQ(format("{:.2e}", 12345.0), "1.23e+04");
+}
+
+TEST(Fmt, WidthRightAlignsNumbers) {
+  EXPECT_EQ(format("{:>6}", 42), "    42");
+  EXPECT_EQ(format("{:6}", 42), "    42");  // numeric default is right
+}
+
+TEST(Fmt, WidthLeftAlignsStrings) {
+  EXPECT_EQ(format("{:<6}x", "ab"), "ab    x");
+  EXPECT_EQ(format("{:6}x", "ab"), "ab    x");  // string default is left
+}
+
+TEST(Fmt, DynamicWidth) {
+  EXPECT_EQ(format("{:>{}}", "ab", 5), "   ab");
+}
+
+TEST(Fmt, DynamicPrecision) {
+  EXPECT_EQ(format("{:.{}f}", 3.14159, 2), "3.14");
+}
+
+TEST(Fmt, Integers) {
+  EXPECT_EQ(format("{}", -17), "-17");
+  EXPECT_EQ(format("{}", 18446744073709551615ULL), "18446744073709551615");
+  EXPECT_EQ(format("{:x}", 255), "ff");
+}
+
+TEST(Fmt, Bools) { EXPECT_EQ(format("{} {}", true, false), "true false"); }
+
+TEST(Fmt, DoublesRoundTrip) {
+  EXPECT_EQ(format("{}", 0.5), "0.5");
+  EXPECT_EQ(format("{}", 100.0), "100");
+  // A value that needs many digits round-trips exactly.
+  double v = 0.1 + 0.2;
+  EXPECT_EQ(std::strtod(format("{}", v).c_str(), nullptr), v);
+}
+
+TEST(Fmt, TooFewArgumentsThrows) {
+  EXPECT_THROW(format("{} {}", 1), std::invalid_argument);
+}
+
+TEST(Fmt, UnmatchedBraceThrows) {
+  EXPECT_THROW(format("{", 1), std::invalid_argument);
+  EXPECT_THROW((void)format("}"), std::invalid_argument);
+}
+
+TEST(Fmt, StringPrecisionTruncates) {
+  EXPECT_EQ(format("{:.3}", std::string("abcdef")), "abc");
+}
+
+}  // namespace
+}  // namespace avf::util

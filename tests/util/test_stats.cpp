@@ -1,0 +1,109 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace avf::util {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MeanAndVariance) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, ResetClears) {
+  RunningStats s;
+  s.add(10.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(TimeWindow, EvictsOldSamples) {
+  TimeWindow w(1.0);
+  w.add(0.0, 1.0);
+  w.add(0.5, 2.0);
+  w.add(2.0, 3.0);  // horizon 1.0: samples before t=1.0 evicted
+  EXPECT_EQ(w.size(), 1u);
+  EXPECT_EQ(w.latest(), 3.0);
+}
+
+TEST(TimeWindow, MeanMinMax) {
+  TimeWindow w(10.0);
+  w.add(1.0, 4.0);
+  w.add(2.0, 8.0);
+  w.add(3.0, 6.0);
+  EXPECT_DOUBLE_EQ(w.mean(), 6.0);
+  EXPECT_DOUBLE_EQ(w.min(), 4.0);
+  EXPECT_DOUBLE_EQ(w.max(), 8.0);
+}
+
+TEST(TimeWindow, SlopeOfLinearSeries) {
+  TimeWindow w(100.0);
+  for (int i = 0; i < 10; ++i) {
+    w.add(static_cast<double>(i), 3.0 * i + 1.0);
+  }
+  EXPECT_NEAR(w.slope(), 3.0, 1e-12);
+}
+
+TEST(TimeWindow, SlopeDegenerateCases) {
+  TimeWindow w(100.0);
+  EXPECT_EQ(w.slope(), 0.0);
+  w.add(1.0, 5.0);
+  EXPECT_EQ(w.slope(), 0.0);  // single sample
+  w.add(1.0, 9.0);
+  EXPECT_EQ(w.slope(), 0.0);  // zero time spread
+}
+
+TEST(Ewma, ConvergesTowardInput) {
+  Ewma e(0.5);
+  EXPECT_FALSE(e.has_value());
+  e.add(10.0);
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);
+  e.add(0.0);
+  EXPECT_DOUBLE_EQ(e.value(), 5.0);
+  e.add(0.0);
+  EXPECT_DOUBLE_EQ(e.value(), 2.5);
+}
+
+TEST(Percentile, InterpolatesBetweenRanks) {
+  std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 2.5);
+}
+
+TEST(Percentile, EmptyReturnsZero) {
+  EXPECT_EQ(percentile({}, 0.5), 0.0);
+}
+
+class TimeWindowHorizonTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(TimeWindowHorizonTest, KeepsOnlySamplesInsideHorizon) {
+  double horizon = GetParam();
+  TimeWindow w(horizon);
+  for (int i = 0; i <= 100; ++i) w.add(0.1 * i, 1.0);
+  // All retained samples must be within the horizon of the newest (t=10).
+  for (const auto& [t, v] : w.samples()) {
+    EXPECT_GE(t, 10.0 - horizon - 1e-12);
+  }
+  EXPECT_FALSE(w.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Horizons, TimeWindowHorizonTest,
+                         ::testing::Values(0.05, 0.5, 1.0, 3.7, 20.0));
+
+}  // namespace
+}  // namespace avf::util

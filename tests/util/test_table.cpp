@@ -1,0 +1,49 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace avf::util {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"x", "1.5"});
+  t.add_row({"longer", "10"});
+  std::ostringstream out;
+  t.print(out);
+  std::string s = out.str();
+  // Numeric column is right-aligned: "1.5" and "10" end at the same column.
+  std::vector<std::string> lines;
+  std::istringstream is(s);
+  for (std::string line; std::getline(is, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 4u);  // header, rule, 2 rows
+  EXPECT_EQ(lines[2].size(), lines[3].size());
+  EXPECT_TRUE(lines[2].ends_with("1.5"));
+  EXPECT_TRUE(lines[3].ends_with("10"));
+  // Text column is left-aligned.
+  EXPECT_TRUE(lines[2].starts_with("x "));
+  EXPECT_TRUE(lines[3].starts_with("longer"));
+}
+
+TEST(TextTable, RejectsRaggedRows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), std::invalid_argument);
+}
+
+TEST(TextTable, NumFormatsPrecision) {
+  EXPECT_EQ(TextTable::num(1.23456, 2), "1.23");
+  EXPECT_EQ(TextTable::num(2.0), "2.000");
+}
+
+TEST(TextTable, PrintsRuleUnderHeader) {
+  TextTable t({"ab"});
+  t.add_row({"x"});
+  std::ostringstream out;
+  t.print(out);
+  EXPECT_NE(out.str().find("--"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace avf::util

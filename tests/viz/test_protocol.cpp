@@ -1,0 +1,97 @@
+#include "viz/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+namespace avf::viz {
+namespace {
+
+TEST(Protocol, OpenImageRoundTrip) {
+  OpenImage m{.image_id = 12345, .level = 4, .codec = 2};
+  OpenImage back = decode_open_image(encode(m));
+  EXPECT_EQ(back.image_id, 12345u);
+  EXPECT_EQ(back.level, 4);
+  EXPECT_EQ(back.codec, 2);
+}
+
+TEST(Protocol, OpenAckRoundTrip) {
+  OpenAck m{.width = 1024, .height = 768, .levels = 4};
+  OpenAck back = decode_open_ack(encode(m));
+  EXPECT_EQ(back.width, 1024);
+  EXPECT_EQ(back.height, 768);
+  EXPECT_EQ(back.levels, 4);
+}
+
+TEST(Protocol, RequestRoundTrip) {
+  Request m{.cx = 512, .cy = 600, .half = 320, .level = 3};
+  Request back = decode_request(encode(m));
+  EXPECT_EQ(back.cx, 512);
+  EXPECT_EQ(back.cy, 600);
+  EXPECT_EQ(back.half, 320);
+  EXPECT_EQ(back.level, 3);
+}
+
+TEST(Protocol, ReplyRoundTrip) {
+  Reply m;
+  m.complete = true;
+  m.codec = 1;
+  m.premeasured = false;
+  m.raw_len = 100000;
+  m.wire_len = 55000;
+  m.payload = {1, 2, 3, 4, 5};
+  sim::Message wire = encode(m);
+  EXPECT_EQ(wire.wire_size_override, 0u);  // real payload: no override
+  Reply back = decode_reply(std::move(wire));
+  EXPECT_TRUE(back.complete);
+  EXPECT_EQ(back.codec, 1);
+  EXPECT_EQ(back.raw_len, 100000u);
+  EXPECT_EQ(back.wire_len, 55000u);
+  EXPECT_EQ(back.payload, (std::vector<std::uint8_t>{1, 2, 3, 4, 5}));
+}
+
+TEST(Protocol, PremeasuredReplyOverridesWireSize) {
+  Reply m;
+  m.premeasured = true;
+  m.raw_len = 1000;
+  m.wire_len = 400;
+  m.payload.assign(1000, 7);  // raw bytes shipped
+  sim::Message wire = encode(m);
+  // Charged as compressed size + protocol header + frame header.
+  EXPECT_EQ(wire.wire_size_override,
+            400u + 11u + sim::kMessageHeaderBytes);
+  EXPECT_EQ(wire.wire_size(), wire.wire_size_override);
+  Reply back = decode_reply(std::move(wire));
+  EXPECT_TRUE(back.premeasured);
+  EXPECT_EQ(back.payload.size(), 1000u);
+}
+
+TEST(Protocol, SetCodecRoundTrip) {
+  SetCodec back = decode_set_codec(encode(SetCodec{.codec = 2}));
+  EXPECT_EQ(back.codec, 2);
+}
+
+TEST(Protocol, KindMismatchThrows) {
+  sim::Message m = encode(SetCodec{.codec = 1});
+  EXPECT_THROW(decode_request(m), std::runtime_error);
+  EXPECT_THROW(decode_open_image(m), std::runtime_error);
+}
+
+TEST(Protocol, TruncatedPayloadThrows) {
+  sim::Message m = encode(Request{.cx = 1, .cy = 2, .half = 3, .level = 4});
+  m.payload.pop_back();
+  EXPECT_THROW(decode_request(m), std::runtime_error);
+}
+
+TEST(Protocol, TrailingBytesThrow) {
+  sim::Message m = encode(SetCodec{.codec = 1});
+  m.payload.push_back(0);
+  EXPECT_THROW(decode_set_codec(m), std::runtime_error);
+}
+
+TEST(Protocol, ShutdownHasNoPayload) {
+  sim::Message m = encode_shutdown();
+  EXPECT_EQ(m.kind, kShutdown);
+  EXPECT_TRUE(m.payload.empty());
+}
+
+}  // namespace
+}  // namespace avf::viz

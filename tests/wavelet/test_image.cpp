@@ -1,0 +1,71 @@
+#include "wavelet/image.hpp"
+
+#include <gtest/gtest.h>
+
+namespace avf::wavelet {
+namespace {
+
+TEST(Image, ConstructsZeroed) {
+  Image img(8, 4);
+  EXPECT_EQ(img.width(), 8);
+  EXPECT_EQ(img.height(), 4);
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 0; x < 8; ++x) EXPECT_EQ(img.at(x, y), 0);
+  }
+}
+
+TEST(Image, SyntheticIsDeterministic) {
+  Image a = Image::synthetic(64, 64, 42);
+  Image b = Image::synthetic(64, 64, 42);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Image, SyntheticVariesWithSeed) {
+  Image a = Image::synthetic(64, 64, 1);
+  Image b = Image::synthetic(64, 64, 2);
+  EXPECT_NE(a, b);
+}
+
+TEST(Image, SyntheticHasContrast) {
+  Image img = Image::synthetic(128, 128, 3);
+  int lo = 255, hi = 0;
+  for (int y = 0; y < 128; ++y) {
+    for (int x = 0; x < 128; ++x) {
+      lo = std::min<int>(lo, img.at(x, y));
+      hi = std::max<int>(hi, img.at(x, y));
+    }
+  }
+  EXPECT_GT(hi - lo, 60);  // not a flat image
+}
+
+TEST(Image, MeanAbsDiffZeroForIdentical) {
+  Image a = Image::synthetic(32, 32, 5);
+  EXPECT_EQ(a.mean_abs_diff(a), 0.0);
+}
+
+TEST(Image, MeanAbsDiffDimensionMismatchThrows) {
+  Image a(4, 4), b(8, 8);
+  EXPECT_THROW((void)a.mean_abs_diff(b), std::invalid_argument);
+}
+
+TEST(Image, DownsampleAveragesBlocks) {
+  Image img(4, 4);
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 0; x < 4; ++x) {
+      img.at(x, y) = static_cast<std::uint8_t>(x < 2 ? 100 : 200);
+    }
+  }
+  Image half = img.downsample(2);
+  EXPECT_EQ(half.width(), 2);
+  EXPECT_EQ(half.at(0, 0), 100);
+  EXPECT_EQ(half.at(1, 0), 200);
+}
+
+TEST(Image, DownsampleRejectsBadFactor) {
+  Image img(6, 6);
+  EXPECT_THROW((void)img.downsample(4), std::invalid_argument);
+  EXPECT_THROW((void)img.downsample(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace avf::wavelet

@@ -1,0 +1,147 @@
+#include "wavelet/progressive.hpp"
+
+#include <gtest/gtest.h>
+
+namespace avf::wavelet {
+namespace {
+
+struct Rig {
+  Image img = Image::synthetic(128, 128, 17);
+  Pyramid pyr{img, 3};
+  ProgressiveEncoder enc{pyr, 8};
+  ProgressiveDecoder dec{128, 128, 3, 8};
+};
+
+Region full_region(const Image& img) {
+  return Region{img.width() / 2, img.height() / 2,
+                std::max(img.width(), img.height())};
+}
+
+TEST(Progressive, FullRegionFullLevelIsLossless) {
+  Rig rig;
+  Bytes payload = rig.enc.encode_region(full_region(rig.img), 3);
+  ASSERT_FALSE(payload.empty());
+  rig.dec.apply(payload);
+  EXPECT_EQ(rig.dec.reconstruct(3), rig.img);
+  EXPECT_TRUE(rig.enc.fully_sent(3));
+  EXPECT_DOUBLE_EQ(rig.dec.coverage(3), 1.0);
+}
+
+TEST(Progressive, NoRetransmission) {
+  Rig rig;
+  Region r{64, 64, 32};
+  Bytes first = rig.enc.encode_region(r, 2);
+  ASSERT_FALSE(first.empty());
+  Bytes second = rig.enc.encode_region(r, 2);
+  EXPECT_TRUE(second.empty());  // same region, nothing new
+}
+
+TEST(Progressive, GrowingFoveaSendsIncrements) {
+  Rig rig;
+  std::size_t cumulative = 0;
+  for (int half = 16; half <= 128; half += 16) {
+    Bytes payload = rig.enc.encode_region(Region{64, 64, half}, 3);
+    if (!payload.empty()) {
+      auto result = rig.dec.apply(payload);
+      cumulative += result.coefficients;
+    }
+  }
+  EXPECT_TRUE(rig.enc.fully_sent(3));
+  EXPECT_EQ(rig.dec.reconstruct(3), rig.img);
+  // Incremental total equals one full transmission (no duplicates).
+  EXPECT_EQ(cumulative, rig.dec.coefficients_received());
+}
+
+TEST(Progressive, HigherLevelSendsMoreData) {
+  Rig a, b;
+  Region r{64, 64, 40};
+  std::size_t low = a.enc.encode_region(r, 1).size();
+  std::size_t high = b.enc.encode_region(r, 3).size();
+  EXPECT_GT(high, low);
+}
+
+TEST(Progressive, RegionOutsideImageSendsNothing) {
+  Rig rig;
+  Bytes payload = rig.enc.encode_region(Region{1000, 1000, 8}, 3);
+  EXPECT_TRUE(payload.empty());
+}
+
+TEST(Progressive, PartialCoverageReconstructsApproximately) {
+  Rig rig;
+  // Send only the LL + level-1 data for the center region.
+  Bytes payload = rig.enc.encode_region(Region{64, 64, 32}, 1);
+  rig.dec.apply(payload);
+  EXPECT_GT(rig.dec.coverage(1), 0.0);
+  EXPECT_LT(rig.dec.coverage(3), 1.0);
+  // The reconstruction is not exact but the received center should be
+  // closer to the truth than an empty buffer.
+  Image recon = rig.dec.reconstruct(3);
+  Image empty_recon = ProgressiveDecoder(128, 128, 3, 8).reconstruct(3);
+  EXPECT_LT(recon.mean_abs_diff(rig.img), empty_recon.mean_abs_diff(rig.img));
+}
+
+TEST(Progressive, LevelUpgradeAfterFullCoarseSend) {
+  Rig rig;
+  Bytes coarse = rig.enc.encode_region(full_region(rig.img), 2);
+  rig.dec.apply(coarse);
+  EXPECT_TRUE(rig.enc.fully_sent(2));
+  EXPECT_FALSE(rig.enc.fully_sent(3));
+  // Level-2 image is exact now.
+  Pyramid ref(rig.img, 3);
+  EXPECT_EQ(rig.dec.reconstruct(2), ref.reconstruct(2));
+  // Upgrading to level 3 sends only the level-3 detail bands.
+  Bytes fine = rig.enc.encode_region(full_region(rig.img), 3);
+  rig.dec.apply(fine);
+  EXPECT_EQ(rig.dec.reconstruct(3), rig.img);
+}
+
+TEST(Progressive, ResetForgetsSentState) {
+  Rig rig;
+  Region r{64, 64, 32};
+  Bytes first = rig.enc.encode_region(r, 2);
+  rig.enc.reset();
+  Bytes again = rig.enc.encode_region(r, 2);
+  EXPECT_EQ(first.size(), again.size());
+}
+
+TEST(Progressive, TilesSentMatchesTotalWhenComplete) {
+  Rig rig;
+  rig.enc.encode_region(full_region(rig.img), 3);
+  EXPECT_EQ(rig.enc.tiles_sent(), rig.enc.total_tiles(3));
+}
+
+TEST(Progressive, MalformedPayloadThrows) {
+  Rig rig;
+  Bytes payload = rig.enc.encode_region(Region{64, 64, 16}, 1);
+  ASSERT_GT(payload.size(), 4u);
+  Bytes truncated(payload.begin(), payload.begin() + payload.size() / 2);
+  EXPECT_THROW(rig.dec.apply(truncated), std::runtime_error);
+
+  Bytes bad_band = payload;
+  bad_band[2] = 0xFF;  // first tile's band id
+  ProgressiveDecoder fresh(128, 128, 3, 8);
+  EXPECT_THROW(fresh.apply(bad_band), std::runtime_error);
+}
+
+TEST(Progressive, RejectsBadTileSize) {
+  Pyramid pyr(64, 64, 2);
+  EXPECT_THROW(ProgressiveEncoder(pyr, 0), std::invalid_argument);
+  EXPECT_THROW(ProgressiveDecoder(64, 64, 2, 300), std::invalid_argument);
+}
+
+class ProgressiveTileSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProgressiveTileSizes, LosslessAtAnyTileSize) {
+  Image img = Image::synthetic(64, 64, 23);
+  Pyramid pyr(img, 2);
+  ProgressiveEncoder enc(pyr, GetParam());
+  ProgressiveDecoder dec(64, 64, 2, GetParam());
+  dec.apply(enc.encode_region(Region{32, 32, 64}, 2));
+  EXPECT_EQ(dec.reconstruct(2), img);
+}
+
+INSTANTIATE_TEST_SUITE_P(TileSizes, ProgressiveTileSizes,
+                         ::testing::Values(1, 3, 8, 16, 17, 64, 255));
+
+}  // namespace
+}  // namespace avf::wavelet

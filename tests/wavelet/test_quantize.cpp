@@ -1,0 +1,92 @@
+#include "wavelet/quantize.hpp"
+
+#include "codec/codec.hpp"
+#include "wavelet/progressive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace avf::wavelet {
+namespace {
+
+TEST(Quantize, StepOneIsLossless) {
+  Image img = Image::synthetic(128, 128, 5);
+  Pyramid pyr(img, 3);
+  quantize_details(pyr, 1);
+  dequantize_details(pyr, 1);
+  EXPECT_EQ(pyr.reconstruct(3), img);
+}
+
+TEST(Quantize, RejectsBadStep) {
+  Pyramid pyr(64, 64, 2);
+  EXPECT_THROW(quantize_details(pyr, 0), std::invalid_argument);
+  Band b;
+  EXPECT_THROW(quantize_band(b, -1), std::invalid_argument);
+}
+
+TEST(Quantize, BandRoundTripBoundedError) {
+  Band b;
+  b.width = 4;
+  b.height = 1;
+  b.coeffs = {-100, -3, 3, 100};
+  quantize_band(b, 8);
+  dequantize_band(b, 8);
+  EXPECT_EQ(b.coeffs.size(), 4u);
+  // Error bounded by step/2.
+  EXPECT_NEAR(b.coeffs[0], -100, 4);
+  EXPECT_NEAR(b.coeffs[3], 100, 4);
+  // Small coefficients fall into the dead zone.
+  EXPECT_EQ(b.coeffs[1], 0);
+  EXPECT_EQ(b.coeffs[2], 0);
+}
+
+TEST(Quantize, CoarserStepsIncreaseSparsityAndLowerPsnr) {
+  Image img = Image::synthetic(128, 128, 9);
+  double last_sparsity = -1.0;
+  double last_psnr = 1e9;
+  for (int step : {2, 4, 8, 16}) {
+    Pyramid pyr(img, 3);
+    double sparsity = quantize_details(pyr, step);
+    dequantize_details(pyr, step);
+    double quality = psnr(img, pyr.reconstruct(3));
+    EXPECT_GT(sparsity, last_sparsity) << "step=" << step;
+    EXPECT_LT(quality, last_psnr) << "step=" << step;
+    EXPECT_GT(quality, 20.0) << "step=" << step;  // still recognizable
+    last_sparsity = sparsity;
+    last_psnr = quality;
+  }
+  EXPECT_GT(last_sparsity, 0.4);  // step 16 zeroes much of the noise detail
+}
+
+TEST(Quantize, PsnrBasics) {
+  Image a = Image::synthetic(64, 64, 1);
+  EXPECT_TRUE(std::isinf(psnr(a, a)));
+  Image b = a;
+  b.at(0, 0) = static_cast<std::uint8_t>(b.at(0, 0) ^ 0xFF);
+  EXPECT_LT(psnr(a, b), 60.0);
+  EXPECT_GT(psnr(a, b), 20.0);
+  Image c(32, 32);
+  EXPECT_THROW((void)psnr(a, c), std::invalid_argument);
+}
+
+TEST(Quantize, QuantizedPayloadCompressesBetter) {
+  // The operational point of quantization: sparser details -> smaller
+  // compressed payloads.
+  Image img = Image::synthetic(128, 128, 13);
+  Pyramid plain(img, 3);
+  Pyramid coarse(img, 3);
+  quantize_details(coarse, 8);
+
+  ProgressiveEncoder enc_plain(plain, 16);
+  ProgressiveEncoder enc_coarse(coarse, 16);
+  Region all{64, 64, 128};
+  Bytes payload_plain = enc_plain.encode_region(all, 3);
+  Bytes payload_coarse = enc_coarse.encode_region(all, 3);
+  const codec::Codec& lzw = codec::codec_for(codec::CodecId::kLzw);
+  EXPECT_LT(lzw.compress(payload_coarse).size(),
+            lzw.compress(payload_plain).size() * 0.8);
+}
+
+}  // namespace
+}  // namespace avf::wavelet

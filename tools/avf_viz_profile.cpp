@@ -1,0 +1,93 @@
+// avf_viz_profile — the paper's "driver program" (§5) as a command-line
+// tool: executes every configuration of the visualization application in
+// the virtual testbed over a resource grid and writes the performance
+// database as CSV.
+//
+// Usage:
+//   avf_viz_profile [--size N] [--images SEED] [--cpu a,b,c] [--bw a,b,c]
+//                   [--refine R] [--out FILE]
+// Defaults: 512x512 image, cpu 0.1,0.4,0.7,1.0, bw 25e3,50e3,250e3,500e3,
+// no refinement, stdout.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "perfdb/driver.hpp"
+#include "viz/world.hpp"
+
+using namespace avf;
+
+namespace {
+
+std::vector<double> parse_list(const std::string& arg) {
+  std::vector<double> out;
+  std::stringstream ss(arg);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    out.push_back(std::stod(item));
+  }
+  return out;
+}
+
+[[noreturn]] void usage() {
+  std::cerr << "usage: avf_viz_profile [--size N] [--cpu a,b,..] "
+               "[--bw a,b,..] [--refine R] [--out FILE]\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  viz::WorldSetup setup;
+  setup.image_size = 512;
+  std::vector<double> cpu_grid{0.1, 0.4, 0.7, 1.0};
+  std::vector<double> bw_grid{25e3, 50e3, 250e3, 500e3};
+  int refine = 0;
+  std::string out_path;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (++i >= argc) usage();
+      return argv[i];
+    };
+    if (arg == "--size") {
+      setup.image_size = std::stoi(next());
+    } else if (arg == "--cpu") {
+      cpu_grid = parse_list(next());
+    } else if (arg == "--bw") {
+      bw_grid = parse_list(next());
+    } else if (arg == "--refine") {
+      refine = std::stoi(next());
+    } else if (arg == "--out") {
+      out_path = next();
+    } else {
+      usage();
+    }
+  }
+  if (cpu_grid.empty() || bw_grid.empty()) usage();
+
+  std::cerr << "profiling " << viz::viz_app_spec().space().enumerate().size()
+            << " configurations over " << cpu_grid.size() << "x"
+            << bw_grid.size() << " resource grid (" << setup.image_size
+            << "x" << setup.image_size << " image, " << refine
+            << " refinement rounds)...\n";
+  perfdb::PerfDatabase db =
+      viz::build_viz_database(setup, cpu_grid, bw_grid, refine);
+  std::cerr << db.size() << " samples collected\n";
+
+  if (out_path.empty()) {
+    db.save(std::cout);
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "cannot write " << out_path << "\n";
+      return 1;
+    }
+    db.save(out);
+    std::cerr << "written to " << out_path << "\n";
+  }
+  return 0;
+}
