@@ -50,22 +50,25 @@ void AdaptationController::start() {
 void AdaptationController::tick() {
   ++checks_;
   if (monitor_.check_triggered()) {
-    std::vector<double> estimates = monitor_.estimates();
+    // Reuse the estimate buffer across checks; the monitoring trigger fires
+    // on the hot periodic path and should not allocate.
+    monitor_.estimates_into(estimates_scratch_);
     auto decision =
-        scheduler_.select_with_incumbent(estimates, steering_.active());
+        scheduler_.select_with_incumbent(estimates_scratch_, steering_.active());
     if (decision && decision->config != steering_.active()) {
       util::log_info("controller", sim_.now(),
                      "adapting {} -> {} (preference #{})",
                      steering_.active().key(), decision->config.key(),
                      decision->preference_index);
       adaptations_.push_back(AdaptationEvent{sim_.now(), steering_.active(),
-                                             decision->config, estimates,
+                                             decision->config,
+                                             estimates_scratch_,
                                              decision->preference_index});
       steering_.request(decision->config);
     }
     // Either way, re-anchor the baseline so the monitor looks for the
     // *next* change rather than re-firing on the same one.
-    monitor_.set_baseline(estimates);
+    monitor_.set_baseline(estimates_scratch_);
   }
   check_event_ = sim_.schedule(options_.check_interval, [this] { tick(); });
 }

@@ -64,6 +64,7 @@ class AdaptationController {
   Options options_;
   sim::EventHandle check_event_;
   std::vector<AdaptationEvent> adaptations_;
+  std::vector<double> estimates_scratch_;  // reused across periodic checks
   std::size_t checks_ = 0;
 };
 

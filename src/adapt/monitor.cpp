@@ -36,21 +36,25 @@ void MonitoringAgent::observe(const std::string& axis, double value) {
 
 std::optional<double> MonitoringAgent::estimate(const std::string& axis) const {
   const util::TimeWindow& w = windows_[axis_index(axis)];
-  if (w.empty()) return std::nullopt;
-  // Stale data (older than the window relative to now) does not count.
-  if (w.samples().back().first < sim_.now() - options_.window) {
-    return std::nullopt;
-  }
-  return w.mean();
+  // Average only the samples inside [now - window, now].  The window deque
+  // evicts relative to its newest *sample*, so after a reporting gap it can
+  // still hold a burst of stale samples behind one fresh observation; those
+  // must not skew the estimate.
+  return w.mean_since(sim_.now() - options_.window);
 }
 
 std::vector<double> MonitoringAgent::estimates() const {
-  std::vector<double> out(axes_.size());
+  std::vector<double> out;
+  estimates_into(out);
+  return out;
+}
+
+void MonitoringAgent::estimates_into(std::vector<double>& out) const {
+  out.resize(axes_.size());
   for (std::size_t i = 0; i < axes_.size(); ++i) {
     auto e = estimate(axes_[i]);
     out[i] = e.value_or(baseline_[i]);
   }
-  return out;
 }
 
 void MonitoringAgent::set_baseline(std::vector<double> baseline) {

@@ -43,6 +43,9 @@ class MonitoringAgent {
   /// Estimates for all axes; axes without samples fall back to the
   /// baseline value.
   std::vector<double> estimates() const;
+  /// Like estimates(), but fills a caller-owned vector so periodic callers
+  /// (the adaptation controller) can reuse the allocation.
+  void estimates_into(std::vector<double>& out) const;
 
   /// Record the resource point the scheduler last planned for.
   void set_baseline(std::vector<double> baseline);

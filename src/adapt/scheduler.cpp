@@ -27,19 +27,18 @@ ResourceScheduler::ResourceScheduler(const perfdb::PerfDatabase& db,
   }
 }
 
-std::vector<ResourceScheduler::Candidate> ResourceScheduler::candidates(
+const std::vector<ResourceScheduler::Candidate>& ResourceScheduler::evaluate(
     const perfdb::ResourcePoint& resources) const {
-  std::vector<Candidate> out;
-  for (const ConfigPoint& config : db_.configs()) {
+  scratch_.clear();
+  db_.for_each_config([&](const ConfigPoint& config) {
     auto predicted = db_.predict(config, resources, options_.lookup);
-    if (predicted) out.push_back(Candidate{config, std::move(*predicted)});
-  }
-  return out;
+    if (predicted) scratch_.push_back(Candidate{&config, std::move(*predicted)});
+  });
+  return scratch_;
 }
 
-std::optional<ResourceScheduler::Decision> ResourceScheduler::select(
-    const perfdb::ResourcePoint& resources) const {
-  std::vector<Candidate> all = candidates(resources);
+std::optional<ResourceScheduler::Decision> ResourceScheduler::decide(
+    const std::vector<Candidate>& all) const {
   if (all.empty()) return std::nullopt;
 
   for (std::size_t pi = 0; pi < preferences_.size(); ++pi) {
@@ -54,7 +53,7 @@ std::optional<ResourceScheduler::Decision> ResourceScheduler::select(
       }
     }
     if (best != nullptr) {
-      return Decision{best->config, pi, best->predicted, pi != 0};
+      return Decision{*best->config, pi, best->predicted, pi != 0};
     }
   }
 
@@ -69,35 +68,47 @@ std::optional<ResourceScheduler::Decision> ResourceScheduler::select(
       best = &c;
     }
   }
-  return Decision{best->config, preferences_.size() - 1, best->predicted,
+  return Decision{*best->config, preferences_.size() - 1, best->predicted,
                   true};
+}
+
+std::optional<ResourceScheduler::Decision> ResourceScheduler::select(
+    const perfdb::ResourcePoint& resources) const {
+  return decide(evaluate(resources));
 }
 
 std::optional<ResourceScheduler::Decision>
 ResourceScheduler::select_with_incumbent(
     const perfdb::ResourcePoint& resources,
     const ConfigPoint& incumbent) const {
-  auto decision = select(resources);
+  const std::vector<Candidate>& all = evaluate(resources);
+  auto decision = decide(all);
   if (!decision || decision->config == incumbent) return decision;
   if (options_.switch_hysteresis <= 0.0) return decision;
 
   // Keep the incumbent unless it violates the winning preference's
   // constraints or the challenger's objective advantage exceeds the margin.
-  auto incumbent_prediction =
-      db_.predict(incumbent, resources, options_.lookup);
-  if (!incumbent_prediction) return decision;
+  // The incumbent's prediction was already computed with everyone else's.
+  const Candidate* incumbent_candidate = nullptr;
+  for (const Candidate& c : all) {
+    if (*c.config == incumbent) {
+      incumbent_candidate = &c;
+      break;
+    }
+  }
+  if (incumbent_candidate == nullptr) return decision;
   const UserPreference& pref = preferences_[decision->preference_index];
-  if (!pref.satisfied_by(*incumbent_prediction)) return decision;
+  if (!pref.satisfied_by(incumbent_candidate->predicted)) return decision;
 
   double challenger = decision->predicted.get(pref.objective_metric);
-  double current = incumbent_prediction->get(pref.objective_metric);
+  double current = incumbent_candidate->predicted.get(pref.objective_metric);
   double margin = options_.switch_hysteresis *
                   std::max(std::abs(current), 1e-12);
   bool clearly_better = pref.maximize ? challenger > current + margin
                                       : challenger < current - margin;
   if (!clearly_better) {
     return Decision{incumbent, decision->preference_index,
-                    std::move(*incumbent_prediction),
+                    incumbent_candidate->predicted,
                     decision->fell_through};
   }
   return decision;

@@ -3,6 +3,13 @@
 // configurations against the constraints using the performance database
 // (with interpolation), then pick the one that best satisfies the objective
 // of the most preferred satisfiable constraint.
+//
+// Predictions go through PerfDatabase::predict, which memoizes per
+// (config, quantized resource point) — so repeated decisions under stable
+// resources are served from the prediction cache.  The candidate vector is
+// reused across calls (capacity kept), and select_with_incumbent evaluates
+// the candidate set once, sharing it between the fresh selection and the
+// hysteresis check instead of re-querying the database for the incumbent.
 #pragma once
 
 #include <optional>
@@ -54,16 +61,22 @@ class ResourceScheduler {
 
  private:
   struct Candidate {
-    tunable::ConfigPoint config;
+    const tunable::ConfigPoint* config;  // owned by the database
     tunable::QosVector predicted;
   };
 
-  std::vector<Candidate> candidates(
+  /// Predict every stored configuration at `resources` into the reusable
+  /// scratch vector and return it.
+  const std::vector<Candidate>& evaluate(
       const perfdb::ResourcePoint& resources) const;
+  std::optional<Decision> decide(const std::vector<Candidate>& all) const;
 
   const perfdb::PerfDatabase& db_;
   PreferenceList preferences_;
   Options options_;
+  // Reused across decisions so the hot adaptation loop does not reallocate
+  // (single-threaded, like the rest of the simulation).
+  mutable std::vector<Candidate> scratch_;
 };
 
 }  // namespace avf::adapt

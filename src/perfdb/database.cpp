@@ -38,11 +38,14 @@ void PerfDatabase::insert(const ConfigPoint& config, const ResourcePoint& at,
           util::format("sample missing metric: {}", m.name));
     }
   }
-  ConfigData& data = by_config_[config.key()];
+  std::string key = config.key();
+  ConfigData& data = by_config_[key];
   data.config = config;
   auto [it, inserted] = data.samples.insert_or_assign(at, quality);
   (void)it;
   if (inserted) ++total_records_;
+  data.index.note_insert(inserted);
+  cache_.invalidate_config(key);
 }
 
 std::vector<ConfigPoint> PerfDatabase::configs() const {
@@ -50,6 +53,11 @@ std::vector<ConfigPoint> PerfDatabase::configs() const {
   out.reserve(by_config_.size());
   for (const auto& [key, data] : by_config_) out.push_back(data.config);
   return out;
+}
+
+void PerfDatabase::for_each_config(
+    const std::function<void(const ConfigPoint&)>& fn) const {
+  for (const auto& [key, data] : by_config_) fn(data.config);
 }
 
 bool PerfDatabase::has_config(const ConfigPoint& config) const {
@@ -74,11 +82,8 @@ std::vector<double> PerfDatabase::grid_values(const ConfigPoint& config,
   }
   std::size_t ai = static_cast<std::size_t>(it - axes_.begin());
   const ConfigData* data = find(config);
-  std::set<double> values;
-  if (data != nullptr) {
-    for (const auto& [point, quality] : data->samples) values.insert(point[ai]);
-  }
-  return {values.begin(), values.end()};
+  if (data == nullptr || data->samples.empty()) return {};
+  return indexed(*data).axis_values(ai);
 }
 
 const PerfDatabase::ConfigData* PerfDatabase::find(
@@ -87,18 +92,84 @@ const PerfDatabase::ConfigData* PerfDatabase::find(
   return it == by_config_.end() ? nullptr : &it->second;
 }
 
+const GridIndex& PerfDatabase::indexed(const ConfigData& data) const {
+  if (!data.index.valid()) {
+    data.index.build(data.samples, axes_.size());
+    ++index_rebuilds_;
+  }
+  return data.index;
+}
+
 void PerfDatabase::erase_config(const ConfigPoint& config) {
   auto it = by_config_.find(config.key());
   if (it != by_config_.end()) {
     total_records_ -= it->second.samples.size();
+    cache_.invalidate_config(it->first);
     by_config_.erase(it);
   }
 }
 
-QosVector PerfDatabase::nearest(const ConfigData& data,
-                                const ResourcePoint& at) const {
+// ---------------------------------------------------------------------------
+// Indexed fast path.
+
+tunable::QosVector PerfDatabase::nearest(const ConfigData& data,
+                                         const ResourcePoint& at) const {
   // Normalize each axis by its sampled span so axes with different units
-  // (shares vs bytes/s) weigh equally.
+  // (shares vs bytes/s) weigh equally.  Spans and iteration order come from
+  // the index; the arithmetic matches nearest_reference exactly.
+  const GridIndex& index = indexed(data);
+  const QosVector* best = nullptr;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (const GridIndex::FlatSample& sample : index.flat()) {
+    double dist = 0.0;
+    for (std::size_t i = 0; i < axes_.size(); ++i) {
+      double span = index.span_hi(i) - index.span_lo(i);
+      double d = span > 0.0 ? ((*sample.point)[i] - at[i]) / span : 0.0;
+      dist += d * d;
+    }
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = sample.quality;
+    }
+  }
+  return *best;
+}
+
+std::optional<QosVector> PerfDatabase::interpolate(
+    const ConfigData& data, const ResourcePoint& at) const {
+  // Per-axis bracketing over the sampled grid; clamp outside the hull
+  // (constant extrapolation).  O(axes * log n) bracketing + O(1) dense
+  // corner lookup, replacing the reference per-call std::set rebuild.
+  const GridIndex& index = indexed(data);
+  std::size_t d = axes_.size();
+  std::vector<GridIndex::AxisBracket> brackets(d);
+  for (std::size_t i = 0; i < d; ++i) brackets[i] = index.bracket(i, at[i]);
+
+  QosVector out;
+  for (const auto& m : schema_.metrics()) out.set(m.name, 0.0);
+  ResourcePoint scratch;
+  std::size_t corners = std::size_t{1} << d;
+  for (std::size_t mask = 0; mask < corners; ++mask) {
+    double weight = 1.0;
+    for (std::size_t i = 0; i < d; ++i) {
+      weight *= (mask & (std::size_t{1} << i)) ? brackets[i].t
+                                               : (1.0 - brackets[i].t);
+    }
+    if (weight == 0.0) continue;
+    const QosVector* corner = index.corner(brackets, mask, scratch);
+    if (corner == nullptr) return std::nullopt;  // incomplete cell
+    for (const auto& m : schema_.metrics()) {
+      out.set(m.name, out.get(m.name) + weight * corner->get(m.name));
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Reference (seed) implementation, kept as the consistency oracle.
+
+tunable::QosVector PerfDatabase::nearest_reference(
+    const ConfigData& data, const ResourcePoint& at) const {
   std::vector<double> lo(axes_.size(), std::numeric_limits<double>::infinity());
   std::vector<double> hi(axes_.size(),
                          -std::numeric_limits<double>::infinity());
@@ -125,10 +196,8 @@ QosVector PerfDatabase::nearest(const ConfigData& data,
   return *best;
 }
 
-std::optional<QosVector> PerfDatabase::interpolate(
+std::optional<QosVector> PerfDatabase::interpolate_reference(
     const ConfigData& data, const ResourcePoint& at) const {
-  // Per-axis bracketing over the sampled grid; clamp outside the hull
-  // (constant extrapolation).
   std::size_t d = axes_.size();
   std::vector<double> lo(d), hi(d), t(d);
   for (std::size_t i = 0; i < d; ++i) {
@@ -148,7 +217,6 @@ std::optional<QosVector> PerfDatabase::interpolate(
       t[i] = (x - lo[i]) / (hi[i] - lo[i]);
     }
   }
-  // Gather the 2^k corners that differ (k = axes where lo != hi).
   QosVector out;
   for (const auto& m : schema_.metrics()) out.set(m.name, 0.0);
   std::size_t corners = 1u << d;
@@ -174,19 +242,71 @@ std::optional<QosVector> PerfDatabase::interpolate(
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Prediction entry points.
+
+std::optional<QosVector> PerfDatabase::predict_impl(const ConfigData& data,
+                                                    const ResourcePoint& at,
+                                                    Lookup mode) const {
+  if (mode == Lookup::kInterpolate) {
+    if (auto result = interpolate(data, at)) return result;
+  }
+  return nearest(data, at);
+}
+
 std::optional<QosVector> PerfDatabase::predict(const ConfigPoint& config,
                                                const ResourcePoint& at,
                                                Lookup mode) const {
   if (at.size() != axes_.size()) {
     throw std::invalid_argument("resource point dimension mismatch");
   }
+  std::string key = config.key();
+  if (const auto* cached = cache_.lookup(key, at, mode)) return *cached;
+  auto it = by_config_.find(key);
+  std::optional<QosVector> result;
+  if (it != by_config_.end() && !it->second.samples.empty()) {
+    result = predict_impl(it->second, at, mode);
+  }
+  cache_.store(key, at, mode, result);
+  return result;
+}
+
+std::optional<QosVector> PerfDatabase::predict_uncached(
+    const ConfigPoint& config, const ResourcePoint& at, Lookup mode) const {
+  if (at.size() != axes_.size()) {
+    throw std::invalid_argument("resource point dimension mismatch");
+  }
+  const ConfigData* data = find(config);
+  if (data == nullptr || data->samples.empty()) return std::nullopt;
+  return predict_impl(*data, at, mode);
+}
+
+std::optional<QosVector> PerfDatabase::predict_reference(
+    const ConfigPoint& config, const ResourcePoint& at, Lookup mode) const {
+  if (at.size() != axes_.size()) {
+    throw std::invalid_argument("resource point dimension mismatch");
+  }
   const ConfigData* data = find(config);
   if (data == nullptr || data->samples.empty()) return std::nullopt;
   if (mode == Lookup::kInterpolate) {
-    if (auto result = interpolate(*data, at)) return result;
+    if (auto result = interpolate_reference(*data, at)) return result;
   }
-  return nearest(*data, at);
+  return nearest_reference(*data, at);
 }
+
+PerfDatabase::PredictionStats PerfDatabase::prediction_stats() const {
+  const PredictionCache::Stats& c = cache_.stats();
+  return PredictionStats{c.hits, c.misses, c.evictions, c.invalidations,
+                         index_rebuilds_};
+}
+
+void PerfDatabase::reset_prediction_stats() {
+  cache_.reset_stats();
+  index_rebuilds_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Persistence.
 
 void PerfDatabase::save(std::ostream& out) const {
   std::vector<std::string> header{"config"};
@@ -209,6 +329,29 @@ void PerfDatabase::save(std::ostream& out) const {
   }
 }
 
+namespace {
+/// Strict double parse for one CSV cell; rejects empty cells, garbage, and
+/// trailing characters, and reports the data row (1-based) and column name.
+double parse_numeric_cell(const std::string& cell, std::size_t row,
+                          const std::string& column) {
+  std::size_t consumed = 0;
+  double value = 0.0;
+  bool ok = true;
+  try {
+    value = std::stod(cell, &consumed);
+  } catch (const std::exception&) {
+    ok = false;
+  }
+  if (ok && consumed != cell.size()) ok = false;  // trailing garbage
+  if (!ok) {
+    throw std::runtime_error(
+        util::format("perfdb load: bad numeric value '{}' (row {}, column {})",
+                     cell, row, column));
+  }
+  return value;
+}
+}  // namespace
+
 PerfDatabase PerfDatabase::load(std::istream& in) {
   util::CsvDocument doc = util::read_csv(in);
   std::vector<std::string> axes;
@@ -227,22 +370,34 @@ PerfDatabase PerfDatabase::load(std::istream& in) {
       }
       std::string name = h.substr(7, second - 7);
       std::string dir = h.substr(second + 1);
-      schema.add(name, dir == "higher" ? tunable::Direction::kHigherBetter
-                                       : tunable::Direction::kLowerBetter);
+      if (dir == "higher") {
+        schema.add(name, tunable::Direction::kHigherBetter);
+      } else if (dir == "lower") {
+        schema.add(name, tunable::Direction::kLowerBetter);
+      } else {
+        throw std::runtime_error(util::format(
+            "perfdb load: unknown metric direction '{}' in header '{}'", dir,
+            h));
+      }
       metric_cols.push_back(c);
       metric_names.push_back(name);
     }
   }
   std::size_t config_col = doc.column("config");
   PerfDatabase db(std::move(axes), std::move(schema));
-  for (const auto& row : doc.rows) {
+  for (std::size_t r = 0; r < doc.rows.size(); ++r) {
+    const auto& row = doc.rows[r];
     ConfigPoint config = ConfigPoint::parse(row[config_col]);
     ResourcePoint point;
     point.reserve(axis_cols.size());
-    for (std::size_t c : axis_cols) point.push_back(std::stod(row[c]));
+    for (std::size_t c : axis_cols) {
+      point.push_back(parse_numeric_cell(row[c], r + 1, doc.header[c]));
+    }
     QosVector quality;
     for (std::size_t i = 0; i < metric_cols.size(); ++i) {
-      quality.set(metric_names[i], std::stod(row[metric_cols[i]]));
+      quality.set(metric_names[i], parse_numeric_cell(row[metric_cols[i]],
+                                                      r + 1,
+                                                      doc.header[metric_cols[i]]));
     }
     db.insert(config, point, quality);
   }

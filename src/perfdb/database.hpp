@@ -8,29 +8,37 @@
 //   kInterpolate — multilinear interpolation over the bracketing grid cell,
 //                  with constant extrapolation outside the sampled hull and
 //                  nearest-neighbor fallback for incomplete cells.
+//
+// Prediction is a hot path: the resource scheduler queries every stored
+// configuration on every adaptation decision (§6.2).  Three tiers serve it:
+//   predict           — memoizing PredictionCache over the indexed path;
+//                       repeated decisions under stable resources are O(1).
+//   predict_uncached  — GridIndex fast path (per-axis binary search +
+//                       dense-cell corner lookup), bit-for-bit identical to
+//                       the reference implementation.
+//   predict_reference — the original per-call std::set rebuild, kept as the
+//                       consistency oracle for tests and benchmarks.
 #pragma once
 
+#include <functional>
 #include <iosfwd>
 #include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "perfdb/grid_index.hpp"
+#include "perfdb/prediction_cache.hpp"
 #include "tunable/config.hpp"
 #include "tunable/qos.hpp"
 
 namespace avf::perfdb {
-
-/// A point along the database's resource axes, in axis declaration order.
-using ResourcePoint = std::vector<double>;
 
 struct PerfRecord {
   tunable::ConfigPoint config;
   ResourcePoint resources;
   tunable::QosVector quality;
 };
-
-enum class Lookup { kNearest, kInterpolate };
 
 class PerfDatabase {
  public:
@@ -46,6 +54,9 @@ class PerfDatabase {
 
   std::size_t size() const { return total_records_; }
   std::vector<tunable::ConfigPoint> configs() const;
+  /// Visit every stored configuration without copying the points.
+  void for_each_config(
+      const std::function<void(const tunable::ConfigPoint&)>& fn) const;
   bool has_config(const tunable::ConfigPoint& config) const;
   /// All records for one configuration (unsorted).
   std::vector<PerfRecord> records(const tunable::ConfigPoint& config) const;
@@ -55,16 +66,43 @@ class PerfDatabase {
                                   const std::string& axis) const;
 
   /// Predicted quality for `config` at `at`; nullopt when the config has no
-  /// records at all.
+  /// records at all.  Served through the prediction cache (see header
+  /// comment); results for points within the same quantization bucket may
+  /// be shared.
   std::optional<tunable::QosVector> predict(
+      const tunable::ConfigPoint& config, const ResourcePoint& at,
+      Lookup mode = Lookup::kInterpolate) const;
+
+  /// Indexed fast path without the cache: exact for every query point.
+  std::optional<tunable::QosVector> predict_uncached(
+      const tunable::ConfigPoint& config, const ResourcePoint& at,
+      Lookup mode = Lookup::kInterpolate) const;
+
+  /// Reference (seed) implementation: per-call grid rebuild.  Slow; used by
+  /// tests and benchmarks as the consistency oracle.
+  std::optional<tunable::QosVector> predict_reference(
       const tunable::ConfigPoint& config, const ResourcePoint& at,
       Lookup mode = Lookup::kInterpolate) const;
 
   /// Remove an entire configuration (used by pruning).
   void erase_config(const tunable::ConfigPoint& config);
 
+  // -- fast-path observability (bench/test layer) -----------------------
+  struct PredictionStats {
+    std::size_t cache_hits = 0;
+    std::size_t cache_misses = 0;
+    std::size_t cache_evictions = 0;
+    std::size_t cache_invalidations = 0;
+    std::size_t index_rebuilds = 0;
+  };
+  PredictionStats prediction_stats() const;
+  void reset_prediction_stats();
+
   // -- persistence (CSV: axes..., then metrics..., keyed by config) -----
   void save(std::ostream& out) const;
+  /// Parse a database saved by save().  Throws std::runtime_error naming
+  /// the offending row/column on malformed numeric cells and on unknown
+  /// metric direction tokens.
   static PerfDatabase load(std::istream& in);
 
  private:
@@ -72,18 +110,30 @@ class PerfDatabase {
     tunable::ConfigPoint config;
     // Keyed by resource point for exact-corner lookup.
     std::map<ResourcePoint, tunable::QosVector> samples;
+    // Lazily (re)built prediction index over `samples`.
+    mutable GridIndex index;
   };
 
   const ConfigData* find(const tunable::ConfigPoint& config) const;
+  const GridIndex& indexed(const ConfigData& data) const;
+  std::optional<tunable::QosVector> predict_impl(const ConfigData& data,
+                                                 const ResourcePoint& at,
+                                                 Lookup mode) const;
   tunable::QosVector nearest(const ConfigData& data,
                              const ResourcePoint& at) const;
   std::optional<tunable::QosVector> interpolate(const ConfigData& data,
                                                 const ResourcePoint& at) const;
+  tunable::QosVector nearest_reference(const ConfigData& data,
+                                       const ResourcePoint& at) const;
+  std::optional<tunable::QosVector> interpolate_reference(
+      const ConfigData& data, const ResourcePoint& at) const;
 
   std::vector<std::string> axes_;
   tunable::MetricSchema schema_;
   std::map<std::string, ConfigData> by_config_;  // key() -> data
   std::size_t total_records_ = 0;
+  mutable PredictionCache cache_;
+  mutable std::size_t index_rebuilds_ = 0;
 };
 
 }  // namespace avf::perfdb

@@ -1,0 +1,115 @@
+// Per-configuration grid index — the prediction fast path behind
+// PerfDatabase::predict.
+//
+// The seed implementation rebuilt a per-axis std::set of sampled grid
+// values on *every* interpolate call and re-derived axis spans on every
+// nearest call, making prediction O(n log n) per query.  The scheduler
+// queries every stored configuration per adaptation decision, so that cost
+// is on the run-time loop's critical path (paper §6.2).
+//
+// GridIndex is built once per configuration (lazily, on the first query
+// after a mutation) and holds:
+//   - sorted, deduplicated grid values per resource axis (bracketing a
+//     query point is then O(log n) per axis instead of a set rebuild);
+//   - a dense cell table mapping grid coordinates to sample values for
+//     O(1) corner lookup (falls back to the ordered sample map when the
+//     axis-value cross product is much larger than the sample count);
+//   - flattened samples and per-axis spans for the nearest-neighbor scan.
+//
+// Mutations invalidate incrementally: overwriting an existing sample keeps
+// the index (the mapped value object is updated in place), while inserting
+// a new point or erasing a configuration marks the index stale so the next
+// query rebuilds it.  All bracketing/corner arithmetic mirrors the
+// reference implementation exactly, so indexed predictions are bit-for-bit
+// identical to the slow path (asserted by tests/perfdb/test_grid_index.cpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "tunable/qos.hpp"
+
+namespace avf::perfdb {
+
+/// A point along the database's resource axes, in axis declaration order.
+using ResourcePoint = std::vector<double>;
+
+class GridIndex {
+ public:
+  using SampleMap = std::map<ResourcePoint, tunable::QosVector>;
+
+  /// One axis of a bracketing query: indices into the sorted grid values
+  /// plus the interpolation weight toward the upper value.
+  struct AxisBracket {
+    std::size_t lo = 0;
+    std::size_t hi = 0;
+    double lo_value = 0.0;
+    double hi_value = 0.0;
+    double t = 0.0;  ///< 0 when the axis is clamped or hits a grid value
+  };
+
+  bool valid() const { return valid_; }
+  void invalidate() { valid_ = false; }
+
+  /// Account for an insert into `samples` without rebuilding.  Overwrites
+  /// of an existing point keep the index intact (the mapped value is
+  /// updated in place and the index stores stable node pointers); a
+  /// genuinely new point invalidates it.
+  void note_insert(bool was_new_point) {
+    if (was_new_point) valid_ = false;
+  }
+
+  /// Rebuild from scratch.  `samples` must outlive the index (the index
+  /// stores pointers into its nodes, which std::map keeps stable).
+  void build(const SampleMap& samples, std::size_t axis_count);
+
+  std::size_t rebuilds() const { return rebuilds_; }
+
+  /// Sorted unique sampled values along one axis.
+  const std::vector<double>& axis_values(std::size_t axis) const {
+    return axis_values_[axis];
+  }
+
+  /// Bracket `x` along `axis` exactly as the reference interpolation does:
+  /// clamp outside the sampled span, zero weight when landing on a value.
+  AxisBracket bracket(std::size_t axis, double x) const;
+
+  /// Sample at the grid corner selected by `mask` over `brackets` (bit i
+  /// set -> axis i uses its hi index).  Returns nullptr when the cell is
+  /// incomplete.  `scratch` is reused to avoid allocation on the sparse
+  /// fallback path.
+  const tunable::QosVector* corner(const std::vector<AxisBracket>& brackets,
+                                   std::size_t mask,
+                                   ResourcePoint& scratch) const;
+
+  /// Samples flattened in map (lexicographic) order — same iteration order
+  /// as the reference nearest-neighbor scan.
+  struct FlatSample {
+    const ResourcePoint* point;
+    const tunable::QosVector* quality;
+  };
+  const std::vector<FlatSample>& flat() const { return flat_; }
+
+  /// Per-axis sampled span (min/max grid value), used to normalize the
+  /// nearest-neighbor distance.
+  double span_lo(std::size_t axis) const { return axis_values_[axis].front(); }
+  double span_hi(std::size_t axis) const { return axis_values_[axis].back(); }
+
+  bool dense() const { return dense_; }
+
+ private:
+  bool valid_ = false;
+  bool dense_ = false;
+  std::size_t rebuilds_ = 0;
+  const SampleMap* samples_ = nullptr;
+  std::vector<std::vector<double>> axis_values_;
+  std::vector<std::size_t> strides_;
+  // Dense cell table: flattened axis-value coordinates -> sample value
+  // (nullptr = hole, i.e. incomplete grid).
+  std::vector<const tunable::QosVector*> cells_;
+  std::vector<FlatSample> flat_;
+};
+
+}  // namespace avf::perfdb

@@ -1,0 +1,96 @@
+#include "perfdb/prediction_cache.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace avf::perfdb {
+
+namespace {
+constexpr int kQuantBits = 20;  // ~1e-6 relative buckets
+
+std::uint64_t fnv1a_bytes(std::uint64_t h, const void* data,
+                          std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+}  // namespace
+
+std::uint64_t PredictionCache::quantize(double x) {
+  if (!std::isfinite(x)) return std::bit_cast<std::uint64_t>(x);
+  if (x == 0.0) return 0;
+  int exp = 0;
+  double mantissa = std::frexp(x, &exp);  // |mantissa| in [0.5, 1)
+  auto q = static_cast<std::int64_t>(
+      std::llround(mantissa * static_cast<double>(1 << kQuantBits)));
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(exp)) << 32) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(q));
+}
+
+std::uint64_t PredictionCache::hash_key(
+    const std::string& config_key, const std::vector<std::uint64_t>& qpoint,
+    Lookup mode) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  h = fnv1a_bytes(h, config_key.data(), config_key.size());
+  h = fnv1a_bytes(h, qpoint.data(), qpoint.size() * sizeof(std::uint64_t));
+  int m = static_cast<int>(mode);
+  h = fnv1a_bytes(h, &m, sizeof(m));
+  return h;
+}
+
+std::uint64_t PredictionCache::epoch_of(const std::string& config_key) const {
+  auto it = epochs_.find(config_key);
+  return it == epochs_.end() ? 0 : it->second;
+}
+
+const std::optional<tunable::QosVector>* PredictionCache::lookup(
+    const std::string& config_key, const ResourcePoint& at,
+    Lookup mode) const {
+  std::vector<std::uint64_t> qpoint(at.size());
+  for (std::size_t i = 0; i < at.size(); ++i) qpoint[i] = quantize(at[i]);
+  auto it = entries_.find(hash_key(config_key, qpoint, mode));
+  if (it == entries_.end() || it->second.mode != mode ||
+      it->second.epoch != epoch_of(config_key) ||
+      it->second.config_key != config_key || it->second.qpoint != qpoint) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  return &it->second.result;
+}
+
+void PredictionCache::store(const std::string& config_key,
+                            const ResourcePoint& at, Lookup mode,
+                            std::optional<tunable::QosVector> result) {
+  if (max_entries_ == 0) return;
+  Entry entry;
+  entry.config_key = config_key;
+  entry.epoch = epoch_of(config_key);
+  entry.qpoint.resize(at.size());
+  for (std::size_t i = 0; i < at.size(); ++i) {
+    entry.qpoint[i] = quantize(at[i]);
+  }
+  entry.mode = mode;
+  entry.result = std::move(result);
+  std::uint64_t h = hash_key(config_key, entry.qpoint, mode);
+  if (entries_.size() >= max_entries_ && !entries_.contains(h)) {
+    entries_.clear();
+    ++stats_.evictions;
+  }
+  entries_[h] = std::move(entry);
+}
+
+void PredictionCache::invalidate_config(const std::string& config_key) {
+  ++epochs_[config_key];
+  ++stats_.invalidations;
+}
+
+void PredictionCache::clear() {
+  entries_.clear();
+  epochs_.clear();
+}
+
+}  // namespace avf::perfdb

@@ -1,0 +1,94 @@
+// Memoizing cache in front of PerfDatabase::predict.
+//
+// The run-time loop re-queries the database for every stored configuration
+// on every adaptation decision; under stable resources those queries repeat
+// with (near-)identical resource points.  The cache keys on the config key
+// plus a *quantized* resource point (each coordinate rounded to ~2^-20
+// relative precision) and the lookup mode, so repeated decisions hit the
+// cache instead of re-interpolating every configuration.
+//
+// Invalidation is explicit and O(1): PerfDatabase bumps a per-config epoch
+// on insert/erase_config, and entries recorded under an older epoch are
+// treated as misses.  The table is bounded; when full it is cleared (a
+// "cache wipe" eviction — cheap, rare, and self-correcting since the hot
+// queries repopulate it immediately).
+//
+// Note: a hit returns the prediction computed for any point within the same
+// quantization bucket as the query.  Buckets are ~1e-6 relative, far below
+// monitoring noise; callers needing exact results use predict_uncached.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "perfdb/grid_index.hpp"
+#include "tunable/qos.hpp"
+
+namespace avf::perfdb {
+
+enum class Lookup { kNearest, kInterpolate };
+
+class PredictionCache {
+ public:
+  static constexpr std::size_t kDefaultMaxEntries = 4096;
+
+  explicit PredictionCache(std::size_t max_entries = kDefaultMaxEntries)
+      : max_entries_(max_entries) {}
+
+  struct Stats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t evictions = 0;       ///< bounded-size cache wipes
+    std::size_t invalidations = 0;   ///< per-config epoch bumps
+  };
+
+  /// Cached prediction for (config key, quantized `at`, mode); nullptr on
+  /// miss.  The pointee is owned by the cache and valid until the next
+  /// store/clear.
+  const std::optional<tunable::QosVector>* lookup(const std::string& config_key,
+                                                  const ResourcePoint& at,
+                                                  Lookup mode) const;
+
+  void store(const std::string& config_key, const ResourcePoint& at,
+             Lookup mode, std::optional<tunable::QosVector> result);
+
+  /// Drop all entries for one configuration (O(1): epoch bump).
+  void invalidate_config(const std::string& config_key);
+
+  void clear();
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t max_entries() const { return max_entries_; }
+  const Stats& stats() const { return stats_; }
+  void reset_stats() { stats_ = Stats{}; }
+
+  /// Quantized bucket of one coordinate (exposed for tests).
+  static std::uint64_t quantize(double x);
+
+ private:
+  struct Entry {
+    std::string config_key;
+    std::uint64_t epoch = 0;
+    std::vector<std::uint64_t> qpoint;
+    Lookup mode = Lookup::kInterpolate;
+    std::optional<tunable::QosVector> result;
+  };
+
+  static std::uint64_t hash_key(const std::string& config_key,
+                                const std::vector<std::uint64_t>& qpoint,
+                                Lookup mode);
+  std::uint64_t epoch_of(const std::string& config_key) const;
+
+  std::size_t max_entries_;
+  // Keyed by the mixed 64-bit hash; entries verify the full key on hit, so
+  // a hash collision behaves as a miss and is overwritten on store.
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  std::unordered_map<std::string, std::uint64_t> epochs_;
+  mutable Stats stats_;
+};
+
+}  // namespace avf::perfdb

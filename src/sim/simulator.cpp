@@ -9,7 +9,20 @@ namespace detail {
 void report_detached_exception(Simulator& sim, std::exception_ptr e) {
   sim.record_exception(e);
 }
+
+void deregister_detached(Simulator& sim, void* frame) noexcept {
+  sim.detached_done(frame);
+}
 }  // namespace detail
+
+Simulator::~Simulator() {
+  // Destroying a root frame runs the destructors of its locals, which in
+  // turn destroy any awaited child Task frames — so only roots are tracked.
+  std::unordered_set<void*> frames = std::move(detached_);
+  for (void* frame : frames) {
+    std::coroutine_handle<>::from_address(frame).destroy();
+  }
+}
 
 void EventHandle::cancel() {
   if (auto rec = rec_.lock()) {
@@ -44,6 +57,7 @@ EventHandle Simulator::schedule_at(SimTime when, std::function<void()> fn) {
 
 void Simulator::spawn(Task<> task) {
   std::coroutine_handle<> h = task.release(*this);
+  detached_.insert(h.address());
   schedule(0.0, [h] { h.resume(); });
 }
 

@@ -12,6 +12,7 @@
 #include <functional>
 #include <memory>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "sim/task.hpp"
@@ -44,6 +45,11 @@ class Simulator {
   Simulator() = default;
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
+  /// Destroys the frames of spawned processes still suspended mid-await —
+  /// a completed detached frame self-destroys at final suspend, but one the
+  /// run never resumed again would otherwise be lost when the event queue
+  /// (holding the only handle to it) dies.
+  ~Simulator();
 
   SimTime now() const { return now_; }
 
@@ -96,6 +102,8 @@ class Simulator {
 
   // Internal: detached-process exception reporting (see task.hpp).
   void record_exception(std::exception_ptr e);
+  // Internal: a detached frame completed and is about to self-destroy.
+  void detached_done(void* frame) noexcept { detached_.erase(frame); }
 
  private:
   struct QueueEntry {
@@ -120,6 +128,7 @@ class Simulator {
                       std::greater<QueueEntry>>
       queue_;
   std::exception_ptr pending_exception_;
+  std::unordered_set<void*> detached_;  // live spawned frames (see ~Simulator)
 };
 
 }  // namespace avf::sim

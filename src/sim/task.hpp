@@ -12,7 +12,8 @@
 //    frame; it is destroyed when the Task goes out of scope after completion.
 //  * `Simulator::spawn(std::move(task))` — the frame is detached; it destroys
 //    itself at final-suspend and reports any escaped exception to the
-//    simulator, which surfaces it from run().
+//    simulator, which surfaces it from run().  Frames still suspended when
+//    the simulator is destroyed are reclaimed by ~Simulator.
 #pragma once
 
 #include <coroutine>
@@ -38,6 +39,7 @@ struct PromiseBase {
 };
 
 void report_detached_exception(Simulator& sim, std::exception_ptr e);
+void deregister_detached(Simulator& sim, void* frame) noexcept;
 
 template <typename Promise>
 struct FinalAwaiter {
@@ -47,8 +49,9 @@ struct FinalAwaiter {
       std::coroutine_handle<Promise> h) noexcept {
     PromiseBase& p = h.promise();
     if (p.continuation) return p.continuation;
-    if (p.detached_owner != nullptr && p.exception) {
-      report_detached_exception(*p.detached_owner, p.exception);
+    if (p.detached_owner != nullptr) {
+      if (p.exception) report_detached_exception(*p.detached_owner, p.exception);
+      deregister_detached(*p.detached_owner, h.address());
     }
     h.destroy();
     return std::noop_coroutine();

@@ -36,6 +36,33 @@ double TimeWindow::mean() const {
   return sum / static_cast<double>(samples_.size());
 }
 
+std::optional<double> TimeWindow::mean_since(double t) const {
+  // Samples are time-ordered, so the qualifying suffix starts at the first
+  // entry with time >= t.
+  auto first = std::lower_bound(
+      samples_.begin(), samples_.end(), t,
+      [](const std::pair<double, double>& s, double cut) {
+        return s.first < cut;
+      });
+  if (first == samples_.end()) return std::nullopt;
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (auto it = first; it != samples_.end(); ++it) {
+    sum += it->second;
+    ++n;
+  }
+  return sum / static_cast<double>(n);
+}
+
+std::size_t TimeWindow::count_since(double t) const {
+  auto first = std::lower_bound(
+      samples_.begin(), samples_.end(), t,
+      [](const std::pair<double, double>& s, double cut) {
+        return s.first < cut;
+      });
+  return static_cast<std::size_t>(samples_.end() - first);
+}
+
 double TimeWindow::min() const {
   if (samples_.empty()) return 0.0;
   double m = samples_.front().second;

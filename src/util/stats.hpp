@@ -6,6 +6,7 @@
 #include <cstddef>
 #include <deque>
 #include <limits>
+#include <optional>
 #include <vector>
 
 namespace avf::util {
@@ -48,6 +49,14 @@ class TimeWindow {
   double horizon() const { return horizon_; }
 
   double mean() const;
+  /// Mean of the samples with time >= `t`; nullopt when none qualify.
+  /// Eviction on add() is relative to the newest *sample*, so the deque can
+  /// retain entries older than the caller's notion of "now" — consumers that
+  /// care about wall-clock freshness (the monitoring agent) must filter here
+  /// rather than averaging the whole deque.
+  std::optional<double> mean_since(double t) const;
+  /// Number of samples with time >= `t`.
+  std::size_t count_since(double t) const;
   double min() const;
   double max() const;
   /// Most recent value (0 when empty).

@@ -20,9 +20,12 @@ std::uint64_t CompressedSizeCache::fingerprint(codec::BytesView payload) {
 
 std::optional<std::size_t> CompressedSizeCache::lookup(
     codec::CodecId id, codec::BytesView payload) const {
-  std::uint64_t key = fingerprint(payload) * 1099511628211ULL +
-                      static_cast<std::uint64_t>(id);
-  auto it = sizes_.find(key);
+  return lookup(id, fingerprint(payload));
+}
+
+std::optional<std::size_t> CompressedSizeCache::lookup(
+    codec::CodecId id, std::uint64_t fp) const {
+  auto it = sizes_.find(Key{fp, id});
   if (it == sizes_.end()) {
     ++misses_;
     return std::nullopt;
@@ -33,9 +36,22 @@ std::optional<std::size_t> CompressedSizeCache::lookup(
 
 void CompressedSizeCache::store(codec::CodecId id, codec::BytesView payload,
                                 std::size_t size) {
-  std::uint64_t key = fingerprint(payload) * 1099511628211ULL +
-                      static_cast<std::uint64_t>(id);
-  sizes_[key] = size;
+  store(id, fingerprint(payload), size);
+}
+
+void CompressedSizeCache::store(codec::CodecId id, std::uint64_t fp,
+                                std::size_t size) {
+  if (max_entries_ == 0) return;
+  Key key{fp, id};
+  auto [it, inserted] = sizes_.insert_or_assign(key, size);
+  (void)it;
+  if (!inserted) return;  // overwrite keeps the original queue position
+  insertion_order_.push_back(key);
+  while (sizes_.size() > max_entries_) {
+    sizes_.erase(insertion_order_.front());
+    insertion_order_.pop_front();
+    ++evictions_;
+  }
 }
 
 CompressedSizeCache& CompressedSizeCache::global() {
@@ -139,8 +155,11 @@ sim::Task<> VizServer::handle_request(const Request& request) {
   // avoid redoing byte-identical compressions (timing is unchanged).
   co_await box_.compute(codec.compress_ops(raw.size()));
   std::optional<std::size_t> cached;
+  std::uint64_t raw_fingerprint = 0;
   if (options_.size_cache != nullptr) {
-    cached = options_.size_cache->lookup(session_->codec, raw);
+    // Hash the payload once; the same fingerprint keys the store on miss.
+    raw_fingerprint = CompressedSizeCache::fingerprint(raw);
+    cached = options_.size_cache->lookup(session_->codec, raw_fingerprint);
   }
   if (cached) {
     reply.premeasured = true;
@@ -149,7 +168,8 @@ sim::Task<> VizServer::handle_request(const Request& request) {
   } else {
     codec::Bytes compressed = codec.compress(raw);
     if (options_.size_cache != nullptr) {
-      options_.size_cache->store(session_->codec, raw, compressed.size());
+      options_.size_cache->store(session_->codec, raw_fingerprint,
+                                 compressed.size());
       // Ship raw with overridden wire size so the client can skip the real
       // decompression too; the cache now knows the size for future runs.
       reply.premeasured = true;

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <optional>
@@ -25,24 +26,67 @@
 
 namespace avf::viz {
 
-/// Process-wide cache: FNV-1a(payload) x codec -> compressed size.
+/// Process-wide cache: (FNV-1a(payload), codec) -> compressed size.
+///
+/// The key is the genuine (fingerprint, codec) pair — an earlier revision
+/// folded the codec id into a single integer as fingerprint*prime + id,
+/// which collides whenever two payload fingerprints differ by a multiple of
+/// the prime's inverse; a collision silently returns the wrong codec's
+/// output size.  The cache is also bounded: entries beyond `max_entries`
+/// evict the oldest insertion (FIFO), so long profiling campaigns cannot
+/// grow the process-wide singleton without bound.
 class CompressedSizeCache {
  public:
+  static constexpr std::size_t kDefaultMaxEntries = 1 << 16;
+
+  CompressedSizeCache() : CompressedSizeCache(kDefaultMaxEntries) {}
+  explicit CompressedSizeCache(std::size_t max_entries)
+      : max_entries_(max_entries) {}
+
+  /// Content fingerprint used as the payload half of the key.  Exposed so
+  /// callers issuing a lookup-then-store pair can hash the payload once.
+  static std::uint64_t fingerprint(codec::BytesView payload);
+
   std::optional<std::size_t> lookup(codec::CodecId id,
                                     codec::BytesView payload) const;
+  std::optional<std::size_t> lookup(codec::CodecId id,
+                                    std::uint64_t fingerprint) const;
   void store(codec::CodecId id, codec::BytesView payload, std::size_t size);
+  void store(codec::CodecId id, std::uint64_t fingerprint, std::size_t size);
 
+  std::size_t size() const { return sizes_.size(); }
+  std::size_t max_entries() const { return max_entries_; }
   std::size_t hits() const { return hits_; }
   std::size_t misses() const { return misses_; }
+  std::size_t evictions() const { return evictions_; }
 
   /// Shared instance used by default; individual servers may use their own.
   static CompressedSizeCache& global();
 
  private:
-  static std::uint64_t fingerprint(codec::BytesView payload);
-  std::unordered_map<std::uint64_t, std::size_t> sizes_;
+  struct Key {
+    std::uint64_t fingerprint;
+    codec::CodecId codec;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      // splitmix-style mix over both halves of the pair.
+      std::uint64_t h = k.fingerprint + 0x9e3779b97f4a7c15ULL *
+                        (static_cast<std::uint64_t>(k.codec) + 1);
+      h ^= h >> 30;
+      h *= 0xbf58476d1ce4e5b9ULL;
+      h ^= h >> 27;
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  std::size_t max_entries_;
+  std::unordered_map<Key, std::size_t, KeyHash> sizes_;
+  std::deque<Key> insertion_order_;  // FIFO eviction
   mutable std::size_t hits_ = 0;
   mutable std::size_t misses_ = 0;
+  std::size_t evictions_ = 0;
 };
 
 class VizServer {

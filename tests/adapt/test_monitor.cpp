@@ -45,6 +45,38 @@ TEST(Monitor, StaleSamplesExpire) {
   EXPECT_FALSE(agent.estimate("cpu_share").has_value());
 }
 
+TEST(Monitor, StaleBurstDoesNotSkewEstimate) {
+  // Regression: TimeWindow evicts relative to the newest *sample*, so a
+  // burst of old samples behind one fresh sample stays in the deque.  The
+  // estimate must average only samples in [now - window, now] — previously
+  // the whole deque was averaged whenever the last sample was fresh.
+  sim::Simulator sim;
+  MonitoringAgent agent(sim, {"cpu_share"}, opts(2.0));
+  sim.schedule(0.1, [&] {
+    for (int i = 0; i < 10; ++i) agent.observe("cpu_share", 10.0);
+  });
+  sim.schedule(1.0, [&] { agent.observe("cpu_share", 1.0); });
+  // Advance to t=2.5: the burst (age 2.4) is stale, the fresh sample (age
+  // 1.5) is in-window.  All 11 samples are still in the deque.
+  sim.schedule(2.5, [] {});
+  sim.run();
+  auto e = agent.estimate("cpu_share");
+  ASSERT_TRUE(e);
+  EXPECT_DOUBLE_EQ(*e, 1.0);
+}
+
+TEST(Monitor, AllSamplesStaleMeansNoEstimate) {
+  sim::Simulator sim;
+  MonitoringAgent agent(sim, {"cpu_share"}, opts(1.0));
+  sim.schedule(0.1, [&] {
+    agent.observe("cpu_share", 0.5);
+    agent.observe("cpu_share", 0.7);
+  });
+  sim.schedule(3.0, [] {});
+  sim.run();
+  EXPECT_FALSE(agent.estimate("cpu_share").has_value());
+}
+
 TEST(Monitor, EstimatesFallBackToBaseline) {
   sim::Simulator sim;
   MonitoringAgent agent(sim, {"cpu_share", "net_bps"});

@@ -148,6 +148,80 @@ TEST(Scheduler, HysteresisIgnoredWhenIncumbentViolatesConstraints) {
   EXPECT_EQ(decision->config, cfg(1, 3));
 }
 
+TEST(Scheduler, FallThroughSkipsToFirstSatisfiablePreference) {
+  PerfDatabase db = crossover_db();
+  // Three-deep list: the first two are unsatisfiable at 50 KBps.
+  UserPreference impossible = minimize("transmit_time");
+  impossible.constraints.push_back({.metric = "transmit_time", .max = 0.5});
+  UserPreference strict = minimize("transmit_time");
+  strict.constraints.push_back({.metric = "transmit_time", .max = 1.0});
+  UserPreference relaxed = minimize("transmit_time");
+  relaxed.constraints.push_back({.metric = "transmit_time", .max = 10.0});
+  ResourceScheduler scheduler(db, {impossible, strict, relaxed});
+  auto decision = scheduler.select({50e3});
+  ASSERT_TRUE(decision);
+  EXPECT_EQ(decision->preference_index, 2u);
+  EXPECT_TRUE(decision->fell_through);
+  EXPECT_EQ(decision->config, cfg(2, 3));
+}
+
+TEST(Scheduler, BestEffortUsesLastPreferenceObjective) {
+  PerfDatabase db = crossover_db();
+  // Nothing satisfies either preference; the best-effort pass must optimize
+  // the *last* preference's objective (maximize resolution), not the first's.
+  UserPreference first = minimize("transmit_time");
+  first.constraints.push_back({.metric = "transmit_time", .max = 0.1});
+  UserPreference last = maximize_metric("resolution");
+  last.constraints.push_back({.metric = "transmit_time", .max = 0.1});
+  ResourceScheduler scheduler(db, {first, last});
+  auto decision = scheduler.select({500e3});
+  ASSERT_TRUE(decision);
+  EXPECT_TRUE(decision->fell_through);
+  EXPECT_EQ(decision->preference_index, 1u);
+  EXPECT_EQ(decision->predicted.get("resolution"), 4.0);
+}
+
+TEST(Scheduler, BestEffortReportsLastPreferenceIndex) {
+  PerfDatabase db = crossover_db();
+  UserPreference impossible = minimize("transmit_time");
+  impossible.constraints.push_back({.metric = "transmit_time", .max = 0.01});
+  ResourceScheduler scheduler(db, {impossible});
+  auto decision = scheduler.select({500e3});
+  ASSERT_TRUE(decision);
+  EXPECT_EQ(decision->preference_index, 0u);
+  EXPECT_TRUE(decision->fell_through);
+}
+
+TEST(Scheduler, IncumbentUnknownToDatabaseYieldsFreshSelection) {
+  PerfDatabase db({"bw"}, schema());
+  db.insert(cfg(1, 4), {100e3}, q(10.0, 4));
+  ResourceScheduler::Options options;
+  options.switch_hysteresis = 0.50;
+  ResourceScheduler scheduler(db, {minimize("transmit_time")}, options);
+  auto decision = scheduler.select_with_incumbent({100e3}, cfg(9, 9));
+  ASSERT_TRUE(decision);
+  EXPECT_EQ(decision->config, cfg(1, 4));
+}
+
+TEST(Scheduler, RepeatedDecisionsAreStableAndCached) {
+  // The scheduler shares the database's prediction cache across select and
+  // select_with_incumbent; repeated decisions under stable resources must
+  // produce identical results and be served from the cache.
+  PerfDatabase db = crossover_db();
+  ResourceScheduler scheduler(db, {minimize("transmit_time")});
+  auto first = scheduler.select({275e3});
+  db.reset_prediction_stats();
+  auto second = scheduler.select({275e3});
+  auto third = scheduler.select_with_incumbent({275e3}, first->config);
+  ASSERT_TRUE(first && second && third);
+  EXPECT_EQ(first->config, second->config);
+  EXPECT_EQ(first->predicted, second->predicted);
+  EXPECT_EQ(first->config, third->config);
+  auto stats = db.prediction_stats();
+  EXPECT_EQ(stats.cache_misses, 0u);
+  EXPECT_GT(stats.cache_hits, 0u);
+}
+
 TEST(Scheduler, RejectsBadConstruction) {
   PerfDatabase db = crossover_db();
   EXPECT_THROW(ResourceScheduler(db, {}), std::invalid_argument);

@@ -151,6 +151,98 @@ TEST(PerfDb, SaveLoadRoundTrip) {
   EXPECT_DOUBLE_EQ(p->get("quality"), 4.0);
 }
 
+TEST(PerfDb, SaveLoadRoundTripPreservesEverySample) {
+  // Full equality round-trip: axes, schema directions, and every record's
+  // resource point and quality vector.
+  MetricSchema s;
+  s.add("time", Direction::kLowerBetter);
+  s.add("quality", Direction::kHigherBetter);
+  s.add("cost", Direction::kLowerBetter);
+  PerfDatabase db({"cpu", "bw", "mem"}, s);
+  for (int c = 0; c < 4; ++c) {
+    for (int i = 0; i < 3; ++i) {
+      QosVector v;
+      v.set("time", 10.0 / (i + 1) + c);
+      v.set("quality", 3.0 + i * 0.125);
+      v.set("cost", 1e-9 * (i + 1));
+      db.insert(cfg(c), {0.1 * (i + 1), 50e3 * (i + 1), 128.0 + i}, v);
+    }
+  }
+  std::stringstream buffer;
+  db.save(buffer);
+  PerfDatabase loaded = PerfDatabase::load(buffer);
+
+  EXPECT_EQ(loaded.axes(), db.axes());
+  EXPECT_EQ(loaded.schema().names(), db.schema().names());
+  for (const auto& name : db.schema().names()) {
+    EXPECT_EQ(loaded.schema().metric(name).direction,
+              db.schema().metric(name).direction);
+  }
+  EXPECT_EQ(loaded.size(), db.size());
+  for (const ConfigPoint& config : db.configs()) {
+    auto original = db.records(config);
+    auto restored = loaded.records(config);
+    ASSERT_EQ(original.size(), restored.size());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+      EXPECT_EQ(original[i].resources, restored[i].resources);
+      EXPECT_EQ(original[i].quality, restored[i].quality);
+    }
+  }
+}
+
+TEST(PerfDb, LoadRejectsMalformedNumericCell) {
+  std::stringstream in(
+      "config,res:cpu,metric:time:lower\n"
+      "mode=0,0.5,20\n"
+      "mode=0,abc,10\n");
+  // Regression: std::stod used to throw a raw std::invalid_argument; the
+  // loader must report a structured error naming the row and column.
+  try {
+    (void)PerfDatabase::load(in);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    std::string message = e.what();
+    EXPECT_NE(message.find("abc"), std::string::npos) << message;
+    EXPECT_NE(message.find("row 2"), std::string::npos) << message;
+    EXPECT_NE(message.find("res:cpu"), std::string::npos) << message;
+  }
+}
+
+TEST(PerfDb, LoadRejectsTrailingGarbageInNumericCell) {
+  // Regression: "1.5x" parsed as 1.5 with the trailing garbage silently
+  // dropped.
+  std::stringstream in(
+      "config,res:cpu,metric:time:lower\n"
+      "mode=0,0.5,1.5x\n");
+  EXPECT_THROW((void)PerfDatabase::load(in), std::runtime_error);
+}
+
+TEST(PerfDb, LoadRejectsEmptyNumericCell) {
+  std::stringstream in(
+      "config,res:cpu,metric:time:lower\n"
+      "mode=0,,20\n");
+  EXPECT_THROW((void)PerfDatabase::load(in), std::runtime_error);
+}
+
+TEST(PerfDb, LoadRejectsUnknownDirectionToken) {
+  // Regression: any token other than "higher" was silently treated as
+  // lower-better, flipping comparisons for typoed headers.
+  std::stringstream in(
+      "config,res:cpu,metric:time:sideways\n"
+      "mode=0,0.5,20\n");
+  EXPECT_THROW((void)PerfDatabase::load(in), std::runtime_error);
+}
+
+TEST(PerfDb, LoadAcceptsBothDirectionTokens) {
+  std::stringstream in(
+      "config,res:cpu,metric:time:lower,metric:quality:higher\n"
+      "mode=0,0.5,20,3\n");
+  PerfDatabase db = PerfDatabase::load(in);
+  EXPECT_EQ(db.schema().metric("time").direction, Direction::kLowerBetter);
+  EXPECT_EQ(db.schema().metric("quality").direction,
+            Direction::kHigherBetter);
+}
+
 TEST(PerfDb, DimensionMismatchOnPredictThrows) {
   PerfDatabase db = simple_db();
   EXPECT_THROW((void)db.predict(cfg(0), {0.5, 0.5}), std::invalid_argument);

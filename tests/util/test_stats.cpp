@@ -105,5 +105,29 @@ TEST_P(TimeWindowHorizonTest, KeepsOnlySamplesInsideHorizon) {
 INSTANTIATE_TEST_SUITE_P(Horizons, TimeWindowHorizonTest,
                          ::testing::Values(0.05, 0.5, 1.0, 3.7, 20.0));
 
+TEST(TimeWindowTest, MeanSinceFiltersOldSamples) {
+  TimeWindow w(10.0);
+  w.add(0.0, 100.0);
+  w.add(1.0, 100.0);
+  w.add(5.0, 2.0);
+  w.add(6.0, 4.0);
+  auto m = w.mean_since(4.0);
+  ASSERT_TRUE(m);
+  EXPECT_DOUBLE_EQ(*m, 3.0);
+  EXPECT_EQ(w.count_since(4.0), 2u);
+  // Cutoff exactly on a sample time includes that sample.
+  EXPECT_DOUBLE_EQ(*w.mean_since(5.0), 3.0);
+  EXPECT_DOUBLE_EQ(*w.mean_since(-100.0), (100.0 + 100.0 + 2.0 + 4.0) / 4.0);
+}
+
+TEST(TimeWindowTest, MeanSinceEmptyOrAllStale) {
+  TimeWindow w(10.0);
+  EXPECT_FALSE(w.mean_since(0.0).has_value());
+  w.add(1.0, 5.0);
+  EXPECT_FALSE(w.mean_since(2.0).has_value());
+  EXPECT_EQ(w.count_since(2.0), 0u);
+  EXPECT_TRUE(w.mean_since(1.0).has_value());
+}
+
 }  // namespace
 }  // namespace avf::util

@@ -1,0 +1,91 @@
+// Regression tests for CompressedSizeCache keying and bounding.
+//
+// The seed implementation mixed the codec id into a single integer key as
+// fingerprint * 0x100000001b3 + id, which collides whenever two payload
+// fingerprints differ by a multiple of the prime's modular inverse — the
+// cache then silently returns the wrong codec's size.  It also grew the
+// process-wide singleton without bound.
+#include "viz/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace avf::viz {
+namespace {
+
+using codec::Bytes;
+using codec::CodecId;
+
+TEST(SizeCache, DistinguishesCodecsForSamePayload) {
+  CompressedSizeCache cache;
+  Bytes payload{1, 2, 3, 4, 5};
+  cache.store(CodecId::kNone, payload, 100);
+  cache.store(CodecId::kLzw, payload, 42);
+  cache.store(CodecId::kBwt, payload, 7);
+  EXPECT_EQ(cache.lookup(CodecId::kNone, payload), 100u);
+  EXPECT_EQ(cache.lookup(CodecId::kLzw, payload), 42u);
+  EXPECT_EQ(cache.lookup(CodecId::kBwt, payload), 7u);
+}
+
+TEST(SizeCache, CrossCodecFingerprintCollisionResolved) {
+  // Construct the exact collision the seed keying suffered from: with
+  //   old_key(f, id) = f * P + id,  P = 0x100000001b3 (odd, so invertible
+  //   mod 2^64 with inverse Pinv = 0xce965057aff6957b),
+  // the fingerprints f and f + Pinv collide across codec ids 1 and 0:
+  //   (f + Pinv) * P + 0 == f * P + 1  (mod 2^64).
+  // Keyed on the (fingerprint, codec) pair, both entries must coexist.
+  constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+  constexpr std::uint64_t kPrimeInverse = 0xce965057aff6957bULL;
+  static_assert(kPrime * kPrimeInverse == 1ULL, "inverse mod 2^64");
+
+  std::uint64_t f1 = 0xdeadbeefcafef00dULL;
+  std::uint64_t f2 = f1 + kPrimeInverse;
+  // Demonstrate the old single-integer keys really were equal.
+  ASSERT_EQ(f1 * kPrime + static_cast<std::uint64_t>(CodecId::kLzw),
+            f2 * kPrime + static_cast<std::uint64_t>(CodecId::kNone));
+
+  CompressedSizeCache cache;
+  cache.store(CodecId::kLzw, f1, 1111);
+  cache.store(CodecId::kNone, f2, 2222);
+  EXPECT_EQ(cache.lookup(CodecId::kLzw, f1), 1111u);
+  EXPECT_EQ(cache.lookup(CodecId::kNone, f2), 2222u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(SizeCache, BoundedWithFifoEviction) {
+  CompressedSizeCache cache(4);
+  for (std::uint64_t f = 0; f < 10; ++f) {
+    cache.store(CodecId::kLzw, f, static_cast<std::size_t>(f));
+    EXPECT_LE(cache.size(), 4u);
+  }
+  EXPECT_EQ(cache.evictions(), 6u);
+  // Oldest entries evicted, newest retained.
+  EXPECT_FALSE(cache.lookup(CodecId::kLzw, std::uint64_t{0}).has_value());
+  EXPECT_EQ(cache.lookup(CodecId::kLzw, std::uint64_t{9}), 9u);
+}
+
+TEST(SizeCache, OverwriteDoesNotDuplicateQueueEntries) {
+  CompressedSizeCache cache(2);
+  for (int round = 0; round < 50; ++round) {
+    cache.store(CodecId::kLzw, std::uint64_t{1}, 10);
+    cache.store(CodecId::kLzw, std::uint64_t{2}, 20);
+  }
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 0u);
+  EXPECT_EQ(cache.lookup(CodecId::kLzw, std::uint64_t{1}), 10u);
+  EXPECT_EQ(cache.lookup(CodecId::kLzw, std::uint64_t{2}), 20u);
+}
+
+TEST(SizeCache, CountsHitsAndMisses) {
+  CompressedSizeCache cache;
+  Bytes payload{9, 9, 9};
+  EXPECT_FALSE(cache.lookup(CodecId::kLzw, payload).has_value());
+  cache.store(CodecId::kLzw, payload, 3);
+  EXPECT_TRUE(cache.lookup(CodecId::kLzw, payload).has_value());
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+}  // namespace
+}  // namespace avf::viz

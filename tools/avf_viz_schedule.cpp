@@ -12,6 +12,7 @@
 //     --maximize resolution --range transmit_time:0:10
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "adapt/scheduler.hpp"
@@ -80,11 +81,17 @@ int main(int argc, char** argv) {
     std::cerr << "cannot read " << db_path << "\n";
     return 1;
   }
-  perfdb::PerfDatabase db = perfdb::PerfDatabase::load(in);
+  std::optional<perfdb::PerfDatabase> db;
+  try {
+    db.emplace(perfdb::PerfDatabase::load(in));
+  } catch (const std::exception& e) {
+    std::cerr << "error loading " << db_path << ": " << e.what() << "\n";
+    return 1;
+  }
 
   adapt::ResourceScheduler::Options options;
   options.lookup = lookup;
-  adapt::ResourceScheduler scheduler(db, {pref}, options);
+  adapt::ResourceScheduler scheduler(*db, {pref}, options);
   auto decision = scheduler.select({cpu, bw});
   if (!decision) {
     std::cerr << "no usable configurations in the database\n";
