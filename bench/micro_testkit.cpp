@@ -1,0 +1,82 @@
+// Micro-benchmarks: fault-injection testkit throughput.  The soak's value
+// scales with scenarios-per-second, so the cost of one fully-wired
+// 10-simulated-second scenario (network + sandboxes + adaptation loop +
+// invariant checkers) is a first-class number.
+//
+//   Scenario/Quiet      — no faults: baseline harness + app cost.
+//   Scenario/Faulted    — a representative seeded schedule (the soak mix).
+//   Scenario/NoChecks   — faulted run with invariant checking disabled;
+//                         the delta is the price of the checkers.
+//   RandomSchedule      — seed -> schedule generation alone.
+//   TraceFingerprint    — hashing a recorded trace (per line).
+#include <benchmark/benchmark.h>
+
+#include "testkit/scenario.hpp"
+
+namespace {
+
+using namespace avf;
+
+void BM_RandomSchedule(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    auto schedule = testkit::random_schedule(seed++);
+    benchmark::DoNotOptimize(schedule.faults.data());
+  }
+}
+BENCHMARK(BM_RandomSchedule);
+
+void BM_ScenarioQuiet(benchmark::State& state) {
+  testkit::ScenarioOptions options;
+  std::size_t tasks = 0;
+  for (auto _ : state) {
+    auto result = testkit::run_scenario(testkit::FaultSchedule{}, options);
+    tasks += result.tasks;
+    benchmark::DoNotOptimize(result.violations.data());
+  }
+  state.counters["tasks/run"] =
+      static_cast<double>(tasks) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_ScenarioQuiet)->Unit(benchmark::kMicrosecond);
+
+void BM_ScenarioFaulted(benchmark::State& state) {
+  testkit::ScenarioOptions options;
+  options.injector_seed = 42;
+  const auto schedule =
+      testkit::random_schedule(42, testkit::limits_for(options));
+  for (auto _ : state) {
+    auto result = testkit::run_scenario(schedule, options);
+    benchmark::DoNotOptimize(result.violations.data());
+  }
+}
+BENCHMARK(BM_ScenarioFaulted)->Unit(benchmark::kMicrosecond);
+
+void BM_ScenarioFaultedNoChecks(benchmark::State& state) {
+  testkit::ScenarioOptions options;
+  options.injector_seed = 42;
+  options.check_invariants = false;
+  const auto schedule =
+      testkit::random_schedule(42, testkit::limits_for(options));
+  for (auto _ : state) {
+    auto result = testkit::run_scenario(schedule, options);
+    benchmark::DoNotOptimize(result.trace);
+  }
+}
+BENCHMARK(BM_ScenarioFaultedNoChecks)->Unit(benchmark::kMicrosecond);
+
+void BM_TraceFingerprint(benchmark::State& state) {
+  testkit::ScenarioOptions options;
+  options.injector_seed = 42;
+  const auto schedule =
+      testkit::random_schedule(42, testkit::limits_for(options));
+  const auto result = testkit::run_scenario(schedule, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(result.trace.fingerprint());
+  }
+  state.counters["lines"] = static_cast<double>(result.trace.size());
+}
+BENCHMARK(BM_TraceFingerprint);
+
+}  // namespace
+
+BENCHMARK_MAIN();

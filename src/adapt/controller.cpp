@@ -64,8 +64,12 @@ void AdaptationController::tick() {
                                              decision->config,
                                              estimates_scratch_,
                                              decision->preference_index});
-      steering_.request(decision->config);
     }
+    // Forward the decision even when it matches the active configuration:
+    // the steering agent withdraws any staged change that a fresh decision
+    // no longer calls for, so a request decided under estimates that have
+    // since recovered cannot be applied at a later task boundary.
+    if (decision) steering_.request(decision->config);
     // Either way, re-anchor the baseline so the monitor looks for the
     // *next* change rather than re-firing on the same one.
     monitor_.set_baseline(estimates_scratch_);

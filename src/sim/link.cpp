@@ -36,6 +36,27 @@ Task<> Endpoint::send(Message msg) {
 }
 
 void Endpoint::deliver(Message msg) {
+  if (fault_) {
+    if (std::optional<DeliveryFault> f = fault_(msg)) {
+      if (f->drop) {
+        ++deliveries_dropped_;
+        return;
+      }
+      if (f->extra_delay > 0.0) {
+        ++deliveries_delayed_;
+        // Deposit directly after the hold — the hook must not be consulted
+        // twice for the same message.
+        sim_.schedule(f->extra_delay, [this, m = std::move(msg)]() mutable {
+          deposit(std::move(m));
+        });
+        return;
+      }
+    }
+  }
+  deposit(std::move(msg));
+}
+
+void Endpoint::deposit(Message msg) {
   msg.delivered_at = sim_.now();
   bytes_received_ += msg.wire_size();
   inbox_.push(std::move(msg));

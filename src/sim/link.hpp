@@ -8,7 +8,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -68,10 +70,25 @@ class Link {
 
 class Channel;
 
+/// Verdict of a delivery-fault hook for one inbound message: drop it, or
+/// hold it for `extra_delay` seconds before the mailbox deposit.  Messages
+/// held for different delays overtake each other — that is how the testkit
+/// produces reordered deliveries without a separate mechanism.
+struct DeliveryFault {
+  bool drop = false;
+  SimTime extra_delay = 0.0;
+};
+
 /// One end of a channel.  Not movable once handed out: processes keep
 /// references across suspension points.
 class Endpoint {
  public:
+  /// Inbound perturbation hook (fault injection).  Consulted when a message
+  /// arrives at this endpoint after wire propagation; nullopt = deliver
+  /// normally.  Pass nullptr to clear.
+  using DeliveryFaultFn =
+      std::function<std::optional<DeliveryFault>(const Message&)>;
+  void set_delivery_fault(DeliveryFaultFn fn) { fault_ = std::move(fn); }
   /// Awaitable coroutine: inject `msg` into the link (consuming bandwidth
   /// under this endpoint's share slot) and schedule delivery at the peer.
   /// Completes when the last byte has been injected.
@@ -96,6 +113,16 @@ class Endpoint {
   std::uint64_t bytes_sent() const { return bytes_sent_; }
   std::uint64_t bytes_received() const { return bytes_received_; }
 
+  /// Deposit `msg` directly into this endpoint's inbox, bypassing the wire
+  /// (no bandwidth consumed, no latency, no delivery-fault hook).  Testkit
+  /// hook: lets harness code post local control messages (e.g. timeout
+  /// markers) to a process blocked in recv().
+  void inject(Message msg) { deposit(std::move(msg)); }
+
+  /// Messages consumed / held by the delivery-fault hook so far.
+  std::uint64_t deliveries_dropped() const { return deliveries_dropped_; }
+  std::uint64_t deliveries_delayed() const { return deliveries_delayed_; }
+
  private:
   friend class Channel;
   Endpoint(Simulator& sim, FluidResource& out, double latency)
@@ -103,6 +130,7 @@ class Endpoint {
         slot_(make_share_slot()) {}
 
   void deliver(Message msg);
+  void deposit(Message msg);
 
   Simulator& sim_;
   FluidResource* out_;
@@ -113,6 +141,9 @@ class Endpoint {
   OwnerId owner_ = kNoOwner;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t bytes_received_ = 0;
+  DeliveryFaultFn fault_;
+  std::uint64_t deliveries_dropped_ = 0;
+  std::uint64_t deliveries_delayed_ = 0;
 };
 
 /// A bidirectional message channel across one link.

@@ -1,0 +1,334 @@
+#include "testkit/fault_injector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/fmt.hpp"
+
+namespace avf::testkit {
+
+namespace {
+
+/// Trailing time a fault's effect can outlive its window: held mailbox
+/// deliveries deposit up to `value` late; a competing busy loop finishes
+/// its in-flight compute chunk (~20 ms) after the flag clears.
+double effect_tail(const Fault& f) {
+  switch (f.kind) {
+    case FaultKind::kMailboxDelay:
+      return f.value;
+    case FaultKind::kCpuSteal:
+      return 0.05;
+    default:
+      return 0.0;
+  }
+}
+
+bool active_at(const Fault& f, sim::SimTime t) {
+  return t >= f.at && t < f.until;
+}
+
+bool overlaps(const Fault& f, sim::SimTime from, sim::SimTime to,
+              double tail) {
+  return f.at <= to && f.until + tail >= from;
+}
+
+}  // namespace
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLinkBandwidth: return "link_bandwidth";
+    case FaultKind::kLinkFlap: return "link_flap";
+    case FaultKind::kLinkPartition: return "link_partition";
+    case FaultKind::kCpuShare: return "cpu_share";
+    case FaultKind::kCpuSteal: return "cpu_steal";
+    case FaultKind::kMailboxDelay: return "mailbox_delay";
+    case FaultKind::kMailboxDrop: return "mailbox_drop";
+    case FaultKind::kMonitorNoise: return "monitor_noise";
+  }
+  return "?";
+}
+
+std::string Fault::describe() const {
+  return util::format("{}[{}..{} value={} period={}]", to_string(kind),
+                      bits(at), bits(until), value, period);
+}
+
+sim::SimTime FaultSchedule::clear_time() const {
+  sim::SimTime t = 0.0;
+  for (const Fault& f : faults) {
+    t = std::max(t, f.until + effect_tail(f));
+  }
+  return t;
+}
+
+FaultSchedule random_schedule(std::uint64_t seed,
+                              const ScheduleLimits& limits) {
+  util::SplitMix64 rng(seed);
+  FaultSchedule schedule;
+  int span = limits.max_faults - limits.min_faults + 1;
+  int n = limits.min_faults +
+          static_cast<int>(rng.next_below(static_cast<std::uint64_t>(span)));
+  // Keep every effect (window + tail) inside latest_clear; tails are < 0.5.
+  const double window_end = limits.latest_clear - 0.5;
+  for (int i = 0; i < n; ++i) {
+    Fault f;
+    f.kind = static_cast<FaultKind>(rng.next_below(8));
+    f.at = rng.uniform(limits.earliest, window_end - 0.4);
+    double max_dur = std::min(2.0, window_end - f.at);
+    f.until = f.at + rng.uniform(0.4, max_dur);
+    switch (f.kind) {
+      case FaultKind::kLinkBandwidth:
+        f.value = rng.uniform(0.06, 0.25) * limits.nominal_bandwidth;
+        break;
+      case FaultKind::kLinkFlap:
+        f.value = rng.uniform(0.08, 0.3) * limits.nominal_bandwidth;
+        f.period = rng.uniform(0.15, 0.4);
+        break;
+      case FaultKind::kLinkPartition:
+        f.value = 100.0;  // effectively severed, but the fluid stays live
+        f.until = std::min(f.until, f.at + 0.6);
+        break;
+      case FaultKind::kCpuShare:
+        f.value = rng.uniform(0.15, 0.5);
+        break;
+      case FaultKind::kCpuSteal:
+        // Above 0.5 the equal-weight water-fill pins the victim at half the
+        // CPU — enough to violate the interactive response bound at q=4.
+        f.value = rng.uniform(0.35, 0.75);
+        break;
+      case FaultKind::kMailboxDelay:
+        f.value = rng.uniform(0.05, 0.35);
+        break;
+      case FaultKind::kMailboxDrop:
+        f.value = rng.uniform(0.2, 0.6);
+        break;
+      case FaultKind::kMonitorNoise:
+        f.value = rng.uniform(0.05, 0.2);
+        break;
+    }
+    schedule.faults.push_back(f);
+  }
+  return schedule;
+}
+
+FaultInjector::FaultInjector(Targets targets, std::uint64_t seed,
+                             TraceRecorder* trace)
+    : targets_(targets), rng_(seed), trace_(trace) {
+  if (targets_.sim == nullptr) {
+    throw std::invalid_argument("fault injector needs a simulator");
+  }
+  if (targets_.link != nullptr) {
+    nominal_bandwidth_ = targets_.link->bandwidth();
+  }
+  if (targets_.inbound != nullptr) {
+    targets_.inbound->set_delivery_fault(
+        [this](const sim::Message& msg) { return delivery_verdict(msg); });
+  }
+}
+
+FaultInjector::~FaultInjector() {
+  if (targets_.inbound != nullptr) {
+    targets_.inbound->set_delivery_fault(nullptr);
+  }
+}
+
+void FaultInjector::note(const char* kind, const std::string& detail) {
+  ++actions_;
+  if (trace_ != nullptr) {
+    trace_->record(targets_.sim->now(), kind, detail);
+  }
+}
+
+void FaultInjector::apply_bandwidth(double bps, const char* why) {
+  targets_.link->set_bandwidth(bps);
+  bw_changed_ = targets_.sim->now();
+  note("fault", util::format("{} bandwidth={}", why, bits(bps)));
+}
+
+void FaultInjector::apply_cpu_share(double share, const char* why) {
+  targets_.victim->set_cpu_share(share);
+  cpu_changed_ = targets_.sim->now();
+  note("fault", util::format("{} cpu_share={}", why, bits(share)));
+}
+
+void FaultInjector::start_steal(const Fault& fault,
+                                const std::shared_ptr<bool>& on) {
+  if (steal_active_) {
+    note("fault", "cpu_steal skipped (steal already active)");
+    return;
+  }
+  *on = true;
+  steal_active_ = true;
+  steal_share_ = fault.value;
+  cpu_changed_ = targets_.sim->now();
+  targets_.competitor->set_cpu_share(fault.value);
+  sandbox::Sandbox* box = targets_.competitor;
+  double chunk = 0.02 * box->host().cpu_speed() * fault.value;
+  targets_.sim->spawn([](sandbox::Sandbox* b, std::shared_ptr<bool> running,
+                         double ops) -> sim::Task<> {
+    while (*running) co_await b->compute(ops);
+  }(box, on, chunk));
+  note("fault", util::format("cpu_steal start share={}", bits(fault.value)));
+}
+
+void FaultInjector::stop_steal(const Fault& fault,
+                               const std::shared_ptr<bool>& on) {
+  if (!*on) return;  // this steal never started (was skipped)
+  *on = false;
+  steal_active_ = false;
+  steal_share_ = 0.0;
+  cpu_changed_ = targets_.sim->now();
+  note("fault", util::format("cpu_steal end share={}", bits(fault.value)));
+}
+
+void FaultInjector::arm(const FaultSchedule& schedule) {
+  armed_.insert(armed_.end(), schedule.faults.begin(), schedule.faults.end());
+  clear_time_ = std::max(clear_time_, schedule.clear_time());
+  sim::Simulator& sim = *targets_.sim;
+  for (const Fault& f : schedule.faults) {
+    switch (f.kind) {
+      case FaultKind::kLinkBandwidth:
+      case FaultKind::kLinkPartition: {
+        if (targets_.link == nullptr) break;
+        double low = f.value;
+        sim.schedule_at(f.at, [this, low] {
+          apply_bandwidth(low, "link_set");
+        });
+        sim.schedule_at(f.until, [this] {
+          apply_bandwidth(nominal_bandwidth_, "link_restore");
+        });
+        break;
+      }
+      case FaultKind::kLinkFlap: {
+        if (targets_.link == nullptr) break;
+        bool down = true;
+        for (sim::SimTime t = f.at; t < f.until; t += f.period) {
+          double level = down ? f.value : nominal_bandwidth_;
+          sim.schedule_at(t, [this, level] {
+            apply_bandwidth(level, "link_flap");
+          });
+          down = !down;
+        }
+        sim.schedule_at(f.until, [this] {
+          apply_bandwidth(nominal_bandwidth_, "link_restore");
+        });
+        break;
+      }
+      case FaultKind::kCpuShare: {
+        if (targets_.victim == nullptr) break;
+        double share = f.value;
+        sim.schedule_at(f.at, [this, share] {
+          apply_cpu_share(share, "cpu_cap");
+        });
+        sim.schedule_at(f.until, [this] {
+          apply_cpu_share(1.0, "cpu_restore");
+        });
+        break;
+      }
+      case FaultKind::kCpuSteal: {
+        if (targets_.competitor == nullptr) break;
+        auto on = std::make_shared<bool>(false);
+        Fault fault = f;
+        sim.schedule_at(f.at, [this, fault, on] { start_steal(fault, on); });
+        sim.schedule_at(f.until, [this, fault, on] { stop_steal(fault, on); });
+        break;
+      }
+      case FaultKind::kMailboxDelay:
+      case FaultKind::kMailboxDrop:
+      case FaultKind::kMonitorNoise:
+        // Window faults consulted at effect time (delivery_verdict /
+        // perturb); nothing to schedule, but note the window for the trace.
+        if (trace_ != nullptr) {
+          sim.schedule_at(f.at, [this, f] {
+            note("fault", util::format("{} start value={}", to_string(f.kind),
+                                       bits(f.value)));
+          });
+        }
+        break;
+    }
+  }
+}
+
+double FaultInjector::true_cpu_share() const {
+  double cap = targets_.victim != nullptr ? targets_.victim->cpu_share() : 1.0;
+  double steal = steal_active_ ? steal_share_ : 0.0;
+  if (steal <= 0.0) return cap;
+  // Two equal-weight consumers on one CPU: under-load gives everyone its
+  // cap; over-subscription water-fills at 0.5 each, spilling a capped
+  // competitor's slack to the victim.
+  if (cap + steal <= 1.0) return cap;
+  if (steal < 0.5) return std::min(cap, 1.0 - steal);
+  if (cap < 0.5) return cap;
+  return 0.5;
+}
+
+double FaultInjector::true_bandwidth() const {
+  return targets_.link != nullptr ? targets_.link->bandwidth()
+                                  : nominal_bandwidth_;
+}
+
+bool FaultInjector::mailbox_disturbed_in(sim::SimTime from,
+                                         sim::SimTime to) const {
+  for (const Fault& f : armed_) {
+    if (f.kind != FaultKind::kMailboxDelay && f.kind != FaultKind::kMailboxDrop)
+      continue;
+    if (overlaps(f, from, to, effect_tail(f))) return true;
+  }
+  return false;
+}
+
+double FaultInjector::max_noise_in(sim::SimTime from, sim::SimTime to) const {
+  double amp = 0.0;
+  for (const Fault& f : armed_) {
+    if (f.kind != FaultKind::kMonitorNoise) continue;
+    if (overlaps(f, from, to, 0.0)) amp = std::max(amp, f.value);
+  }
+  return amp;
+}
+
+double FaultInjector::perturb(const std::string& axis, double value) {
+  sim::SimTime now = targets_.sim->now();
+  for (const Fault& f : armed_) {
+    if (f.kind == FaultKind::kMonitorNoise && active_at(f, now)) {
+      double scaled = value * (1.0 + rng_.uniform(-f.value, f.value));
+      if (trace_ != nullptr) {
+        trace_->record(now, "noise",
+                       util::format("{} {} -> {}", axis, bits(value),
+                                    bits(scaled)));
+      }
+      return scaled;
+    }
+  }
+  return value;
+}
+
+std::optional<sim::DeliveryFault> FaultInjector::delivery_verdict(
+    const sim::Message& msg) {
+  sim::SimTime now = targets_.sim->now();
+  for (const Fault& f : armed_) {
+    if (f.kind == FaultKind::kMailboxDrop && active_at(f, now)) {
+      if (rng_.next_double() < f.value) {
+        ++dropped_;
+        if (trace_ != nullptr) {
+          trace_->record(now, "drop", util::format("kind={}", msg.kind));
+        }
+        return sim::DeliveryFault{.drop = true};
+      }
+    }
+  }
+  for (const Fault& f : armed_) {
+    if (f.kind == FaultKind::kMailboxDelay && active_at(f, now)) {
+      double hold = rng_.uniform(0.0, f.value);
+      ++delayed_;
+      if (trace_ != nullptr) {
+        trace_->record(now, "hold",
+                       util::format("kind={} extra={}", msg.kind, bits(hold)));
+      }
+      return sim::DeliveryFault{.extra_delay = hold};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace avf::testkit

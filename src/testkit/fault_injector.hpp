@@ -1,0 +1,149 @@
+// Deterministic fault injection for the virtual testbed.
+//
+// A FaultSchedule is a list of timed faults — link bandwidth collapse /
+// flap / partition, CPU-share caps and competing-load steals on the victim
+// host, delayed/dropped/reordered mailbox deliveries, and monitor-sample
+// perturbation.  Schedules are either scripted by a test or generated from
+// a seed (random_schedule); in both cases every effect, including
+// per-message drop decisions, is driven by SplitMix64 so a run is a pure
+// function of (schedule, seed) and replays bit-identically.
+//
+// The FaultInjector applies a schedule through the simulator's existing
+// hooks (Link::set_bandwidth, Sandbox::set_cpu_share, a competing busy-loop
+// sandbox, Endpoint::set_delivery_fault) and — crucially for the invariant
+// checkers — keeps the *injected ground truth* queryable at any simulated
+// time: what the victim's CPU share and the link bandwidth really are right
+// now, when they last changed, and which windows were polluted by mailbox
+// or monitor-noise faults.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sandbox/sandbox.hpp"
+#include "sim/link.hpp"
+#include "sim/simulator.hpp"
+#include "testkit/trace.hpp"
+#include "util/rng.hpp"
+
+namespace avf::testkit {
+
+enum class FaultKind {
+  kLinkBandwidth,  ///< link capacity -> `value` bps over [at, until)
+  kLinkFlap,       ///< square-wave value/nominal, half-period `period`
+  kLinkPartition,  ///< near-zero capacity (`value` bps) over [at, until)
+  kCpuShare,       ///< victim sandbox CPU cap -> `value` over [at, until)
+  kCpuSteal,       ///< competing busy loop at share `value` over [at, until)
+  kMailboxDelay,   ///< inbound deliveries held U(0, `value`) s (reorders)
+  kMailboxDrop,    ///< inbound deliveries dropped with probability `value`
+  kMonitorNoise,   ///< observations scaled by 1 + U(-`value`, `value`)
+};
+
+const char* to_string(FaultKind kind);
+
+struct Fault {
+  FaultKind kind = FaultKind::kLinkBandwidth;
+  sim::SimTime at = 0.0;
+  sim::SimTime until = 0.0;
+  double value = 0.0;
+  double period = 0.0;  ///< kLinkFlap half-period only
+
+  std::string describe() const;
+};
+
+struct FaultSchedule {
+  std::vector<Fault> faults;
+
+  /// Time by which every fault's effect has ended (mailbox holds included).
+  sim::SimTime clear_time() const;
+};
+
+/// Bounds for seeded random schedules.  The defaults leave a stable tail
+/// (no fault effect after `latest_clear`) long enough for the
+/// re-convergence invariant to be checkable.
+struct ScheduleLimits {
+  sim::SimTime earliest = 0.5;
+  sim::SimTime latest_clear = 5.5;
+  int min_faults = 1;
+  int max_faults = 4;
+  double nominal_bandwidth = 1e6;  ///< bytes/s; degraded values derive from it
+};
+
+/// Seed -> schedule.  Same seed, same schedule, always.
+FaultSchedule random_schedule(std::uint64_t seed,
+                              const ScheduleLimits& limits = {});
+
+class FaultInjector {
+ public:
+  struct Targets {
+    sim::Simulator* sim = nullptr;          // required
+    sim::Link* link = nullptr;              // link faults
+    sandbox::Sandbox* victim = nullptr;     // kCpuShare target
+    sandbox::Sandbox* competitor = nullptr; // kCpuSteal busy-load sandbox
+    sim::Endpoint* inbound = nullptr;       // mailbox faults (receiving side)
+  };
+
+  /// Installs the delivery-fault hook on `targets.inbound` (if any).
+  /// `seed` drives per-message drop/delay draws and monitor noise.
+  FaultInjector(Targets targets, std::uint64_t seed,
+                TraceRecorder* trace = nullptr);
+  ~FaultInjector();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Schedule every fault action; call once before Simulator::run.  Faults
+  /// naming an absent target are recorded as skipped, not errors, so one
+  /// schedule can run against differently-equipped worlds.
+  void arm(const FaultSchedule& schedule);
+
+  // -- injected ground truth --------------------------------------------
+  /// CPU share the victim process can actually obtain right now (its cap,
+  /// water-filled against an active competing steal).
+  double true_cpu_share() const;
+  /// Current real link capacity, bytes/s.
+  double true_bandwidth() const;
+  sim::SimTime cpu_stable_since() const { return cpu_changed_; }
+  sim::SimTime bandwidth_stable_since() const { return bw_changed_; }
+  /// Whether any mailbox fault (including the tail of held deliveries)
+  /// overlaps [from, to].
+  bool mailbox_disturbed_in(sim::SimTime from, sim::SimTime to) const;
+  /// Largest monitor-noise amplitude active anywhere in [from, to].
+  double max_noise_in(sim::SimTime from, sim::SimTime to) const;
+  /// Time by which every armed fault's effect has ended.
+  sim::SimTime clear_time() const { return clear_time_; }
+
+  /// Route a monitor observation through the injector: inside an active
+  /// kMonitorNoise window the value is scaled by a seeded relative error.
+  double perturb(const std::string& axis, double value);
+
+  std::size_t actions_applied() const { return actions_; }
+  std::size_t messages_dropped() const { return dropped_; }
+  std::size_t messages_delayed() const { return delayed_; }
+
+ private:
+  void apply_bandwidth(double bps, const char* why);
+  void apply_cpu_share(double share, const char* why);
+  void start_steal(const Fault& fault, const std::shared_ptr<bool>& on);
+  void stop_steal(const Fault& fault, const std::shared_ptr<bool>& on);
+  std::optional<sim::DeliveryFault> delivery_verdict(const sim::Message& msg);
+  void note(const char* kind, const std::string& detail);
+
+  Targets targets_;
+  util::SplitMix64 rng_;
+  TraceRecorder* trace_;
+  std::vector<Fault> armed_;
+  double nominal_bandwidth_ = 0.0;
+  sim::SimTime cpu_changed_ = 0.0;
+  sim::SimTime bw_changed_ = 0.0;
+  sim::SimTime clear_time_ = 0.0;
+  bool steal_active_ = false;
+  double steal_share_ = 0.0;
+  std::size_t actions_ = 0;
+  std::size_t dropped_ = 0;
+  std::size_t delayed_ = 0;
+};
+
+}  // namespace avf::testkit

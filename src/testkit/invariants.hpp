@@ -1,0 +1,134 @@
+// Machine-checkable adaptation invariants (the paper's §6–§7 claims, made
+// assertable during any simulated run):
+//
+//  1. Steering discipline — a configuration change is installed only inside
+//     a marked task boundary (the annotated transition points), never
+//     mid-task (TransitionPointChecker).
+//  2. Preference order — every adaptation decision's chosen configuration
+//     satisfies the constraints of the preference it claims, and no more
+//     preferred preference was satisfiable at the estimates used; a
+//     best-effort decision is legal only when nothing satisfies any
+//     preference (check_adaptation_events).
+//  3. Monitor accuracy — once the injected ground truth has been stable for
+//     a full window (plus a settle guard covering measurement spans) and no
+//     mailbox fault pollutes the window, the monitoring agent's estimate is
+//     within a bounded relative error of the truth (MonitorAccuracyChecker).
+//  4. Re-convergence — within K check intervals (plus one window) after the
+//     last fault clears, adaptation stops and the active configuration is a
+//     fixed point of the scheduler at the true resources
+//     (check_reconvergence).
+//
+// Violations are collected, not thrown: a soak run reports every broken
+// invariant with its simulated time and detail, alongside the seed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "adapt/controller.hpp"
+#include "adapt/preferences.hpp"
+#include "adapt/scheduler.hpp"
+#include "adapt/steering.hpp"
+#include "perfdb/database.hpp"
+#include "sim/simulator.hpp"
+#include "testkit/fault_injector.hpp"
+#include "testkit/trace.hpp"
+
+namespace avf::testkit {
+
+struct Violation {
+  sim::SimTime time = 0.0;
+  std::string invariant;
+  std::string detail;
+};
+
+class InvariantLog {
+ public:
+  void report(sim::SimTime time, std::string invariant, std::string detail);
+
+  const std::vector<Violation>& violations() const { return violations_; }
+  bool ok() const { return violations_.empty(); }
+  /// Human-readable digest, at most `max_lines` violations.
+  std::string summary(std::size_t max_lines = 10) const;
+
+ private:
+  std::vector<Violation> violations_;
+};
+
+/// Invariant 1.  The application marks its transition points with
+/// enter_boundary()/leave_boundary(); the checker hooks the steering
+/// agent's on_applied acknowledgment and flags any apply outside a
+/// boundary.  Owns the steering agent's on_applied slot while alive.
+class TransitionPointChecker {
+ public:
+  TransitionPointChecker(sim::Simulator& sim, adapt::SteeringAgent& steering,
+                         InvariantLog& log, TraceRecorder* trace = nullptr);
+  ~TransitionPointChecker();
+
+  TransitionPointChecker(const TransitionPointChecker&) = delete;
+  TransitionPointChecker& operator=(const TransitionPointChecker&) = delete;
+
+  void enter_boundary() { in_boundary_ = true; }
+  void leave_boundary() { in_boundary_ = false; }
+
+  std::size_t applies_seen() const { return applies_; }
+
+ private:
+  sim::Simulator& sim_;
+  adapt::SteeringAgent& steering_;
+  InvariantLog& log_;
+  TraceRecorder* trace_;
+  bool in_boundary_ = false;
+  std::size_t applies_ = 0;
+};
+
+/// Invariant 2, checked post-run over the controller's event log.
+/// `lookup` must match the scheduler's prediction mode.
+void check_adaptation_events(
+    const std::vector<adapt::AdaptationController::AdaptationEvent>& events,
+    const perfdb::PerfDatabase& db, const adapt::PreferenceList& preferences,
+    InvariantLog& log, perfdb::Lookup lookup = perfdb::Lookup::kInterpolate);
+
+/// Invariant 3, probed periodically by the scenario runner.
+class MonitorAccuracyChecker {
+ public:
+  struct Options {
+    double tolerance = 0.10;      ///< relative error bound (plus noise)
+    double window = 2.0;          ///< the monitor's sliding window
+    double settle = 2.0;          ///< extra guard for measurement spans
+  };
+
+  MonitorAccuracyChecker(sim::Simulator& sim,
+                         const adapt::MonitoringAgent& monitor,
+                         const FaultInjector& injector, InvariantLog& log,
+                         Options options);
+
+  /// Check both axes at the current time if their gates pass.
+  void probe();
+
+  /// Number of (axis, probe) accuracy comparisons actually performed.
+  std::size_t checked() const { return checked_; }
+
+ private:
+  void check_axis(const std::string& axis, double truth,
+                  sim::SimTime stable_since, bool gated_on_mailbox);
+
+  sim::Simulator& sim_;
+  const adapt::MonitoringAgent& monitor_;
+  const FaultInjector& injector_;
+  InvariantLog& log_;
+  Options options_;
+  std::size_t checked_ = 0;
+};
+
+/// Invariant 4, checked once after the run drains.  Skipped (no violation)
+/// when the run ended before the grace period elapsed.
+void check_reconvergence(
+    sim::SimTime end_time, const FaultInjector& injector,
+    const adapt::ResourceScheduler& scheduler,
+    const adapt::SteeringAgent& steering,
+    const std::vector<adapt::AdaptationController::AdaptationEvent>& events,
+    double monitor_window, double check_interval, int k_checks,
+    InvariantLog& log);
+
+}  // namespace avf::testkit

@@ -1,0 +1,45 @@
+#include "testkit/trace.hpp"
+
+#include <bit>
+#include <ostream>
+
+#include "util/fmt.hpp"
+
+namespace avf::testkit {
+
+std::string bits(double v) {
+  return util::format("{:x}", std::bit_cast<std::uint64_t>(v));
+}
+
+void TraceRecorder::record(sim::SimTime time, const std::string& kind,
+                           const std::string& detail) {
+  lines_.push_back(util::format("{} {} {}", bits(time), kind, detail));
+}
+
+std::uint64_t TraceRecorder::fingerprint() const {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  auto mix = [&h](char c) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  };
+  for (const std::string& line : lines_) {
+    for (char c : line) mix(c);
+    mix('\n');
+  }
+  return h;
+}
+
+std::string TraceRecorder::dump() const {
+  std::string out;
+  for (const std::string& line : lines_) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+void TraceRecorder::dump(std::ostream& out) const {
+  for (const std::string& line : lines_) out << line << '\n';
+}
+
+}  // namespace avf::testkit

@@ -133,6 +133,74 @@ TEST(Controller, BaselineReanchorsAfterTrigger) {
   EXPECT_EQ(controller.adaptations().size(), 1u);
 }
 
+TEST(Controller, ConfigureThrowsOnEmptyDatabase) {
+  Rig rig;
+  MetricSchema s;
+  s.add("time", Direction::kLowerBetter);
+  PerfDatabase empty({"bw"}, s);
+  ResourceScheduler scheduler(empty, {minimize("time")});
+  AdaptationController controller(rig.sim, scheduler, rig.monitor,
+                                  rig.steering);
+  EXPECT_THROW(controller.configure({1000.0}), std::runtime_error);
+  // Nothing was staged or applied on the failed path.
+  EXPECT_FALSE(rig.steering.has_pending());
+  EXPECT_EQ(rig.steering.active(), Rig::cfg(0));
+}
+
+TEST(Controller, ConfigureFallsBackToBestEffortWhenNothingSatisfies) {
+  Rig rig;
+  UserPreference strict;
+  strict.name = "unreachable";
+  strict.constraints.push_back({"time", 0.0, 1.0});  // no config gets close
+  strict.objective_metric = "time";
+  strict.maximize = false;
+  ResourceScheduler scheduler(rig.db, {strict});
+  AdaptationController controller(rig.sim, scheduler, rig.monitor,
+                                  rig.steering);
+  // At bw=100 the predictions are 50 (mode 0) and 20 (mode 1): neither
+  // satisfies time <= 1, so the last preference degrades to best effort
+  // and picks the best objective value anyway.
+  ConfigPoint chosen = controller.configure({100.0});
+  EXPECT_EQ(chosen, Rig::cfg(1));
+  EXPECT_EQ(rig.steering.active(), Rig::cfg(1));
+}
+
+TEST(Controller, StaleStagedRequestWithdrawnWhenDecisionReaffirmsActive) {
+  // Regression: a change staged under degraded estimates but never applied
+  // (the application didn't reach a task boundary) must be withdrawn when a
+  // later trigger decides the active configuration is already right —
+  // otherwise the stale request installs at the next boundary and the
+  // system parks in a configuration nothing ever decided on purpose.
+  Rig rig;
+  MonitoringAgent::Options mopts;
+  mopts.window = 0.5;
+  mopts.trigger_threshold = 0.25;
+  mopts.consecutive_required = 1;
+  MonitoringAgent monitor(rig.sim, {"bw"}, mopts);
+  AdaptationController::Options options;
+  options.check_interval = 0.5;
+  AdaptationController controller(rig.sim, rig.scheduler, monitor,
+                                  rig.steering, options);
+  controller.configure({1000.0});
+  controller.start();
+  // Collapse: the 1.5s check stages mode 1 (never applied by the app).
+  rig.sim.schedule(1.2, [&] {
+    for (int i = 0; i < 5; ++i) monitor.observe("bw", 100.0);
+  });
+  // Full recovery before the 2.0s check: its decision is the still-active
+  // mode 0, which must also cancel the staged mode 1.
+  rig.sim.schedule(1.7, [&] {
+    for (int i = 0; i < 5; ++i) monitor.observe("bw", 1000.0);
+  });
+  rig.sim.schedule(2.2, [&] { controller.stop(); });
+  rig.sim.run();
+
+  ASSERT_EQ(controller.adaptations().size(), 1u);
+  EXPECT_EQ(controller.adaptations()[0].to, Rig::cfg(1));
+  EXPECT_FALSE(rig.steering.has_pending());
+  EXPECT_EQ(rig.steering.active(), Rig::cfg(0));
+}
+
 TEST(Controller, RejectsBadInterval) {
   Rig rig;
   AdaptationController::Options options;

@@ -240,5 +240,42 @@ TEST(PredictionCacheTest, LoadedDatabasePredictsThroughIndex) {
   }
 }
 
+TEST(PredictionCacheTest, NeverServesStaleValuesAcrossRandomMutation) {
+  // Property: under any interleaving of inserts and predictions, the cached
+  // path must agree with an uncached prediction made at the same moment —
+  // i.e. epoch invalidation never lets a pre-insert value survive a
+  // mutation of the config it belongs to.
+  PerfDatabase db = build_db(/*configs=*/3, /*grid=*/4);
+  util::SplitMix64 rng(7);
+  auto random_point = [&] {
+    return ResourcePoint{rng.uniform(0.1, 1.2), rng.uniform(50e3, 450e3)};
+  };
+  for (int step = 0; step < 500; ++step) {
+    const ConfigPoint config = cfg(static_cast<int>(rng.next_below(3)));
+    if (rng.next_below(4) == 0) {
+      // Overwrite a grid sample with a fresh value; any cached prediction
+      // bracketing it is now stale.
+      const double cpu = (static_cast<double>(rng.next_below(4)) + 1.0) / 4.0;
+      const double bw = (static_cast<double>(rng.next_below(4)) + 1.0) * 100e3;
+      db.insert(config, {cpu, bw},
+                q3(rng.next_double() * 20.0, rng.next_double(), 4.0));
+    }
+    const ResourcePoint at = random_point();
+    const auto cached = db.predict(config, at);
+    const auto fresh = db.predict_uncached(config, at);
+    ASSERT_EQ(cached.has_value(), fresh.has_value()) << "step " << step;
+    if (cached) {
+      for (const char* metric :
+           {"transmit_time", "response_time", "resolution"}) {
+        ASSERT_EQ(cached->get(metric), fresh->get(metric))
+            << "stale cache value for " << metric << " at step " << step;
+      }
+    }
+    // Re-query the same point to force the memoized entry into play too.
+    const auto memoized = db.predict(config, at);
+    ASSERT_TRUE(memoized.has_value() == cached.has_value());
+  }
+}
+
 }  // namespace
 }  // namespace avf::perfdb

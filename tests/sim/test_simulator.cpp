@@ -76,6 +76,32 @@ TEST(Simulator, CancelAfterFireIsNoop) {
   h.cancel();  // must not crash
 }
 
+TEST(Simulator, CancelFromEventAtSameTimestamp) {
+  // Equal-timestamp events run in schedule order, so an earlier event can
+  // cancel a later one the queue has already committed to the same time.
+  Simulator sim;
+  bool fired = false;
+  EventHandle victim;
+  sim.schedule(1.0, [&] { victim.cancel(); });
+  victim = sim.schedule(1.0, [&] { fired = true; });
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_FALSE(victim.pending());
+  EXPECT_EQ(sim.events_processed(), 1u);
+}
+
+TEST(Simulator, DoubleCancelIsNoop) {
+  Simulator sim;
+  bool fired = false;
+  EventHandle h = sim.schedule(1.0, [&] { fired = true; });
+  h.cancel();
+  h.cancel();  // second cancel of a pending-then-cancelled event
+  EXPECT_FALSE(h.pending());
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.events_processed(), 0u);
+}
+
 TEST(Simulator, RunUntilStopsAtBoundary) {
   Simulator sim;
   std::vector<double> fired;

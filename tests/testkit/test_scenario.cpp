@@ -1,0 +1,126 @@
+// ScenarioRunner: the golden-trace determinism contract (same seed, same
+// schedule => bit-identical trace), plus scripted end-to-end scenarios that
+// must adapt under a fault and re-converge after it clears — all under the
+// full invariant suite.
+#include "testkit/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+namespace avf::testkit {
+namespace {
+
+Fault make_fault(FaultKind kind, double at, double until, double value,
+                 double period = 0.0) {
+  Fault f;
+  f.kind = kind;
+  f.at = at;
+  f.until = until;
+  f.value = value;
+  f.period = period;
+  return f;
+}
+
+TEST(Scenario, SameSeedYieldsBitIdenticalTrace) {
+  ScenarioOptions options;
+  options.injector_seed = 42;
+  const FaultSchedule schedule = random_schedule(42, limits_for(options));
+
+  const ScenarioResult first = run_scenario(schedule, options);
+  const ScenarioResult second = run_scenario(schedule, options);
+  EXPECT_EQ(first.trace.fingerprint(), second.trace.fingerprint());
+  EXPECT_EQ(first.trace.dump(), second.trace.dump());
+  EXPECT_EQ(first.tasks, second.tasks);
+  EXPECT_EQ(first.retries, second.retries);
+  EXPECT_EQ(first.adaptations.size(), second.adaptations.size());
+}
+
+TEST(Scenario, DifferentSeedsDiverge) {
+  ScenarioOptions a;
+  a.injector_seed = 42;
+  ScenarioOptions b;
+  b.injector_seed = 43;
+  const ScenarioResult ra = run_scenario(random_schedule(42, limits_for(a)), a);
+  const ScenarioResult rb = run_scenario(random_schedule(43, limits_for(b)), b);
+  EXPECT_NE(ra.trace.fingerprint(), rb.trace.fingerprint());
+}
+
+TEST(Scenario, QuietRunHoldsInitialConfigAndAllInvariants) {
+  ScenarioOptions options;
+  const ScenarioResult result = run_scenario(FaultSchedule{}, options);
+  EXPECT_TRUE(result.ok()) << result.trace.dump();
+  EXPECT_GT(result.tasks, 0u);
+  EXPECT_TRUE(result.adaptations.empty());
+  EXPECT_EQ(result.initial_config, result.final_config);
+  // At nominal resources the scheduler picks full quality, uncompressed.
+  EXPECT_EQ(result.initial_config.key(), "c=0,q=4");
+}
+
+TEST(Scenario, CpuCapForcesAdaptationAndReconvergence) {
+  ScenarioOptions options;
+  FaultSchedule schedule;
+  schedule.faults.push_back(make_fault(FaultKind::kCpuShare, 1.0, 3.0, 0.2));
+  const ScenarioResult result = run_scenario(schedule, options);
+  EXPECT_TRUE(result.ok()) << result.trace.dump();
+  // The starved CPU forces at least one downgrade and, once restored, the
+  // re-convergence invariant (checked inside run_scenario) guarantees the
+  // final config is the scheduler's choice at nominal resources.
+  EXPECT_GE(result.adaptations.size(), 1u);
+  EXPECT_EQ(result.final_config.key(), "c=0,q=4");
+}
+
+TEST(Scenario, BandwidthCollapseForcesAdaptation) {
+  ScenarioOptions options;
+  FaultSchedule schedule;
+  schedule.faults.push_back(
+      make_fault(FaultKind::kLinkBandwidth, 1.0, 3.5, 80e3));
+  const ScenarioResult result = run_scenario(schedule, options);
+  EXPECT_TRUE(result.ok()) << result.trace.dump();
+  EXPECT_GE(result.adaptations.size(), 1u);
+  EXPECT_EQ(result.final_config.key(), "c=0,q=4");
+}
+
+TEST(Scenario, PartitionWithRetriesStillSatisfiesInvariants) {
+  ScenarioOptions options;
+  FaultSchedule schedule;
+  schedule.faults.push_back(
+      make_fault(FaultKind::kLinkPartition, 1.0, 1.6, 100.0));
+  const ScenarioResult result = run_scenario(schedule, options);
+  EXPECT_TRUE(result.ok()) << result.trace.dump();
+  EXPECT_GT(result.tasks, 0u);
+}
+
+TEST(Scenario, BothPreferenceTemplatesRunClean) {
+  for (int tpl : {0, 1}) {
+    ScenarioOptions options;
+    options.preference_template = tpl;
+    options.injector_seed = 7;
+    const FaultSchedule schedule = random_schedule(7, limits_for(options));
+    const ScenarioResult result = run_scenario(schedule, options);
+    EXPECT_TRUE(result.ok()) << "template " << tpl << "\n"
+                             << result.trace.dump();
+  }
+}
+
+TEST(Scenario, AnalyticDatabaseMatchesAppModel) {
+  AppModel model;
+  perfdb::PerfDatabase db = build_testkit_database(model);
+  tunable::ConfigPoint cfg;
+  cfg.set("q", 4);
+  cfg.set("c", 0);
+  auto q = db.predict(cfg, {1.0, 1e6});
+  ASSERT_TRUE(q.has_value());
+  EXPECT_NEAR(q->get("response"), model.response(cfg, 1.0, 1e6), 1e-9);
+  EXPECT_DOUBLE_EQ(q->get("quality"), 4.0);
+}
+
+TEST(Scenario, LimitsLeaveRoomForGracePeriod) {
+  ScenarioOptions options;
+  const ScheduleLimits limits = limits_for(options);
+  const double grace = options.monitor.window +
+                       options.reconverge_checks *
+                           options.controller.check_interval;
+  EXPECT_LE(limits.latest_clear + grace, options.duration);
+}
+
+}  // namespace
+}  // namespace avf::testkit

@@ -1,0 +1,56 @@
+// Seeded soak: many randomized fault scenarios, every one under the full
+// invariant suite.  The base seed comes from AVF_SOAK_SEED when set (so CI
+// can rotate seeds without a rebuild); on failure every offending scenario
+// seed is printed with replay instructions.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "testkit/scenario.hpp"
+
+namespace avf::testkit {
+namespace {
+
+std::uint64_t base_seed() {
+  if (const char* env = std::getenv("AVF_SOAK_SEED")) {
+    return std::strtoull(env, nullptr, 0);
+  }
+  return 20260807ull;
+}
+
+TEST(Soak, FiftyRandomScenariosHoldAllInvariants) {
+  const std::uint64_t seed = base_seed();
+  const SoakReport report = run_soak(seed, 50);
+
+  EXPECT_EQ(report.scenarios, 50u);
+  EXPECT_GT(report.tasks, 0u);
+  // Random fault schedules must actually exercise the adaptation path —
+  // a soak where nothing ever adapts tests nothing.
+  EXPECT_GT(report.adaptations, 0u);
+  EXPECT_GT(report.accuracy_probes, 0u);
+
+  if (!report.ok()) {
+    ADD_FAILURE() << "base seed " << seed << ": " << report.summary();
+    for (const auto& [scenario_seed, violation] : report.violations) {
+      ADD_FAILURE() << "violating scenario seed " << scenario_seed << " ["
+                    << violation.invariant << "] " << violation.detail
+                    << "\n  replay: avf_soak --scenario " << scenario_seed
+                    << " --verbose";
+    }
+  }
+}
+
+TEST(Soak, ReportAggregatesAcrossScenarios) {
+  const SoakReport report = run_soak(99, 3);
+  EXPECT_EQ(report.scenarios, 3u);
+  EXPECT_EQ(report.seeds.size(), 3u);
+  // Seeds derive from the base via SplitMix64: distinct and reproducible.
+  EXPECT_NE(report.seeds[0], report.seeds[1]);
+  const SoakReport again = run_soak(99, 3);
+  EXPECT_EQ(report.seeds, again.seeds);
+  EXPECT_EQ(report.tasks, again.tasks);
+  EXPECT_NE(report.summary().find("3 scenario(s)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace avf::testkit
