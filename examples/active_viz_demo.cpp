@@ -8,6 +8,7 @@
 // Build & run:  ./build/examples/active_viz_demo
 #include <iostream>
 
+#include "examples/specs.hpp"
 #include "util/table.hpp"
 #include "viz/world.hpp"
 
@@ -29,10 +30,7 @@ int main() {
   std::cout << "\n== step 2: user preference ==\n"
             << "   minimize transmit time at full resolution;\n"
             << "   fall back to lower resolution if transmit > 4 s\n";
-  adapt::UserPreference best = adapt::minimize("transmit_time");
-  best.constraints.push_back({.metric = "resolution", .min = 4.0});
-  best.constraints.push_back({.metric = "transmit_time", .max = 4.0});
-  adapt::UserPreference fallback = adapt::minimize("transmit_time");
+  adapt::PreferenceList preferences = examples::viz_preferences();
 
   std::cout << "\n== step 3: run 12 images while resources degrade ==\n"
             << "   t=6s  bandwidth 500 -> 50 KBps\n"
@@ -42,7 +40,7 @@ int main() {
   schedule.client_cpu = {{.at = 25.0, .cpu_share = 0.4}};
 
   viz::SessionResult result =
-      viz::run_adaptive_session(setup, db, {best, fallback}, schedule);
+      viz::run_adaptive_session(setup, db, preferences, schedule);
 
   std::cout << "initial configuration: " << result.initial_config.key()
             << "\n";

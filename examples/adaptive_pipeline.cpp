@@ -18,6 +18,7 @@
 #include <iostream>
 
 #include "adapt/controller.hpp"
+#include "examples/specs.hpp"
 #include "perfdb/driver.hpp"
 #include "sandbox/sandbox.hpp"
 #include "sim/network.hpp"
@@ -109,25 +110,11 @@ struct PipelineWorld {
   }
 };
 
-tunable::AppSpec make_spec() {
-  tunable::AppSpec spec("sensor-pipeline");
-  spec.space().add_parameter("batch", {16, 64, 256});
-  spec.space().add_parameter("filter", {0, 1});
-  spec.metrics().add("throughput", tunable::Direction::kHigherBetter);
-  spec.metrics().add("latency", tunable::Direction::kLowerBetter);
-  spec.add_resource_axis("uplink_bps");
-  spec.add_task({.name = "ship_batch",
-                 .params = {"batch", "filter"},
-                 .resources = {"gateway.CPU", "gateway.network"},
-                 .metrics = {"throughput", "latency"},
-                 .guard = nullptr});
-  return spec;
-}
-
 }  // namespace
 
 int main() {
-  tunable::AppSpec spec = make_spec();
+  // Spec shared with the avf_lint tool: examples::pipeline_spec().
+  tunable::AppSpec spec = examples::pipeline_spec();
 
   std::cout << "== profiling the pipeline across uplink bandwidths ==\n";
   perfdb::ProfilingDriver driver(
@@ -144,9 +131,7 @@ int main() {
       driver.profile(spec, {{4e3, 16e3, 64e3, 256e3, 1e6}});
 
   util::TextTable profile({"uplink (KB/s)", "best config", "records/s"});
-  adapt::UserPreference pref = adapt::maximize_metric("throughput");
-  pref.constraints.push_back({.metric = "latency", .max = 1.0});
-  adapt::ResourceScheduler scheduler(db, {pref});
+  adapt::ResourceScheduler scheduler(db, examples::pipeline_preferences());
   for (double bw : {4e3, 16e3, 64e3, 256e3, 1e6}) {
     auto d = scheduler.select({bw});
     profile.add_row({util::TextTable::num(bw / 1e3, 0), d->config.key(),

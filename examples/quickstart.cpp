@@ -14,6 +14,7 @@
 #include <iostream>
 
 #include "adapt/controller.hpp"
+#include "examples/specs.hpp"
 #include "perfdb/driver.hpp"
 #include "sandbox/sandbox.hpp"
 #include "sim/host.hpp"
@@ -27,22 +28,8 @@ constexpr double kSpeed = 450e6;          // ops/s of our simulated host
 constexpr double kOpsPerQuality = 90e6;   // CPU cost of one frame per level
 constexpr int kFrames = 20;
 
-// ---------------------------------------------------------------------
-// 1. Tunability specification (what the paper's annotations declare).
-// ---------------------------------------------------------------------
-tunable::AppSpec make_spec() {
-  tunable::AppSpec spec("renderer");
-  spec.space().add_parameter("quality", {1, 2, 3});
-  spec.metrics().add("frame_time", tunable::Direction::kLowerBetter);
-  spec.metrics().add("quality", tunable::Direction::kHigherBetter);
-  spec.add_resource_axis("cpu_share");
-  spec.add_task({.name = "render_frame",
-                 .params = {"quality"},
-                 .resources = {"host.CPU"},
-                 .metrics = {"frame_time", "quality"},
-                 .guard = nullptr});
-  return spec;
-}
+// Step 1 — the tunability specification (what the paper's annotations
+// declare) — is shared with the avf_lint tool: examples::renderer_spec().
 
 // ---------------------------------------------------------------------
 // 2. One profiling run: execute a few frames in a sandboxed testbed with
@@ -76,7 +63,7 @@ tunable::QosVector profile_run(const tunable::ConfigPoint& config,
 }  // namespace
 
 int main() {
-  tunable::AppSpec spec = make_spec();
+  tunable::AppSpec spec = examples::renderer_spec();
 
   std::cout << "== profiling the renderer in the virtual testbed ==\n";
   perfdb::ProfilingDriver driver(profile_run);
@@ -88,9 +75,7 @@ int main() {
   // User preferences, in decreasing order (paper §6): first, the best
   // quality whose frame time stays under 500 ms; if no quality can meet
   // that, just keep frames as fast as possible.
-  adapt::UserPreference pref = adapt::maximize_metric("quality");
-  pref.constraints.push_back({.metric = "frame_time", .max = 0.5});
-  adapt::UserPreference fallback = adapt::minimize("frame_time");
+  adapt::PreferenceList preferences = examples::renderer_preferences();
 
   // ---------------------------------------------------------------------
   // 3 + 4. Run the application; CPU share drops mid-run, the monitoring
@@ -103,7 +88,7 @@ int main() {
   opts.cpu_share = 0.9;
   sandbox::Sandbox box(host, "renderer", opts);
 
-  adapt::ResourceScheduler scheduler(db, {pref, fallback});
+  adapt::ResourceScheduler scheduler(db, preferences);
   adapt::MonitoringAgent monitor(sim, spec.resource_axes());
   tunable::ConfigPoint initial = scheduler.select({0.9})->config;
   adapt::SteeringAgent steering(spec, initial);

@@ -1,0 +1,58 @@
+#include "examples/specs.hpp"
+
+namespace avf::examples {
+
+using tunable::Direction;
+
+tunable::AppSpec renderer_spec() {
+  tunable::AppSpec spec("renderer");
+  spec.space().add_parameter("quality", {1, 2, 3});
+  spec.metrics().add("frame_time", Direction::kLowerBetter);
+  spec.metrics().add("quality", Direction::kHigherBetter);
+  spec.add_resource_axis("cpu_share");
+  spec.add_task({.name = "render_frame",
+                 .params = {"quality"},
+                 .resources = {"host.CPU"},
+                 .metrics = {"frame_time", "quality"},
+                 .guard = nullptr});
+  return spec;
+}
+
+tunable::PreferenceList renderer_preferences() {
+  // Best quality whose frame time stays under 500 ms; if no quality can
+  // meet that, just keep frames as fast as possible.
+  tunable::UserPreference pref = tunable::maximize_metric("quality");
+  pref.constraints.push_back({.metric = "frame_time", .max = 0.5});
+  return {pref, tunable::minimize("frame_time")};
+}
+
+tunable::AppSpec pipeline_spec() {
+  tunable::AppSpec spec("sensor-pipeline");
+  spec.space().add_parameter("batch", {16, 64, 256});
+  spec.space().add_parameter("filter", {0, 1});
+  spec.metrics().add("throughput", Direction::kHigherBetter);
+  spec.metrics().add("latency", Direction::kLowerBetter);
+  spec.add_resource_axis("uplink_bps");
+  spec.add_task({.name = "ship_batch",
+                 .params = {"batch", "filter"},
+                 .resources = {"gateway.CPU", "gateway.network"},
+                 .metrics = {"throughput", "latency"},
+                 .guard = nullptr});
+  return spec;
+}
+
+tunable::PreferenceList pipeline_preferences() {
+  tunable::UserPreference pref = tunable::maximize_metric("throughput");
+  pref.constraints.push_back({.metric = "latency", .max = 1.0});
+  return {pref};
+}
+
+tunable::PreferenceList viz_preferences() {
+  tunable::UserPreference best =
+      tunable::minimize("transmit_time", "full-resolution");
+  best.constraints.push_back({.metric = "resolution", .min = 4.0});
+  best.constraints.push_back({.metric = "transmit_time", .max = 4.0});
+  return {best, tunable::minimize("transmit_time", "best-effort")};
+}
+
+}  // namespace avf::examples

@@ -1,0 +1,27 @@
+// Shared tunability specifications of the example applications.
+//
+// The specs used to live inline in each example's main(); they are shared
+// here so that the avf_lint tool (and the lint test suite) can statically
+// analyze exactly what the examples run — CI gates on these linting clean.
+#pragma once
+
+#include "tunable/app_spec.hpp"
+#include "tunable/preferences.hpp"
+
+namespace avf::examples {
+
+/// quickstart.cpp: a one-knob renderer (quality in {1,2,3}) on one host.
+tunable::AppSpec renderer_spec();
+/// Best quality under a 500 ms frame budget; else fastest frames.
+tunable::PreferenceList renderer_preferences();
+
+/// adaptive_pipeline.cpp: sensor-batch gateway (batch size x filtering).
+tunable::AppSpec pipeline_spec();
+/// Max throughput with batch latency under 1 s.
+tunable::PreferenceList pipeline_preferences();
+
+/// active_viz_demo.cpp preferences for viz::viz_app_spec(): minimize
+/// transmit time at full resolution, fall back below 4 s transmit.
+tunable::PreferenceList viz_preferences();
+
+}  // namespace avf::examples

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "lint/lint.hpp"
 #include "util/logging.hpp"
 
 namespace avf::adapt {
@@ -24,6 +25,22 @@ AdaptationController::AdaptationController(sim::Simulator& sim,
       options_(options) {
   if (options_.check_interval <= 0.0) {
     throw std::invalid_argument("check interval must be > 0");
+  }
+  if (options_.validate_spec) {
+    // Catch spec-level defects before anything runs (paper: the
+    // preprocessor is the last line of defense for the annotations).
+    const tunable::AppSpec& spec = steering_.spec();
+    lint::Report report = spec.validate();
+    report.merge(lint::lint_preferences(spec, scheduler_.preferences()));
+    report.merge(lint::lint_database(spec, scheduler_.database()));
+    for (const lint::Diagnostic& d : report.diagnostics()) {
+      if (d.severity == lint::Severity::kError) continue;  // thrown below
+      util::log_warn("controller", sim_.now(), "spec lint: {}", d.render());
+    }
+    if (report.has_errors()) {
+      throw std::invalid_argument(
+          "tunability spec failed validation:\n" + report.str());
+    }
   }
 }
 

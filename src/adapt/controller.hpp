@@ -3,6 +3,10 @@
 // signal, consults the resource scheduler, and hands any configuration
 // change to the steering agent.  Also performs the *initial automatic
 // configuration* from the system-wide monitor's static view of resources.
+//
+// Construction statically validates the tunability spec (AppSpec::validate
+// plus preference and database cross-checks from src/lint): errors throw
+// std::invalid_argument before anything runs; warnings are logged.
 #pragma once
 
 #include <vector>
@@ -18,6 +22,10 @@ class AdaptationController {
  public:
   struct Options {
     double check_interval = 0.25;  ///< seconds between monitor checks
+    /// Lint the spec/preferences/database at construction: hard-fail
+    /// (std::invalid_argument) on errors, log warnings.  Off switch for
+    /// harnesses that intentionally build degenerate rigs.
+    bool validate_spec = true;
   };
 
   AdaptationController(sim::Simulator& sim, const ResourceScheduler& scheduler,

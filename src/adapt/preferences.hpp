@@ -1,49 +1,17 @@
-// User preference constraints (paper §6): "each user preference constraint
-// is expressed as value ranges on a subset of output quality metrics and is
-// accompanied with an objective function to be optimized. ... Multiple user
-// preference constraints can be specified. The system examines them in
-// decreasing order of preference."
-//
-// Following the paper's simplification, the objective is maximizing or
-// minimizing a single quality metric.
+// Compatibility re-exports: user preferences moved into the tunable layer
+// (they are part of the declared specification and are statically checked
+// by src/lint).  Existing adapt-facing code keeps using avf::adapt names.
 #pragma once
 
-#include <limits>
-#include <string>
-#include <vector>
-
-#include "tunable/qos.hpp"
+#include "tunable/preferences.hpp"
 
 namespace avf::adapt {
 
-struct MetricRange {
-  std::string metric;
-  double min = -std::numeric_limits<double>::infinity();
-  double max = std::numeric_limits<double>::infinity();
+using tunable::MetricRange;
+using tunable::PreferenceList;
+using tunable::UserPreference;
 
-  bool contains(double value) const { return value >= min && value <= max; }
-};
-
-struct UserPreference {
-  std::string name;
-  std::vector<MetricRange> constraints;
-  std::string objective_metric;
-  bool maximize = false;
-
-  /// All constraints satisfied by `quality`.
-  bool satisfied_by(const tunable::QosVector& quality) const;
-
-  /// True when `a` is a better objective value than `b`.
-  bool better(double a, double b) const { return maximize ? a > b : a < b; }
-};
-
-/// Ordered by decreasing preference: the scheduler tries [0] first and
-/// falls through when no configuration can satisfy it.
-using PreferenceList = std::vector<UserPreference>;
-
-// Convenience builders used by examples and benchmarks.
-UserPreference minimize(const std::string& metric, std::string name = {});
-UserPreference maximize_metric(const std::string& metric,
-                               std::string name = {});
+using tunable::maximize_metric;
+using tunable::minimize;
 
 }  // namespace avf::adapt

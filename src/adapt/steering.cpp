@@ -35,6 +35,7 @@ bool SteeringAgent::apply_pending() {
   for (const tunable::TransitionSpec& t : spec_.transitions()) {
     if (t.guard && !t.guard(active_, next)) {
       ++vetoed_;
+      if (on_vetoed_) on_vetoed_(active_, next, t.name);
       return false;
     }
   }

@@ -20,6 +20,10 @@ class SteeringAgent {
  public:
   SteeringAgent(const tunable::AppSpec& spec, tunable::ConfigPoint initial);
 
+  /// The specification this agent steers (used by the controller to
+  /// validate the whole spec/preference/database triple at startup).
+  const tunable::AppSpec& spec() const { return spec_; }
+
   /// The configuration the application is currently running.
   const tunable::ConfigPoint& active() const { return active_; }
 
@@ -47,6 +51,17 @@ class SteeringAgent {
     on_applied_ = std::move(callback);
   }
 
+  /// Failure acknowledgment (from, vetoed target, vetoing transition name):
+  /// fired when a transition guard cancels a staged change, so the
+  /// scheduler side learns the request did not install.  The pending
+  /// request is already cleared when this fires.
+  void set_on_vetoed(
+      std::function<void(const tunable::ConfigPoint&,
+                         const tunable::ConfigPoint&, const std::string&)>
+          callback) {
+    on_vetoed_ = std::move(callback);
+  }
+
   std::size_t applied() const { return applied_; }
   std::size_t vetoed() const { return vetoed_; }
 
@@ -56,6 +71,9 @@ class SteeringAgent {
   std::optional<tunable::ConfigPoint> pending_;
   std::function<void(const tunable::ConfigPoint&, const tunable::ConfigPoint&)>
       on_applied_;
+  std::function<void(const tunable::ConfigPoint&, const tunable::ConfigPoint&,
+                     const std::string&)>
+      on_vetoed_;
   std::size_t applied_ = 0;
   std::size_t vetoed_ = 0;
 };

@@ -1,0 +1,143 @@
+#include "lint/diagnostic.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "util/fmt.hpp"
+
+namespace avf::lint {
+
+std::string_view severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Basename of a __FILE__-style path, to keep renderings stable across
+/// build trees.
+std::string_view basename_of(std::string_view path) {
+  std::size_t slash = path.find_last_of('/');
+  return slash == std::string_view::npos ? path : path.substr(slash + 1);
+}
+
+}  // namespace
+
+std::string Diagnostic::render() const {
+  std::string out = util::format("{} [{}] {}: {}", severity_name(severity),
+                                 rule, subject, message);
+  if (where) {
+    out += util::format(" ({}:{})", basename_of(where->file_name()),
+                        where->line());
+  }
+  return out;
+}
+
+void Report::add(Diagnostic diagnostic) {
+  if (diagnostic.severity == Severity::kError) ++errors_;
+  if (diagnostic.severity == Severity::kWarning) ++warnings_;
+  diagnostics_.push_back(std::move(diagnostic));
+}
+
+void Report::note(std::string rule, std::string subject, std::string message,
+                  std::optional<std::source_location> where) {
+  add(Diagnostic{Severity::kNote, std::move(rule), std::move(subject),
+                 std::move(message), where});
+}
+
+void Report::warning(std::string rule, std::string subject,
+                     std::string message,
+                     std::optional<std::source_location> where) {
+  add(Diagnostic{Severity::kWarning, std::move(rule), std::move(subject),
+                 std::move(message), where});
+}
+
+void Report::error(std::string rule, std::string subject, std::string message,
+                   std::optional<std::source_location> where) {
+  add(Diagnostic{Severity::kError, std::move(rule), std::move(subject),
+                 std::move(message), where});
+}
+
+void Report::merge(const Report& other) {
+  for (const Diagnostic& d : other.diagnostics_) add(d);
+}
+
+bool Report::has_rule(std::string_view rule) const {
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.rule == rule) return true;
+  }
+  return false;
+}
+
+void Report::print(std::ostream& out) const {
+  for (const Diagnostic& d : diagnostics_) out << d.render() << '\n';
+  out << util::format("{} error(s), {} warning(s)\n", errors_, warnings_);
+}
+
+void Report::print_json(std::ostream& out) const {
+  out << "{\"errors\":" << errors_ << ",\"warnings\":" << warnings_
+      << ",\"diagnostics\":[";
+  bool first = true;
+  for (const Diagnostic& d : diagnostics_) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"severity\":\"" << severity_name(d.severity) << "\",\"rule\":\""
+        << json_escape(d.rule) << "\",\"subject\":\"" << json_escape(d.subject)
+        << "\",\"message\":\"" << json_escape(d.message) << '"';
+    if (d.where) {
+      // Basename, as in render(): stable across build trees.
+      out << ",\"file\":\"" << json_escape(basename_of(d.where->file_name()))
+          << "\",\"line\":" << d.where->line();
+    }
+    out << '}';
+  }
+  out << "]}";
+}
+
+std::string Report::str() const {
+  std::ostringstream out;
+  print(out);
+  return out.str();
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += "\\u00";
+          out += "0123456789abcdef"[(c >> 4) & 0xf];
+          out += "0123456789abcdef"[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace avf::lint

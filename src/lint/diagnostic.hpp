@@ -1,0 +1,79 @@
+// Structured diagnostics for the tunability-spec linter (src/lint).
+//
+// A Diagnostic carries a severity, a stable rule id (the catalog lives in
+// DESIGN.md §9 and rules.hpp), the entity it concerns, a human-readable
+// message, and — when the registration DSL captured one — the
+// std::source_location of the declaration the diagnostic points at.
+// A Report is an ordered collection with human and JSON renderings.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <source_location>
+#include <string>
+#include <vector>
+
+namespace avf::lint {
+
+enum class Severity {
+  kNote,     // informational (e.g. an analysis was skipped)
+  kWarning,  // suspicious but the application can run
+  kError,    // the adaptation machinery will misbehave at run time
+};
+
+std::string_view severity_name(Severity severity);
+
+struct Diagnostic {
+  Severity severity = Severity::kWarning;
+  std::string rule;     // stable id, e.g. "ref.undefined-param"
+  std::string subject;  // entity, e.g. "task module1" or "config dR=80,..."
+  std::string message;
+  /// Registration site of the offending declaration, when known.
+  std::optional<std::source_location> where;
+
+  /// One-line human rendering:
+  ///   error [ref.undefined-param] task module1: ... (app_spec.cpp:12)
+  std::string render() const;
+};
+
+class Report {
+ public:
+  void add(Diagnostic diagnostic);
+  void note(std::string rule, std::string subject, std::string message,
+            std::optional<std::source_location> where = std::nullopt);
+  void warning(std::string rule, std::string subject, std::string message,
+               std::optional<std::source_location> where = std::nullopt);
+  void error(std::string rule, std::string subject, std::string message,
+             std::optional<std::source_location> where = std::nullopt);
+
+  /// Append every diagnostic of `other`.
+  void merge(const Report& other);
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  std::size_t error_count() const { return errors_; }
+  std::size_t warning_count() const { return warnings_; }
+  bool has_errors() const { return errors_ > 0; }
+  bool empty() const { return diagnostics_.empty(); }
+
+  /// True when some diagnostic carries `rule` (test + tooling helper).
+  bool has_rule(std::string_view rule) const;
+
+  /// Human-readable listing, one diagnostic per line, plus a summary line.
+  void print(std::ostream& out) const;
+  /// JSON: {"errors":N,"warnings":N,"diagnostics":[{...},...]} — schema in
+  /// DESIGN.md §9.  No trailing newline, so callers can embed the object.
+  void print_json(std::ostream& out) const;
+
+  /// The whole report as the human rendering (used by exceptions).
+  std::string str() const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+  std::size_t errors_ = 0;
+  std::size_t warnings_ = 0;
+};
+
+/// Escape `text` as the body of a JSON string literal.
+std::string json_escape(std::string_view text);
+
+}  // namespace avf::lint

@@ -1,0 +1,62 @@
+// Static analysis of tunability specifications.
+//
+// The paper's preprocessor is the only thing standing between a developer's
+// tunability annotations and silent misbehavior: a task that names an
+// undefined control parameter, a guard that rules out every configuration,
+// or a transition graph that cannot reach a configuration the scheduler
+// selects would otherwise fail only at profiling or adaptation time.  These
+// passes move that whole error class to "before anything runs":
+//
+//   lint_spec         — reference integrity, guard feasibility, transition
+//                       connectivity over the declared AppSpec
+//   lint_preferences  — preference constraints vs. the declared metrics
+//   lint_database     — performance-database coverage of the config space
+//   lint_app          — all of the above, merged
+//
+// AdaptationController runs these at startup (hard-fail on errors, log
+// warnings); the avf_lint CLI runs them over the example applications and
+// CSV databases; CI gates on a clean lint of examples/.
+#pragma once
+
+#include "lint/diagnostic.hpp"
+#include "lint/rules.hpp"
+#include "perfdb/database.hpp"
+#include "tunable/app_spec.hpp"
+#include "tunable/preferences.hpp"
+
+namespace avf::lint {
+
+struct Options {
+  /// Cap on the raw (unguarded) configuration-space size for the
+  /// enumeration-based rules (guard feasibility, dead values, database
+  /// coverage).  Above it the rules are skipped with a `lint.skipped` note.
+  std::size_t max_configs = 20000;
+  /// Cap on the number of valid configurations for the O(V^2) transition
+  /// connectivity analysis; above it a `lint.skipped` note is emitted.
+  std::size_t max_transition_configs = 512;
+  /// How many individual unprofiled configurations to list before
+  /// summarizing the remainder in one diagnostic.
+  std::size_t max_unprofiled_listed = 16;
+};
+
+/// Reference integrity + guard feasibility + transition connectivity.
+Report lint_spec(const tunable::AppSpec& spec, const Options& options = {});
+
+/// Preference constraints/objectives vs. the spec's metric schema.
+Report lint_preferences(const tunable::AppSpec& spec,
+                        const tunable::PreferenceList& preferences,
+                        const Options& options = {});
+
+/// Performance-database coverage: axes/metrics line up with the spec,
+/// samples only for valid configurations, every valid configuration
+/// profiled.
+Report lint_database(const tunable::AppSpec& spec,
+                     const perfdb::PerfDatabase& db,
+                     const Options& options = {});
+
+/// Everything: lint_spec + (optional) preferences + (optional) database.
+Report lint_app(const tunable::AppSpec& spec,
+                const tunable::PreferenceList* preferences,
+                const perfdb::PerfDatabase* db, const Options& options = {});
+
+}  // namespace avf::lint

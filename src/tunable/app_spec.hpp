@@ -9,14 +9,23 @@
 //   spec.add_resource_axis("cpu_share");
 //   spec.add_task({.name = "module1", .params = {"l", "dR", "c"}, ...});
 //   spec.add_transition({.name = "notify-server", ...});
+//
+// Every registration captures its std::source_location, so diagnostics from
+// the spec linter (src/lint) point back at the declaration site.
 #pragma once
 
 #include <functional>
+#include <source_location>
 #include <string>
 #include <vector>
 
 #include "tunable/config.hpp"
 #include "tunable/qos.hpp"
+
+namespace avf::lint {
+class Report;
+struct Options;
+}  // namespace avf::lint
 
 namespace avf::tunable {
 
@@ -32,6 +41,8 @@ struct TaskSpec {
   std::vector<std::string> metrics;    // QoS metrics it updates
   /// Guard: whether this task participates under `config` (empty = always).
   std::function<bool(const ConfigPoint&)> guard;
+  /// Declaration site, captured automatically at aggregate initialization.
+  std::source_location where = std::source_location::current();
 };
 
 /// One reconfiguration action (the `transition` construct): runs when the
@@ -44,6 +55,8 @@ struct TransitionSpec {
   /// Handler performing application-specific actions (e.g. notifying the
   /// server of a new compression type).
   std::function<void(const ConfigPoint& from, const ConfigPoint& to)> handler;
+  /// Declaration site, captured automatically at aggregate initialization.
+  std::source_location where = std::source_location::current();
 };
 
 class AppSpec {
@@ -60,8 +73,13 @@ class AppSpec {
 
   /// Declare a resource dimension the application's behavior depends on
   /// (the axes of the performance database), e.g. "cpu_share", "net_bps".
-  void add_resource_axis(const std::string& axis);
+  void add_resource_axis(
+      const std::string& axis,
+      std::source_location where = std::source_location::current());
   const std::vector<std::string>& resource_axes() const { return axes_; }
+  const std::vector<std::source_location>& resource_axis_sites() const {
+    return axis_sites_;
+  }
 
   void add_task(TaskSpec task) { tasks_.push_back(std::move(task)); }
   const std::vector<TaskSpec>& tasks() const { return tasks_; }
@@ -76,11 +94,18 @@ class AppSpec {
   /// Tasks active under `config` (guard-filtered).
   std::vector<const TaskSpec*> active_tasks(const ConfigPoint& config) const;
 
+  /// Static analysis of this specification: reference integrity, guard
+  /// feasibility, transition connectivity, metric consistency.  Defined in
+  /// the avf_lint library (src/lint/lint.cpp); callers must link it.
+  lint::Report validate() const;
+  lint::Report validate(const lint::Options& options) const;
+
  private:
   std::string name_;
   ConfigSpace space_;
   MetricSchema metrics_;
   std::vector<std::string> axes_;
+  std::vector<std::source_location> axis_sites_;
   std::vector<TaskSpec> tasks_;
   std::vector<TransitionSpec> transitions_;
 };

@@ -1,6 +1,8 @@
 #include "tunable/config.hpp"
 
 #include <algorithm>
+#include <charconv>
+#include <limits>
 #include <stdexcept>
 
 #include "util/fmt.hpp"
@@ -38,26 +40,66 @@ std::string ConfigPoint::key() const {
 
 ConfigPoint ConfigPoint::parse(const std::string& key) {
   ConfigPoint point;
+  if (key.empty()) return point;
   std::size_t pos = 0;
-  while (pos < key.size()) {
+  std::size_t item_index = 0;
+  for (;;) {
     std::size_t comma = key.find(',', pos);
-    if (comma == std::string::npos) comma = key.size();
+    bool last = comma == std::string::npos;
+    if (last) comma = key.size();
     std::string_view item(key.data() + pos, comma - pos);
+    if (item.empty()) {
+      throw std::invalid_argument(util::format(
+          last ? "config key \"{}\": trailing separator after item {}"
+               : "config key \"{}\": empty item at position {}",
+          key, item_index));
+    }
     std::size_t eq = item.find('=');
-    if (eq == std::string_view::npos || eq == 0) {
-      throw std::invalid_argument(
-          util::format("bad config key item: {}", std::string(item)));
+    if (eq == std::string_view::npos) {
+      throw std::invalid_argument(util::format(
+          "config key \"{}\": item \"{}\" has no '='", key,
+          std::string(item)));
+    }
+    if (eq == 0) {
+      throw std::invalid_argument(util::format(
+          "config key \"{}\": item \"{}\" has an empty parameter name", key,
+          std::string(item)));
     }
     std::string name(item.substr(0, eq));
-    int value = std::stoi(std::string(item.substr(eq + 1)));
+    std::string_view digits = item.substr(eq + 1);
+    int value = 0;
+    auto [end, ec] =
+        std::from_chars(digits.data(), digits.data() + digits.size(), value);
+    if (ec == std::errc::result_out_of_range) {
+      throw std::invalid_argument(util::format(
+          "config key \"{}\": value \"{}\" for parameter {} is out of range",
+          key, std::string(digits), name));
+    }
+    if (ec != std::errc() || end == digits.data()) {
+      throw std::invalid_argument(util::format(
+          "config key \"{}\": value \"{}\" for parameter {} is not an integer",
+          key, std::string(digits), name));
+    }
+    if (end != digits.data() + digits.size()) {
+      throw std::invalid_argument(util::format(
+          "config key \"{}\": trailing characters after value in \"{}\"", key,
+          std::string(item)));
+    }
+    if (point.try_get(name)) {
+      throw std::invalid_argument(util::format(
+          "config key \"{}\": duplicate parameter {}", key, name));
+    }
     point.set(name, value);
+    ++item_index;
+    if (last) break;
     pos = comma + 1;
   }
   return point;
 }
 
 void ConfigSpace::add_parameter(const std::string& name,
-                                std::vector<int> values) {
+                                std::vector<int> values,
+                                std::source_location where) {
   if (values.empty()) {
     throw std::invalid_argument(
         util::format("parameter {} has empty domain", name));
@@ -65,12 +107,13 @@ void ConfigSpace::add_parameter(const std::string& name,
   if (has_parameter(name)) {
     throw std::invalid_argument(util::format("duplicate parameter: {}", name));
   }
-  params_.push_back(ParamDomain{name, std::move(values)});
+  params_.push_back(ParamDomain{name, std::move(values), where});
 }
 
 void ConfigSpace::add_guard(std::string description,
-                            std::function<bool(const ConfigPoint&)> predicate) {
-  guards_.push_back(Guard{std::move(description), std::move(predicate)});
+                            std::function<bool(const ConfigPoint&)> predicate,
+                            std::source_location where) {
+  guards_.push_back(Guard{std::move(description), std::move(predicate), where});
 }
 
 bool ConfigSpace::has_parameter(const std::string& name) const {
@@ -124,6 +167,44 @@ bool ConfigSpace::valid(const ConfigPoint& point) const {
     if (!g.predicate(point)) return false;
   }
   return true;
+}
+
+std::size_t ConfigSpace::raw_size() const {
+  if (params_.empty()) return 0;
+  std::size_t total = 1;
+  for (const ParamDomain& p : params_) {
+    std::size_t n = p.values.size();
+    if (total > std::numeric_limits<std::size_t>::max() / n) {
+      return std::numeric_limits<std::size_t>::max();  // saturate
+    }
+    total *= n;
+  }
+  return total;
+}
+
+bool ConfigSpace::feasible() const {
+  if (params_.empty()) return false;
+  std::vector<std::size_t> idx(params_.size(), 0);
+  for (;;) {
+    ConfigPoint point;
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+      point.set(params_[i].name, params_[i].values[idx[i]]);
+    }
+    bool ok = true;
+    for (const Guard& g : guards_) {
+      if (!g.predicate(point)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return true;
+    std::size_t i = params_.size();
+    while (i-- > 0) {
+      if (++idx[i] < params_[i].values.size()) break;
+      idx[i] = 0;
+      if (i == 0) return false;
+    }
+  }
 }
 
 }  // namespace avf::tunable

@@ -3,11 +3,17 @@
 // ConfigPoint assigns one value to every parameter; the ConfigSpace
 // enumerates the cartesian product, filtered by guard predicates (the
 // guards the paper attaches to task/transition constructs).
+//
+// Every registration call captures its std::source_location so that the
+// spec linter (src/lint) can point diagnostics at the declaration site —
+// the moral equivalent of the preprocessor reporting the offending
+// annotation's file and line.
 #pragma once
 
 #include <functional>
 #include <map>
 #include <optional>
+#include <source_location>
 #include <string>
 #include <vector>
 
@@ -17,6 +23,8 @@ namespace avf::tunable {
 struct ParamDomain {
   std::string name;
   std::vector<int> values;
+  /// Where add_parameter was called (linter diagnostics).
+  std::source_location where;
 };
 
 /// A full assignment of values to control parameters.  Comparable and
@@ -40,6 +48,11 @@ class ConfigPoint {
   bool empty() const { return values_.empty(); }
 
   std::string key() const;
+  /// Parse a key() rendering ("a=1,b=2").  Throws std::invalid_argument
+  /// with a descriptive message on malformed input: missing or misplaced
+  /// '=', empty parameter name, non-numeric or out-of-range value,
+  /// trailing characters after the number, duplicate parameter, empty
+  /// item, or trailing separator.
   static ConfigPoint parse(const std::string& key);
 
   auto operator<=>(const ConfigPoint&) const = default;
@@ -52,19 +65,25 @@ class ConfigPoint {
 struct Guard {
   std::string description;
   std::function<bool(const ConfigPoint&)> predicate;
+  /// Where add_guard was called (linter diagnostics).
+  std::source_location where;
 };
 
 class ConfigSpace {
  public:
   /// Declare a parameter; names must be unique, domains non-empty.
-  void add_parameter(const std::string& name, std::vector<int> values);
+  void add_parameter(
+      const std::string& name, std::vector<int> values,
+      std::source_location where = std::source_location::current());
 
   void add_guard(std::string description,
-                 std::function<bool(const ConfigPoint&)> predicate);
+                 std::function<bool(const ConfigPoint&)> predicate,
+                 std::source_location where = std::source_location::current());
 
   const std::vector<ParamDomain>& parameters() const { return params_; }
   const ParamDomain& parameter(const std::string& name) const;
   bool has_parameter(const std::string& name) const;
+  const std::vector<Guard>& guards() const { return guards_; }
 
   /// All guard-satisfying configurations, in lexicographic domain order.
   std::vector<ConfigPoint> enumerate() const;
@@ -72,6 +91,16 @@ class ConfigSpace {
   /// Whether `point` assigns a valid domain value to every parameter and
   /// passes all guards.
   bool valid(const ConfigPoint& point) const;
+
+  /// Size of the unguarded cartesian product (saturating; 0 when no
+  /// parameters are declared).  raw_size() > 0 with an empty enumerate()
+  /// means the guards filtered out every point — a reportable state the
+  /// linter flags rather than a silent-empty space.
+  std::size_t raw_size() const;
+
+  /// At least one configuration passes every guard.  Equivalent to
+  /// !enumerate().empty() but stops at the first admissible point.
+  bool feasible() const;
 
   std::size_t parameter_count() const { return params_.size(); }
   std::size_t guard_count() const { return guards_.size(); }

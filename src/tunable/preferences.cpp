@@ -1,8 +1,8 @@
-#include "adapt/preferences.hpp"
+#include "tunable/preferences.hpp"
 
-namespace avf::adapt {
+namespace avf::tunable {
 
-bool UserPreference::satisfied_by(const tunable::QosVector& quality) const {
+bool UserPreference::satisfied_by(const QosVector& quality) const {
   for (const MetricRange& range : constraints) {
     auto value = quality.try_get(range.metric);
     if (!value || !range.contains(*value)) return false;
@@ -10,20 +10,24 @@ bool UserPreference::satisfied_by(const tunable::QosVector& quality) const {
   return true;
 }
 
-UserPreference minimize(const std::string& metric, std::string name) {
+UserPreference minimize(const std::string& metric, std::string name,
+                        std::source_location where) {
   UserPreference p;
   p.name = name.empty() ? "minimize " + metric : std::move(name);
   p.objective_metric = metric;
   p.maximize = false;
+  p.where = where;
   return p;
 }
 
-UserPreference maximize_metric(const std::string& metric, std::string name) {
+UserPreference maximize_metric(const std::string& metric, std::string name,
+                               std::source_location where) {
   UserPreference p;
   p.name = name.empty() ? "maximize " + metric : std::move(name);
   p.objective_metric = metric;
   p.maximize = true;
+  p.where = where;
   return p;
 }
 
-}  // namespace avf::adapt
+}  // namespace avf::tunable

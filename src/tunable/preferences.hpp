@@ -1,0 +1,61 @@
+// User preference constraints (paper §6): "each user preference constraint
+// is expressed as value ranges on a subset of output quality metrics and is
+// accompanied with an objective function to be optimized. ... Multiple user
+// preference constraints can be specified. The system examines them in
+// decreasing order of preference."
+//
+// Following the paper's simplification, the objective is maximizing or
+// minimizing a single quality metric.
+//
+// Preferences live in the tunable layer (not adapt) because they are part
+// of the application's declared specification: the spec linter (src/lint)
+// cross-checks them against the metric schema before any run-time component
+// exists.  adapt/preferences.hpp re-exports these names for existing code.
+#pragma once
+
+#include <limits>
+#include <source_location>
+#include <string>
+#include <vector>
+
+#include "tunable/qos.hpp"
+
+namespace avf::tunable {
+
+struct MetricRange {
+  std::string metric;
+  double min = -std::numeric_limits<double>::infinity();
+  double max = std::numeric_limits<double>::infinity();
+
+  bool contains(double value) const { return value >= min && value <= max; }
+};
+
+struct UserPreference {
+  std::string name;
+  std::vector<MetricRange> constraints;
+  std::string objective_metric;
+  bool maximize = false;
+  /// Declaration site, captured automatically at construction (or at the
+  /// minimize()/maximize_metric() call for built preferences).
+  std::source_location where = std::source_location::current();
+
+  /// All constraints satisfied by `quality`.
+  bool satisfied_by(const QosVector& quality) const;
+
+  /// True when `a` is a better objective value than `b`.
+  bool better(double a, double b) const { return maximize ? a > b : a < b; }
+};
+
+/// Ordered by decreasing preference: the scheduler tries [0] first and
+/// falls through when no configuration can satisfy it.
+using PreferenceList = std::vector<UserPreference>;
+
+// Convenience builders used by examples and benchmarks.
+UserPreference minimize(
+    const std::string& metric, std::string name = {},
+    std::source_location where = std::source_location::current());
+UserPreference maximize_metric(
+    const std::string& metric, std::string name = {},
+    std::source_location where = std::source_location::current());
+
+}  // namespace avf::tunable

@@ -26,11 +26,12 @@ std::optional<double> QosVector::try_get(const std::string& metric) const {
   return it->second;
 }
 
-void MetricSchema::add(const std::string& name, Direction direction) {
+void MetricSchema::add(const std::string& name, Direction direction,
+                       std::source_location where) {
   if (has(name)) {
     throw std::invalid_argument(util::format("duplicate metric: {}", name));
   }
-  metrics_.push_back(MetricDef{name, direction});
+  metrics_.push_back(MetricDef{name, direction, where});
 }
 
 bool MetricSchema::has(const std::string& name) const {

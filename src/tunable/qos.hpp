@@ -7,6 +7,7 @@
 
 #include <map>
 #include <optional>
+#include <source_location>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,8 @@ enum class Direction {
 struct MetricDef {
   std::string name;
   Direction direction = Direction::kLowerBetter;
+  /// Where MetricSchema::add was called (linter diagnostics).
+  std::source_location where;
 };
 
 /// `a` is at least as good as `b` for a metric of direction `dir`.
@@ -48,7 +51,8 @@ class QosVector {
 /// Declared metric schema for an application.
 class MetricSchema {
  public:
-  void add(const std::string& name, Direction direction);
+  void add(const std::string& name, Direction direction,
+           std::source_location where = std::source_location::current());
 
   const std::vector<MetricDef>& metrics() const { return metrics_; }
   const MetricDef& metric(const std::string& name) const;

@@ -201,6 +201,72 @@ TEST(Controller, StaleStagedRequestWithdrawnWhenDecisionReaffirmsActive) {
   EXPECT_EQ(rig.steering.active(), Rig::cfg(0));
 }
 
+TEST(Controller, ConstructionRejectsSpecWithLintErrors) {
+  // The steering agent holds a reference to the spec, so planting the
+  // defect after Rig construction is visible to the controller's startup
+  // validation.
+  Rig rig;
+  rig.spec.add_task({.name = "broken",
+                     .params = {"nonesuch"},
+                     .resources = {},
+                     .metrics = {},
+                     .guard = nullptr});
+  try {
+    AdaptationController controller(rig.sim, rig.scheduler, rig.monitor,
+                                    rig.steering);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    std::string what = e.what();
+    EXPECT_NE(what.find("failed validation"), std::string::npos) << what;
+    EXPECT_NE(what.find("ref.undefined-param"), std::string::npos) << what;
+  }
+}
+
+TEST(Controller, ConstructionRejectsPreferenceOnUndeclaredMetric) {
+  // The scheduler's own constructor checks objectives against the database
+  // schema, but a *constraint* on an undeclared metric only the spec lint
+  // catches.
+  Rig rig;
+  UserPreference pref = minimize("time");
+  pref.constraints.push_back({.metric = "undeclared_metric", .max = 1.0});
+  ResourceScheduler scheduler(rig.db, {pref});
+  try {
+    AdaptationController controller(rig.sim, scheduler, rig.monitor,
+                                    rig.steering);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("pref.undefined-metric"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Controller, ValidationOffSwitchSkipsLint) {
+  Rig rig;
+  rig.spec.add_task({.name = "broken",
+                     .params = {"nonesuch"},
+                     .resources = {},
+                     .metrics = {},
+                     .guard = nullptr});
+  AdaptationController::Options options;
+  options.validate_spec = false;
+  // Degenerate rigs can opt out; construction succeeds.
+  AdaptationController controller(rig.sim, rig.scheduler, rig.monitor,
+                                  rig.steering, options);
+  EXPECT_EQ(controller.configure({1000.0}), Rig::cfg(0));
+}
+
+TEST(Controller, WarningsDoNotBlockConstruction) {
+  // The Rig's database fully profiles the space; an extra unprofiled-config
+  // warning (db.unprofiled-config) must log, not throw.
+  Rig rig;
+  rig.spec.space().add_guard("all pass",
+                             [](const ConfigPoint&) { return true; });
+  AdaptationController controller(rig.sim, rig.scheduler, rig.monitor,
+                                  rig.steering);
+  EXPECT_EQ(controller.configure({1000.0}), Rig::cfg(0));
+}
+
 TEST(Controller, RejectsBadInterval) {
   Rig rig;
   AdaptationController::Options options;

@@ -94,6 +94,87 @@ TEST(Steering, HandlersAndAckRun) {
   EXPECT_EQ(log[1], "ack mode=0->mode=1");
 }
 
+TEST(Steering, VetoAcknowledgedWithTransitionName) {
+  AppSpec spec = make_spec(/*veto_mode2=*/true);
+  SteeringAgent agent(spec, cfg(0));
+  std::vector<std::string> acks;
+  agent.set_on_vetoed([&](const ConfigPoint& from, const ConfigPoint& to,
+                          const std::string& transition) {
+    acks.push_back(transition + " " + from.key() + "->" + to.key());
+  });
+  agent.request(cfg(2));
+  EXPECT_FALSE(agent.apply_pending());
+  ASSERT_EQ(acks.size(), 1u);
+  EXPECT_EQ(acks[0], "veto mode=0->mode=2");
+}
+
+TEST(Steering, VetoClearsPendingBeforeAck) {
+  // The failure ack must observe the agent with the request already
+  // withdrawn, so a handler can immediately re-request.
+  AppSpec spec = make_spec(/*veto_mode2=*/true);
+  SteeringAgent agent(spec, cfg(0));
+  bool pending_during_ack = true;
+  agent.set_on_vetoed([&](const ConfigPoint&, const ConfigPoint&,
+                          const std::string&) {
+    pending_during_ack = agent.has_pending();
+  });
+  agent.request(cfg(2));
+  agent.apply_pending();
+  EXPECT_FALSE(pending_during_ack);
+  EXPECT_FALSE(agent.has_pending());
+  // A later apply is a no-op — the vetoed request does not linger.
+  EXPECT_FALSE(agent.apply_pending());
+  EXPECT_EQ(agent.vetoed(), 1u);
+}
+
+TEST(Steering, RequestWorksAgainAfterVeto) {
+  AppSpec spec = make_spec(/*veto_mode2=*/true);
+  SteeringAgent agent(spec, cfg(0));
+  agent.request(cfg(2));
+  EXPECT_FALSE(agent.apply_pending());
+  // The agent recovers: a valid target still goes through.
+  EXPECT_TRUE(agent.request(cfg(1)));
+  EXPECT_TRUE(agent.apply_pending());
+  EXPECT_EQ(agent.active(), cfg(1));
+  EXPECT_EQ(agent.applied(), 1u);
+  EXPECT_EQ(agent.vetoed(), 1u);
+}
+
+TEST(Steering, SuccessfulApplyDoesNotFireVetoAck) {
+  AppSpec spec = make_spec();
+  SteeringAgent agent(spec, cfg(0));
+  int veto_acks = 0;
+  agent.set_on_vetoed(
+      [&](const ConfigPoint&, const ConfigPoint&, const std::string&) {
+        ++veto_acks;
+      });
+  agent.request(cfg(1));
+  EXPECT_TRUE(agent.apply_pending());
+  EXPECT_EQ(veto_acks, 0);
+}
+
+TEST(Steering, FirstVetoAmongTransitionsIsReported) {
+  // Any single veto cancels the change; the ack names the guard that fired.
+  AppSpec spec("multi");
+  spec.space().add_parameter("mode", {0, 1});
+  spec.metrics().add("m", tunable::Direction::kLowerBetter);
+  spec.add_transition(tunable::TransitionSpec{
+      .name = "permissive",
+      .guard = [](const ConfigPoint&, const ConfigPoint&) { return true; },
+      .handler = nullptr});
+  spec.add_transition(tunable::TransitionSpec{
+      .name = "strict",
+      .guard = [](const ConfigPoint&, const ConfigPoint&) { return false; },
+      .handler = nullptr});
+  SteeringAgent agent(spec, cfg(0));
+  std::string vetoed_by;
+  agent.set_on_vetoed([&](const ConfigPoint&, const ConfigPoint&,
+                          const std::string& name) { vetoed_by = name; });
+  agent.request(cfg(1));
+  EXPECT_FALSE(agent.apply_pending());
+  EXPECT_EQ(vetoed_by, "strict");
+}
+
 TEST(Steering, ApplyWithoutPendingIsNoop) {
   AppSpec spec = make_spec();
   SteeringAgent agent(spec, cfg(0));

@@ -1,0 +1,92 @@
+#include "lint/diagnostic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace avf::lint {
+namespace {
+
+TEST(Diagnostic, RenderIncludesSeverityRuleSubjectMessage) {
+  Diagnostic d{Severity::kError, "ref.undefined-param", "task 'm1'",
+               "references undeclared control parameter 'x'", std::nullopt};
+  EXPECT_EQ(d.render(),
+            "error [ref.undefined-param] task 'm1': references undeclared "
+            "control parameter 'x'");
+}
+
+TEST(Diagnostic, RenderAppendsBasenameAndLineOfRegistrationSite) {
+  Diagnostic d{Severity::kWarning, "r", "s", "m",
+               std::source_location::current()};  // this line
+  std::string rendered = d.render();
+  EXPECT_NE(rendered.find("test_diagnostic.cpp:"), std::string::npos);
+  // The full path is reduced to a basename.
+  EXPECT_EQ(rendered.find("/"), std::string::npos);
+}
+
+TEST(Report, CountsBySeverity) {
+  Report report;
+  report.error("e.rule", "s", "m");
+  report.warning("w.rule", "s", "m");
+  report.warning("w.rule2", "s", "m");
+  report.note("n.rule", "s", "m");
+  EXPECT_EQ(report.error_count(), 1u);
+  EXPECT_EQ(report.warning_count(), 2u);
+  EXPECT_TRUE(report.has_errors());
+  EXPECT_EQ(report.diagnostics().size(), 4u);
+  EXPECT_TRUE(report.has_rule("e.rule"));
+  EXPECT_FALSE(report.has_rule("missing.rule"));
+}
+
+TEST(Report, MergePreservesCountsAndOrder) {
+  Report a;
+  a.error("a.rule", "s", "m");
+  Report b;
+  b.warning("b.rule", "s", "m");
+  a.merge(b);
+  EXPECT_EQ(a.error_count(), 1u);
+  EXPECT_EQ(a.warning_count(), 1u);
+  ASSERT_EQ(a.diagnostics().size(), 2u);
+  EXPECT_EQ(a.diagnostics()[1].rule, "b.rule");
+}
+
+TEST(Report, PrintSummarizes) {
+  Report report;
+  report.error("e.rule", "subject", "message");
+  std::ostringstream out;
+  report.print(out);
+  EXPECT_NE(out.str().find("error [e.rule] subject: message"),
+            std::string::npos);
+  EXPECT_NE(out.str().find("1 error(s), 0 warning(s)"), std::string::npos);
+}
+
+TEST(Report, JsonIsWellFormedAndEscaped) {
+  Report report;
+  report.error("e.rule", "task \"a\"", "line1\nline2");
+  std::ostringstream out;
+  report.print_json(out);
+  std::string json = out.str();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"errors\":1"), std::string::npos);
+  EXPECT_NE(json.find("task \\\"a\\\""), std::string::npos);
+  EXPECT_NE(json.find("line1\\nline2"), std::string::npos);
+}
+
+TEST(Report, JsonCarriesSourceLocation) {
+  Report report;
+  report.warning("w.rule", "s", "m", std::source_location::current());
+  std::ostringstream out;
+  report.print_json(out);
+  EXPECT_NE(out.str().find("\"file\":"), std::string::npos);
+  EXPECT_NE(out.str().find("\"line\":"), std::string::npos);
+}
+
+TEST(JsonEscape, ControlCharacters) {
+  EXPECT_EQ(json_escape("a\tb"), "a\\tb");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+}  // namespace
+}  // namespace avf::lint

@@ -1,0 +1,437 @@
+// Seeded-defect tests for the tunability-spec linter: each test plants one
+// class of specification bug and asserts the expected rule id fires (and,
+// for the clean specs, that nothing does).
+#include "lint/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "examples/specs.hpp"
+#include "perfdb/database.hpp"
+#include "tunable/app_spec.hpp"
+#include "tunable/preferences.hpp"
+#include "viz/world.hpp"
+
+namespace avf::lint {
+namespace {
+
+using tunable::AppSpec;
+using tunable::ConfigPoint;
+using tunable::Direction;
+using tunable::PreferenceList;
+
+// A small well-formed spec the defect tests perturb.
+AppSpec clean_spec() {
+  AppSpec spec("clean");
+  spec.space().add_parameter("a", {1, 2});
+  spec.space().add_parameter("b", {0, 1});
+  spec.metrics().add("latency", Direction::kLowerBetter);
+  spec.metrics().add("quality", Direction::kHigherBetter);
+  spec.add_resource_axis("cpu_share");
+  spec.add_task({.name = "work",
+                 .params = {"a", "b"},
+                 .resources = {"host.CPU"},
+                 .metrics = {"latency", "quality"},
+                 .guard = nullptr});
+  return spec;
+}
+
+std::size_t count_rule(const Report& report, std::string_view rule) {
+  return static_cast<std::size_t>(std::count_if(
+      report.diagnostics().begin(), report.diagnostics().end(),
+      [&](const Diagnostic& d) { return d.rule == rule; }));
+}
+
+TEST(LintSpec, CleanSpecHasNoDiagnostics) {
+  Report report = lint_spec(clean_spec());
+  EXPECT_TRUE(report.empty()) << report.str();
+}
+
+// -- acceptance defect 1: undefined parameter reference ------------------
+
+TEST(LintSpec, TaskReferencingUndefinedParameterIsAnError) {
+  AppSpec spec = clean_spec();
+  spec.add_task({.name = "broken",
+                 .params = {"nonesuch"},
+                 .resources = {},
+                 .metrics = {"latency"},
+                 .guard = nullptr});
+  Report report = lint_spec(spec);
+  EXPECT_TRUE(report.has_errors());
+  EXPECT_TRUE(report.has_rule(rules::kUndefinedParam)) << report.str();
+}
+
+TEST(LintSpec, UndefinedParamDiagnosticPointsAtDeclarationSite) {
+  AppSpec spec = clean_spec();
+  spec.add_task({.name = "broken",
+                 .params = {"nonesuch"},
+                 .resources = {},
+                 .metrics = {},
+                 .guard = nullptr});  // registration site captured here
+  Report report = lint_spec(spec);
+  const Diagnostic* found = nullptr;
+  for (const Diagnostic& d : report.diagnostics()) {
+    if (d.rule == rules::kUndefinedParam) found = &d;
+  }
+  ASSERT_NE(found, nullptr);
+  ASSERT_TRUE(found->where.has_value());
+  EXPECT_NE(std::string_view(found->where->file_name()).find("test_lint.cpp"),
+            std::string_view::npos);
+  EXPECT_NE(found->render().find("test_lint.cpp:"), std::string::npos);
+}
+
+TEST(LintSpec, TaskReferencingUndefinedMetricIsAnError) {
+  AppSpec spec = clean_spec();
+  spec.add_task({.name = "broken",
+                 .params = {"a"},
+                 .resources = {},
+                 .metrics = {"ghost_metric"},
+                 .guard = nullptr});
+  Report report = lint_spec(spec);
+  EXPECT_TRUE(report.has_rule(rules::kUndefinedMetric)) << report.str();
+}
+
+TEST(LintSpec, DuplicateTaskNameIsAnError) {
+  AppSpec spec = clean_spec();
+  spec.add_task({.name = "work",
+                 .params = {"a"},
+                 .resources = {},
+                 .metrics = {},
+                 .guard = nullptr});
+  EXPECT_TRUE(lint_spec(spec).has_rule(rules::kDuplicateTask));
+}
+
+TEST(LintSpec, UnusedParameterIsAWarningNotError) {
+  AppSpec spec = clean_spec();
+  spec.space().add_parameter("orphan", {1, 2, 3});
+  Report report = lint_spec(spec);
+  EXPECT_FALSE(report.has_errors()) << report.str();
+  EXPECT_TRUE(report.has_rule(rules::kUnusedParam));
+}
+
+TEST(LintSpec, TasklessSpecDoesNotWarnAboutUnusedParameters) {
+  // Test rigs routinely declare a space + metrics with no task modules;
+  // usage analysis would flag everything, so it only runs when tasks exist.
+  AppSpec spec("rig");
+  spec.space().add_parameter("a", {1, 2});
+  spec.metrics().add("latency", Direction::kLowerBetter);
+  Report report = lint_spec(spec);
+  EXPECT_FALSE(report.has_rule(rules::kUnusedParam)) << report.str();
+  EXPECT_FALSE(report.has_rule(rules::kUnusedMetric)) << report.str();
+}
+
+TEST(LintSpec, DuplicateDomainValueIsAWarning) {
+  AppSpec spec("dup");
+  spec.space().add_parameter("a", {1, 1, 2});
+  EXPECT_TRUE(lint_spec(spec).has_rule(rules::kDuplicateValue));
+}
+
+// -- acceptance defect 2: infeasible guard -------------------------------
+
+TEST(LintSpec, GuardFilteringEverythingIsAnError) {
+  AppSpec spec = clean_spec();
+  spec.space().add_guard("a must exceed 10",
+                         [](const ConfigPoint& p) { return p.get("a") > 10; });
+  Report report = lint_spec(spec);
+  EXPECT_TRUE(report.has_errors());
+  EXPECT_TRUE(report.has_rule(rules::kInfeasible)) << report.str();
+}
+
+TEST(LintSpec, SoloInfeasibleGuardIsBlamedByDescription) {
+  AppSpec spec = clean_spec();
+  spec.space().add_guard("fine", [](const ConfigPoint&) { return true; });
+  spec.space().add_guard("impossible",
+                         [](const ConfigPoint&) { return false; });
+  Report report = lint_spec(spec);
+  bool blamed = false;
+  for (const Diagnostic& d : report.diagnostics()) {
+    if (d.rule == rules::kInfeasible &&
+        d.render().find("impossible") != std::string::npos) {
+      blamed = true;
+    }
+  }
+  EXPECT_TRUE(blamed) << report.str();
+}
+
+TEST(LintSpec, DeadDomainValueIsAWarning) {
+  AppSpec spec = clean_spec();
+  spec.space().add_guard("a below 2",
+                         [](const ConfigPoint& p) { return p.get("a") < 2; });
+  Report report = lint_spec(spec);
+  EXPECT_FALSE(report.has_errors()) << report.str();
+  // a=2 never appears in a valid configuration.
+  EXPECT_TRUE(report.has_rule(rules::kDeadValue));
+  // And with one surviving value for a multi-value domain, the parameter is
+  // effectively constant.
+  EXPECT_TRUE(report.has_rule(rules::kConstantParam));
+}
+
+TEST(LintSpec, NoParametersIsAnError) {
+  AppSpec spec("empty");
+  EXPECT_TRUE(lint_spec(spec).has_rule(rules::kEmptySpace));
+}
+
+TEST(LintSpec, OversizedSpaceSkipsEnumerationWithNote) {
+  AppSpec spec("huge");
+  std::vector<int> domain(100);
+  for (int i = 0; i < 100; ++i) domain[i] = i;
+  spec.space().add_parameter("x", domain);
+  spec.space().add_parameter("y", domain);
+  spec.space().add_parameter("z", domain);  // 10^6 raw points
+  spec.space().add_guard("nope", [](const ConfigPoint&) { return false; });
+  Options options;
+  options.max_configs = 1000;
+  Report report = lint_spec(spec, options);
+  EXPECT_TRUE(report.has_rule(rules::kSkipped)) << report.str();
+  EXPECT_FALSE(report.has_rule(rules::kInfeasible));
+}
+
+// -- acceptance defect 3: disconnected transition graph ------------------
+
+TEST(LintSpec, TransitionGuardPartitioningSpaceIsAnError) {
+  AppSpec spec = clean_spec();
+  // Reconfiguration may never cross the a=1 / a=2 boundary: the valid
+  // configurations split into two strongly connected components.
+  spec.add_transition(
+      {.name = "same-a-only",
+       .guard = [](const ConfigPoint& from, const ConfigPoint& to) {
+         return from.get("a") == to.get("a");
+       }});
+  Report report = lint_spec(spec);
+  EXPECT_TRUE(report.has_errors());
+  EXPECT_TRUE(report.has_rule(rules::kUnreachable)) << report.str();
+}
+
+TEST(LintSpec, AlwaysVetoingTransitionIsAnError) {
+  AppSpec spec = clean_spec();
+  spec.add_transition(
+      {.name = "frozen",
+       .guard = [](const ConfigPoint&, const ConfigPoint&) { return false; }});
+  Report report = lint_spec(spec);
+  EXPECT_TRUE(report.has_rule(rules::kAlwaysVeto)) << report.str();
+}
+
+TEST(LintSpec, UnguardedTransitionKeepsSpaceConnected) {
+  AppSpec spec = clean_spec();
+  spec.add_transition({.name = "free", .guard = nullptr});
+  Report report = lint_spec(spec);
+  EXPECT_FALSE(report.has_rule(rules::kUnreachable)) << report.str();
+  EXPECT_FALSE(report.has_rule(rules::kAlwaysVeto));
+}
+
+TEST(LintSpec, OneWayTransitionGuardIsDetectedAsDisconnection) {
+  AppSpec spec = clean_spec();
+  // Monotone guard: adaptation can only ever increase `a`, so it can never
+  // return to a lower-quality configuration — an SCC per value of `a`.
+  spec.add_transition(
+      {.name = "ratchet",
+       .guard = [](const ConfigPoint& from, const ConfigPoint& to) {
+         return to.get("a") >= from.get("a");
+       }});
+  EXPECT_TRUE(lint_spec(spec).has_rule(rules::kUnreachable));
+}
+
+TEST(LintSpec, ConnectivitySkippedAboveTransitionCap) {
+  AppSpec spec = clean_spec();
+  spec.add_transition(
+      {.name = "same-a-only",
+       .guard = [](const ConfigPoint& from, const ConfigPoint& to) {
+         return from.get("a") == to.get("a");
+       }});
+  Options options;
+  options.max_transition_configs = 2;  // 4 valid configs > 2
+  Report report = lint_spec(spec, options);
+  EXPECT_TRUE(report.has_rule(rules::kSkipped)) << report.str();
+  EXPECT_FALSE(report.has_rule(rules::kUnreachable));
+}
+
+// -- acceptance defect 4: preference on an undeclared metric -------------
+
+TEST(LintPreferences, ConstraintOnUndeclaredMetricIsAnError) {
+  AppSpec spec = clean_spec();
+  tunable::UserPreference pref = tunable::minimize("latency");
+  pref.constraints.push_back({.metric = "undeclared_metric", .max = 1.0});
+  Report report = lint_preferences(spec, {pref});
+  EXPECT_TRUE(report.has_errors());
+  EXPECT_TRUE(report.has_rule(rules::kPrefUndefinedMetric)) << report.str();
+}
+
+TEST(LintPreferences, ObjectiveOnUndeclaredMetricIsAnError) {
+  AppSpec spec = clean_spec();
+  Report report = lint_preferences(spec, {tunable::minimize("ghost")});
+  EXPECT_TRUE(report.has_rule(rules::kPrefUndefinedMetric)) << report.str();
+}
+
+TEST(LintPreferences, EmptyListIsAnError) {
+  Report report = lint_preferences(clean_spec(), {});
+  EXPECT_TRUE(report.has_rule(rules::kPrefNone));
+}
+
+TEST(LintPreferences, MaximizingLowerBetterMetricIsAWarning) {
+  AppSpec spec = clean_spec();
+  Report report =
+      lint_preferences(spec, {tunable::maximize_metric("latency")});
+  EXPECT_TRUE(report.has_rule(rules::kPrefObjectiveDirection))
+      << report.str();
+  EXPECT_FALSE(report.has_errors());
+}
+
+TEST(LintPreferences, EmptyConstraintRangeIsAnError) {
+  AppSpec spec = clean_spec();
+  tunable::UserPreference pref = tunable::minimize("latency");
+  pref.constraints.push_back({.metric = "quality", .min = 5.0, .max = 1.0});
+  Report report = lint_preferences(spec, {pref});
+  EXPECT_TRUE(report.has_rule(rules::kPrefEmptyRange)) << report.str();
+}
+
+TEST(LintPreferences, CleanPreferencesPass) {
+  AppSpec spec = clean_spec();
+  tunable::UserPreference pref = tunable::maximize_metric("quality");
+  pref.constraints.push_back({.metric = "latency", .max = 0.5});
+  Report report = lint_preferences(spec, {pref, tunable::minimize("latency")});
+  EXPECT_TRUE(report.empty()) << report.str();
+}
+
+// -- acceptance defect 5: unprofiled valid configuration -----------------
+
+perfdb::PerfDatabase db_for(const AppSpec& spec) {
+  return perfdb::PerfDatabase(spec.resource_axes(), spec.metrics());
+}
+
+tunable::QosVector sample_for(const AppSpec& spec) {
+  tunable::QosVector q;
+  for (const tunable::MetricDef& m : spec.metrics().metrics()) {
+    q.set(m.name, 1.0);
+  }
+  return q;
+}
+
+TEST(LintDatabase, UnprofiledValidConfigIsAWarning) {
+  AppSpec spec = clean_spec();
+  perfdb::PerfDatabase db = db_for(spec);
+  // Profile 3 of the 4 valid configurations; a=2,b=1 is missing.
+  for (const ConfigPoint& config : spec.space().enumerate()) {
+    if (config.get("a") == 2 && config.get("b") == 1) continue;
+    db.insert(config, {0.5}, sample_for(spec));
+  }
+  Report report = lint_database(spec, db);
+  EXPECT_FALSE(report.has_errors()) << report.str();
+  EXPECT_TRUE(report.has_rule(rules::kDbUnprofiledConfig)) << report.str();
+  EXPECT_EQ(count_rule(report, rules::kDbUnprofiledConfig), 1u);
+}
+
+TEST(LintDatabase, UnprofiledListIsCappedWithSummary) {
+  AppSpec spec("wide");
+  spec.space().add_parameter("p", {1, 2, 3, 4, 5, 6, 7, 8});
+  spec.metrics().add("m", Direction::kLowerBetter);
+  spec.add_resource_axis("cpu_share");
+  perfdb::PerfDatabase db = db_for(spec);  // completely unprofiled
+  Options options;
+  options.max_unprofiled_listed = 3;
+  Report report = lint_database(spec, db, options);
+  // Empty database short-circuits into a single db.empty warning.
+  EXPECT_TRUE(report.has_rule(rules::kDbEmpty));
+  // With one sample present, the per-config listing kicks in, capped.
+  ConfigPoint one;
+  one.set("p", 1);
+  db.insert(one, {0.5}, sample_for(spec));
+  report = lint_database(spec, db, options);
+  EXPECT_EQ(count_rule(report, rules::kDbUnprofiledConfig), 4u)
+      << report.str();  // 3 listed + 1 "and N more" summary
+}
+
+TEST(LintDatabase, SampleForInvalidConfigIsAnError) {
+  AppSpec spec = clean_spec();
+  spec.space().add_guard("b is zero",
+                         [](const ConfigPoint& p) { return p.get("b") == 0; });
+  perfdb::PerfDatabase db = db_for(spec);
+  for (const ConfigPoint& config : spec.space().enumerate()) {
+    db.insert(config, {0.5}, sample_for(spec));
+  }
+  ConfigPoint bad;
+  bad.set("a", 1);
+  bad.set("b", 1);  // violates the guard
+  db.insert(bad, {0.5}, sample_for(spec));
+  Report report = lint_database(spec, db);
+  EXPECT_TRUE(report.has_errors());
+  EXPECT_TRUE(report.has_rule(rules::kDbInvalidConfig)) << report.str();
+}
+
+TEST(LintDatabase, AxisMismatchIsAnError) {
+  AppSpec spec = clean_spec();
+  perfdb::PerfDatabase db({"net_bps"}, spec.metrics());
+  Report report = lint_database(spec, db);
+  EXPECT_TRUE(report.has_rule(rules::kDbAxisMismatch)) << report.str();
+}
+
+TEST(LintDatabase, MetricMismatchIsAWarning) {
+  AppSpec spec = clean_spec();
+  tunable::MetricSchema other;
+  other.add("latency", Direction::kLowerBetter);
+  other.add("extra", Direction::kHigherBetter);  // not in the spec
+  perfdb::PerfDatabase db(spec.resource_axes(), other);
+  Report report = lint_database(spec, db);
+  EXPECT_TRUE(report.has_rule(rules::kDbMetricMismatch)) << report.str();
+}
+
+TEST(LintDatabase, FullyProfiledDatabasePasses) {
+  AppSpec spec = clean_spec();
+  perfdb::PerfDatabase db = db_for(spec);
+  for (const ConfigPoint& config : spec.space().enumerate()) {
+    db.insert(config, {0.5}, sample_for(spec));
+  }
+  Report report = lint_database(spec, db);
+  EXPECT_TRUE(report.empty()) << report.str();
+}
+
+// -- lint_app + AppSpec::validate ----------------------------------------
+
+TEST(LintApp, MergesAllPasses) {
+  AppSpec spec = clean_spec();
+  spec.add_task({.name = "broken",
+                 .params = {"nonesuch"},
+                 .resources = {},
+                 .metrics = {},
+                 .guard = nullptr});
+  PreferenceList prefs = {tunable::minimize("ghost")};
+  perfdb::PerfDatabase db({"net_bps"}, spec.metrics());
+  Report report = lint_app(spec, &prefs, &db);
+  EXPECT_TRUE(report.has_rule(rules::kUndefinedParam));
+  EXPECT_TRUE(report.has_rule(rules::kPrefUndefinedMetric));
+  EXPECT_TRUE(report.has_rule(rules::kDbAxisMismatch));
+}
+
+TEST(LintApp, ValidateMemberFunctionRunsSpecLint) {
+  AppSpec spec = clean_spec();
+  EXPECT_TRUE(spec.validate().empty());
+  spec.space().add_guard("never", [](const ConfigPoint&) { return false; });
+  EXPECT_TRUE(spec.validate().has_rule(rules::kInfeasible));
+}
+
+// -- the shipped example specs must stay clean ---------------------------
+
+TEST(LintExamples, RendererSpecAndPreferencesLintClean) {
+  AppSpec spec = examples::renderer_spec();
+  Report report = lint_app(spec, nullptr, nullptr);
+  report.merge(lint_preferences(spec, examples::renderer_preferences()));
+  EXPECT_TRUE(report.empty()) << report.str();
+}
+
+TEST(LintExamples, PipelineSpecAndPreferencesLintClean) {
+  AppSpec spec = examples::pipeline_spec();
+  Report report = lint_spec(spec);
+  report.merge(lint_preferences(spec, examples::pipeline_preferences()));
+  EXPECT_TRUE(report.empty()) << report.str();
+}
+
+TEST(LintExamples, VizSpecAndPreferencesLintClean) {
+  AppSpec spec = viz::viz_app_spec();
+  Report report = lint_spec(spec);
+  report.merge(lint_preferences(spec, examples::viz_preferences()));
+  EXPECT_TRUE(report.empty()) << report.str();
+}
+
+}  // namespace
+}  // namespace avf::lint

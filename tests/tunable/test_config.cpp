@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <string>
+#include <string_view>
+
 namespace avf::tunable {
 namespace {
 
@@ -31,6 +35,74 @@ TEST(ConfigPoint, ParseRoundTrips) {
   EXPECT_EQ(ConfigPoint::parse(p.key()), p);
   EXPECT_THROW(ConfigPoint::parse("noequals"), std::invalid_argument);
   EXPECT_THROW(ConfigPoint::parse("=5"), std::invalid_argument);
+}
+
+// Capture the descriptive parse error for a malformed key ("" = no throw).
+std::string parse_error(const std::string& key) {
+  try {
+    ConfigPoint::parse(key);
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  return {};
+}
+
+TEST(ConfigPoint, ParseEmptyStringIsEmptyPoint) {
+  EXPECT_TRUE(ConfigPoint::parse("").empty());
+}
+
+TEST(ConfigPoint, ParseRejectsMissingEquals) {
+  std::string err = parse_error("a=1,b2");
+  EXPECT_NE(err.find("has no '='"), std::string::npos) << err;
+  EXPECT_NE(err.find("a=1,b2"), std::string::npos) << err;  // names the key
+}
+
+TEST(ConfigPoint, ParseRejectsEmptyParameterName) {
+  EXPECT_NE(parse_error("=5").find("empty parameter name"),
+            std::string::npos);
+}
+
+TEST(ConfigPoint, ParseRejectsNonNumericValue) {
+  std::string err = parse_error("a=xyz");
+  EXPECT_NE(err.find("not an integer"), std::string::npos) << err;
+  EXPECT_NE(err.find("parameter a"), std::string::npos) << err;
+}
+
+TEST(ConfigPoint, ParseRejectsEmptyValue) {
+  EXPECT_NE(parse_error("a=").find("not an integer"), std::string::npos);
+}
+
+TEST(ConfigPoint, ParseRejectsTrailingCharactersAfterValue) {
+  EXPECT_NE(parse_error("a=12junk").find("trailing characters"),
+            std::string::npos);
+  // A float is integer digits + trailing characters, not a valid value.
+  EXPECT_NE(parse_error("a=1.5").find("trailing characters"),
+            std::string::npos);
+}
+
+TEST(ConfigPoint, ParseRejectsOutOfRangeValue) {
+  EXPECT_NE(parse_error("a=99999999999999999999").find("out of range"),
+            std::string::npos);
+}
+
+TEST(ConfigPoint, ParseRejectsDuplicateParameter) {
+  std::string err = parse_error("a=1,a=2");
+  EXPECT_NE(err.find("duplicate parameter a"), std::string::npos) << err;
+}
+
+TEST(ConfigPoint, ParseRejectsTrailingSeparator) {
+  EXPECT_NE(parse_error("a=1,").find("trailing separator"),
+            std::string::npos);
+}
+
+TEST(ConfigPoint, ParseRejectsEmptyItem) {
+  EXPECT_NE(parse_error("a=1,,b=2").find("empty item"), std::string::npos);
+}
+
+TEST(ConfigPoint, ParseAcceptsNegativeValues) {
+  ConfigPoint p = ConfigPoint::parse("a=-3,b=0");
+  EXPECT_EQ(p.get("a"), -3);
+  EXPECT_EQ(p.get("b"), 0);
 }
 
 TEST(ConfigPoint, Ordering) {
@@ -94,6 +166,63 @@ TEST(ConfigSpace, RejectsBadDeclarations) {
 TEST(ConfigSpace, EmptySpaceEnumeratesNothing) {
   ConfigSpace space;
   EXPECT_TRUE(space.enumerate().empty());
+}
+
+TEST(ConfigSpace, RawSizeIsUnguardedProduct) {
+  ConfigSpace space;
+  EXPECT_EQ(space.raw_size(), 0u);  // no parameters: empty, not 1
+  space.add_parameter("a", {1, 2});
+  space.add_parameter("b", {1, 2, 3});
+  EXPECT_EQ(space.raw_size(), 6u);
+  // Guards do not change the raw size.
+  space.add_guard("none pass", [](const ConfigPoint&) { return false; });
+  EXPECT_EQ(space.raw_size(), 6u);
+}
+
+TEST(ConfigSpace, RawSizeSaturatesInsteadOfOverflowing) {
+  ConfigSpace space;
+  std::vector<int> wide(100000);
+  for (int i = 0; i < 100000; ++i) wide[i] = i;
+  for (int p = 0; p < 5; ++p) {
+    space.add_parameter("p" + std::to_string(p), wide);  // 10^25 raw points
+  }
+  EXPECT_EQ(space.raw_size(), std::numeric_limits<std::size_t>::max());
+}
+
+TEST(ConfigSpace, FeasibleStopsAtFirstAdmissiblePoint) {
+  ConfigSpace space;
+  space.add_parameter("a", {1, 2, 3});
+  EXPECT_TRUE(space.feasible());
+  space.add_guard("a == 3", [](const ConfigPoint& p) { return p.get("a") == 3; });
+  EXPECT_TRUE(space.feasible());
+}
+
+TEST(ConfigSpace, GuardsFilteringEverythingIsReportableNotSilent) {
+  // Regression: a guard set that rules out every configuration must be
+  // distinguishable from a space with no parameters — raw_size() > 0 with
+  // feasible() == false is the linter's guard.infeasible signal.
+  ConfigSpace space;
+  space.add_parameter("a", {1, 2});
+  space.add_guard("impossible", [](const ConfigPoint&) { return false; });
+  EXPECT_EQ(space.raw_size(), 2u);
+  EXPECT_FALSE(space.feasible());
+  EXPECT_TRUE(space.enumerate().empty());
+
+  ConfigSpace empty;
+  EXPECT_EQ(empty.raw_size(), 0u);
+  EXPECT_FALSE(empty.feasible());
+}
+
+TEST(ConfigSpace, RegistrationSitesAreCaptured) {
+  ConfigSpace space;
+  space.add_parameter("a", {1});           // site captured on this line
+  space.add_guard("g", [](const ConfigPoint&) { return true; });
+  EXPECT_NE(std::string_view(space.parameter("a").where.file_name())
+                .find("test_config.cpp"),
+            std::string_view::npos);
+  EXPECT_NE(std::string_view(space.guards().front().where.file_name())
+                .find("test_config.cpp"),
+            std::string_view::npos);
 }
 
 }  // namespace

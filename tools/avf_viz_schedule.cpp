@@ -8,8 +8,8 @@
 //                    [--minimize METRIC | --maximize METRIC]
 //                    [--range METRIC:MIN:MAX]... [--nearest]
 // Example:
-//   avf_viz_schedule --db db.csv --cpu 0.4 --bw 50e3 \
-//     --maximize resolution --range transmit_time:0:10
+//   avf_viz_schedule --db db.csv --cpu 0.4 --bw 50e3
+//                    --maximize resolution --range transmit_time:0:10
 #include <fstream>
 #include <iostream>
 #include <optional>
