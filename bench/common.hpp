@@ -2,15 +2,28 @@
 // executable regenerates one figure of the paper's evaluation: it prints
 // the same series the figure plots, plus the shape checks that must hold
 // (who wins, where the crossover falls).
+//
+// Micro-benchmarks additionally emit machine-readable results as
+// bench_results/BENCH_<name>.json (one file per binary: benchmark name,
+// per-case wall_ns, thread count, and the git revision the binary was
+// built from) so runs can be diffed across commits without scraping
+// console output.  Define AVF_BENCH_HAS_GBENCH before including this
+// header to get the google-benchmark capture reporter.
 #pragma once
 
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "util/table.hpp"
 #include "viz/world.hpp"
+
+#ifndef AVF_GIT_REV
+#define AVF_GIT_REV "unknown"
+#endif
 
 namespace avf::bench {
 
@@ -52,5 +65,103 @@ inline tunable::ConfigPoint viz_config(int dR, int c, int l) {
   p.set("l", l);
   return p;
 }
+
+// --- machine-readable benchmark output ----------------------------------
+
+/// One measured case of a micro-benchmark.
+struct JsonBenchCase {
+  std::string label;                      ///< e.g. "BM_Compress/1"
+  double wall_ns = 0.0;                   ///< wall time per iteration
+  int threads = 1;                        ///< thread count for this case
+  std::map<std::string, double> extra;    ///< user counters (ratio, ...)
+};
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') {
+      out.push_back('\\');
+      out.push_back(ch);
+    } else if (static_cast<unsigned char>(ch) < 0x20) {
+      out += ' ';
+    } else {
+      out.push_back(ch);
+    }
+  }
+  return out;
+}
+
+/// Write bench_results/BENCH_<name>.json.  Returns false (after a warning)
+/// if the directory or file cannot be created; benchmarks still succeed.
+inline bool write_bench_json(const std::string& name,
+                             const std::vector<JsonBenchCase>& cases) {
+  std::error_code ec;
+  std::filesystem::create_directories("bench_results", ec);
+  std::ofstream out("bench_results/BENCH_" + name + ".json");
+  if (!out) {
+    std::cerr << "warning: could not write BENCH_" << name << ".json\n";
+    return false;
+  }
+  out.precision(17);
+  out << "{\n  \"name\": \"" << json_escape(name) << "\",\n"
+      << "  \"git_rev\": \"" << json_escape(AVF_GIT_REV) << "\",\n"
+      << "  \"cases\": [";
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const JsonBenchCase& c = cases[i];
+    out << (i ? ",\n" : "\n") << "    {\"label\": \"" << json_escape(c.label)
+        << "\", \"wall_ns\": " << c.wall_ns
+        << ", \"threads\": " << c.threads;
+    for (const auto& [key, value] : c.extra) {
+      out << ", \"" << json_escape(key) << "\": " << value;
+    }
+    out << "}";
+  }
+  out << "\n  ]\n}\n";
+  return static_cast<bool>(out);
+}
+
+#ifdef AVF_BENCH_HAS_GBENCH
+/// Console reporter that additionally captures every run for JSON output.
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonCaptureReporter(std::vector<JsonBenchCase>* sink)
+      : sink_(sink) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      JsonBenchCase c;
+      c.label = run.benchmark_name();
+      if (run.iterations > 0) {
+        c.wall_ns = run.real_accumulated_time /
+                    static_cast<double>(run.iterations) * 1e9;
+      }
+      c.threads = run.threads;
+      for (const auto& [key, counter] : run.counters) {
+        c.extra[key] = counter.value;
+      }
+      sink_->push_back(std::move(c));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  std::vector<JsonBenchCase>* sink_;
+};
+
+/// Drop-in replacement for BENCHMARK_MAIN()'s body: run all registered
+/// benchmarks with console output plus BENCH_<name>.json capture.
+inline int run_benchmarks_with_json(int argc, char** argv,
+                                    const std::string& name) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  std::vector<JsonBenchCase> cases;
+  JsonCaptureReporter reporter(&cases);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  write_bench_json(name, cases);
+  return 0;
+}
+#endif  // AVF_BENCH_HAS_GBENCH
 
 }  // namespace avf::bench

@@ -2,6 +2,8 @@
 // wavelet payloads (google-benchmark).
 #include <benchmark/benchmark.h>
 
+#define AVF_BENCH_HAS_GBENCH
+#include "bench/common.hpp"
 #include "codec/codec.hpp"
 #include "viz/world.hpp"
 #include "wavelet/progressive.hpp"
@@ -51,4 +53,6 @@ BENCHMARK(BM_Decompress)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return avf::bench::run_benchmarks_with_json(argc, argv, "micro_codec");
+}

@@ -13,6 +13,8 @@
 #include <algorithm>
 #include <vector>
 
+#define AVF_BENCH_HAS_GBENCH
+#include "bench/common.hpp"
 #include "perfdb/database.hpp"
 
 namespace {
@@ -180,4 +182,6 @@ BENCHMARK(BM_FullScanCached);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return avf::bench::run_benchmarks_with_json(argc, argv, "micro_perfdb");
+}

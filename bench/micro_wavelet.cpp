@@ -2,6 +2,8 @@
 // progressive tile encoding.
 #include <benchmark/benchmark.h>
 
+#define AVF_BENCH_HAS_GBENCH
+#include "bench/common.hpp"
 #include "viz/world.hpp"
 #include "wavelet/haar.hpp"
 #include "wavelet/progressive.hpp"
@@ -59,4 +61,6 @@ BENCHMARK(BM_ProgressiveDecode)->Arg(256)->Arg(1024);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return avf::bench::run_benchmarks_with_json(argc, argv, "micro_wavelet");
+}

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <stdexcept>
-#include <unordered_map>
+#include <vector>
 
 #include "codec/bitstream.hpp"
 
@@ -21,6 +21,54 @@ constexpr std::uint32_t kMaxCode = (1u << kMaxBits) - 1;
 std::uint32_t pack(std::uint32_t prefix, std::uint8_t byte) {
   return (prefix << 8) | byte;
 }
+
+/// Open-addressed (key -> code) table for the encoder dictionary.  The
+/// dictionary holds at most kMaxCode - kFirstCode + 1 = 3839 entries
+/// between clears, so 2^14 slots keeps the load factor under 1/4 and
+/// probe chains near one.  `generation` stamps make clear() O(1) — stale
+/// slots from earlier dictionary epochs simply read as empty.  Compared to
+/// std::unordered_map this removes the per-node allocation and pointer
+/// chase on the byte-granular hot loop; the codes produced are identical.
+class FlatDict {
+ public:
+  FlatDict() : keys_(kSlots, 0), codes_(kSlots, 0), stamps_(kSlots, 0) {}
+
+  void clear() { ++generation_; }
+
+  /// Returns the code for `key`, or kNotFound.  Remembers the probe slot
+  /// so a miss can be followed by an O(1) insert of the same key.
+  std::uint32_t find(std::uint32_t key) {
+    std::size_t slot = hash(key);
+    while (stamps_[slot] == generation_) {
+      if (keys_[slot] == key) return codes_[slot];
+      slot = (slot + 1) & (kSlots - 1);
+    }
+    last_miss_ = slot;
+    return kNotFound;
+  }
+
+  /// Insert at the slot located by the immediately preceding find() miss.
+  void insert_at_miss(std::uint32_t key, std::uint32_t code) {
+    keys_[last_miss_] = key;
+    codes_[last_miss_] = code;
+    stamps_[last_miss_] = generation_;
+  }
+
+  static constexpr std::uint32_t kNotFound = 0xFFFFFFFFu;
+
+ private:
+  static constexpr std::size_t kSlots = 1u << 14;
+
+  static std::size_t hash(std::uint32_t key) {
+    return (key * 2654435761u) >> (32 - 14);
+  }
+
+  std::vector<std::uint32_t> keys_;
+  std::vector<std::uint32_t> codes_;
+  std::vector<std::uint32_t> stamps_;
+  std::uint32_t generation_ = 1;
+  std::size_t last_miss_ = 0;
+};
 
 void append_u32(Bytes& out, std::uint32_t v) {
   out.push_back(static_cast<std::uint8_t>(v));
@@ -45,22 +93,21 @@ Bytes LzwCodec::compress(BytesView input) const {
   if (input.empty()) return out;
 
   BitWriter bits;
-  std::unordered_map<std::uint32_t, std::uint32_t> dict;
-  dict.reserve(1u << 15);
+  FlatDict dict;
   std::uint32_t next_code = kFirstCode;
   int width = kMinBits;
 
   std::uint32_t prefix = input[0];
   for (std::size_t i = 1; i < input.size(); ++i) {
     std::uint8_t c = input[i];
-    auto it = dict.find(pack(prefix, c));
-    if (it != dict.end()) {
-      prefix = it->second;
+    std::uint32_t found = dict.find(pack(prefix, c));
+    if (found != FlatDict::kNotFound) {
+      prefix = found;
       continue;
     }
     bits.write(prefix, width);
     if (next_code <= kMaxCode) {
-      dict.emplace(pack(prefix, c), next_code);
+      dict.insert_at_miss(pack(prefix, c), next_code);
       // Widen when the *next* code to be emitted would not fit.
       if (next_code == (1u << width) && width < kMaxBits) ++width;
       ++next_code;

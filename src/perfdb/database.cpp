@@ -25,8 +25,49 @@ PerfDatabase::PerfDatabase(std::vector<std::string> resource_axes,
   }
 }
 
-void PerfDatabase::insert(const ConfigPoint& config, const ResourcePoint& at,
-                          const QosVector& quality) {
+PerfDatabase::PerfDatabase(const PerfDatabase& other)
+    : axes_(other.axes_),
+      schema_(other.schema_),
+      by_config_(other.by_config_),
+      total_records_(other.total_records_),
+      cache_(other.cache_),
+      index_rebuilds_(other.index_rebuilds_.load()) {
+  // The copied indexes hold pointers into `other`'s sample nodes; drop
+  // them so the copy rebuilds against its own nodes on first query.
+  for (auto& [key, data] : by_config_) data.index.invalidate();
+}
+
+PerfDatabase& PerfDatabase::operator=(const PerfDatabase& other) {
+  if (this != &other) {
+    PerfDatabase tmp(other);
+    *this = std::move(tmp);
+  }
+  return *this;
+}
+
+PerfDatabase::PerfDatabase(PerfDatabase&& other) noexcept
+    : axes_(std::move(other.axes_)),
+      schema_(std::move(other.schema_)),
+      by_config_(std::move(other.by_config_)),
+      total_records_(other.total_records_),
+      cache_(std::move(other.cache_)),
+      index_rebuilds_(other.index_rebuilds_.load()) {}
+
+PerfDatabase& PerfDatabase::operator=(PerfDatabase&& other) noexcept {
+  if (this != &other) {
+    axes_ = std::move(other.axes_);
+    schema_ = std::move(other.schema_);
+    by_config_ = std::move(other.by_config_);
+    total_records_ = other.total_records_;
+    cache_ = std::move(other.cache_);
+    index_rebuilds_.store(other.index_rebuilds_.load());
+  }
+  return *this;
+}
+
+PerfDatabase::ConfigData& PerfDatabase::insert_raw(const ConfigPoint& config,
+                                                   const ResourcePoint& at,
+                                                   const QosVector& quality) {
   if (at.size() != axes_.size()) {
     throw std::invalid_argument(
         util::format("resource point has {} axes, database has {}", at.size(),
@@ -38,14 +79,31 @@ void PerfDatabase::insert(const ConfigPoint& config, const ResourcePoint& at,
           util::format("sample missing metric: {}", m.name));
     }
   }
-  std::string key = config.key();
-  ConfigData& data = by_config_[key];
+  ConfigData& data = by_config_[config.key()];
   data.config = config;
   auto [it, inserted] = data.samples.insert_or_assign(at, quality);
   (void)it;
   if (inserted) ++total_records_;
   data.index.note_insert(inserted);
-  cache_.invalidate_config(key);
+  return data;
+}
+
+void PerfDatabase::insert(const ConfigPoint& config, const ResourcePoint& at,
+                          const QosVector& quality) {
+  ConfigData& data = insert_raw(config, at, quality);
+  cache_.invalidate_config(data.config.key());
+}
+
+void PerfDatabase::insert_batch(const std::vector<PerfRecord>& records) {
+  // One cache epoch bump per touched configuration, not per sample; the
+  // grid index likewise notes staleness per insert but is only rebuilt on
+  // the first query after the batch.
+  std::set<std::string> touched;
+  for (const PerfRecord& r : records) {
+    ConfigData& data = insert_raw(r.config, r.resources, r.quality);
+    touched.insert(data.config.key());
+  }
+  for (const std::string& key : touched) cache_.invalidate_config(key);
 }
 
 std::vector<ConfigPoint> PerfDatabase::configs() const {

@@ -20,6 +20,7 @@
 //                       consistency oracle for tests and benchmarks.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <iosfwd>
 #include <map>
@@ -45,12 +46,28 @@ class PerfDatabase {
   PerfDatabase(std::vector<std::string> resource_axes,
                tunable::MetricSchema schema);
 
+  // Value-semantic, with explicit special members: the rebuild counter is
+  // atomic (not copyable), and a copied GridIndex would point into the
+  // *source's* sample nodes — copies therefore invalidate their indexes
+  // (they rebuild lazily on first query).  Moves keep indexes: std::map
+  // moves preserve node addresses.
+  PerfDatabase(const PerfDatabase& other);
+  PerfDatabase& operator=(const PerfDatabase& other);
+  PerfDatabase(PerfDatabase&& other) noexcept;
+  PerfDatabase& operator=(PerfDatabase&& other) noexcept;
+
   const std::vector<std::string>& axes() const { return axes_; }
   const tunable::MetricSchema& schema() const { return schema_; }
 
   /// Insert one sample; re-inserting the same (config, point) overwrites.
   void insert(const tunable::ConfigPoint& config, const ResourcePoint& at,
               const tunable::QosVector& quality);
+
+  /// Insert a batch of samples in order.  Equivalent to calling insert()
+  /// per record, but each touched configuration is invalidated (prediction
+  /// cache epoch + grid index) once per batch instead of once per sample —
+  /// the profiling driver commits whole sweeps through this path.
+  void insert_batch(const std::vector<PerfRecord>& records);
 
   std::size_t size() const { return total_records_; }
   std::vector<tunable::ConfigPoint> configs() const;
@@ -130,10 +147,19 @@ class PerfDatabase {
 
   std::vector<std::string> axes_;
   tunable::MetricSchema schema_;
+  /// Shared insert step: returns the touched ConfigData, leaves cache/index
+  /// invalidation to the caller (per-sample vs per-batch).
+  ConfigData& insert_raw(const tunable::ConfigPoint& config,
+                         const ResourcePoint& at,
+                         const tunable::QosVector& quality);
+
   std::map<std::string, ConfigData> by_config_;  // key() -> data
   std::size_t total_records_ = 0;
   mutable PredictionCache cache_;
-  mutable std::size_t index_rebuilds_ = 0;
+  // Atomic: the parallel post-passes (prune/sensitivity) trigger lazy index
+  // builds for *distinct* configurations from different workers; the
+  // shared counter must not race.
+  mutable std::atomic<std::size_t> index_rebuilds_{0};
 };
 
 }  // namespace avf::perfdb

@@ -1,22 +1,33 @@
 #include "perfdb/driver.hpp"
 
+#include <algorithm>
 #include <map>
 #include <stdexcept>
+#include <utility>
 
 #include "util/fmt.hpp"
+#include "util/thread_pool.hpp"
 
 namespace avf::perfdb {
 
 using tunable::ConfigPoint;
 using tunable::QosVector;
 
-QosVector ProfilingDriver::run_one(const ConfigPoint& config,
-                                   const ResourcePoint& at) const {
-  if (options_.on_run) options_.on_run(config, at);
-  return run_(config, at);
+ProfilingDriver::ProfilingDriver(RunFn run)
+    : make_run_([run = std::move(run)] { return run; }) {}
+
+ProfilingDriver::ProfilingDriver(RunFn run, Options options)
+    : make_run_([run = std::move(run)] { return run; }),
+      options_(std::move(options)) {}
+
+ProfilingDriver::ProfilingDriver(RunFactory make_run, Options options)
+    : make_run_(std::move(make_run)), options_(std::move(options)) {}
+
+std::size_t ProfilingDriver::effective_threads() const {
+  return util::ThreadPool::resolve_threads(options_.threads);
 }
 
-PerfDatabase ProfilingDriver::profile(
+void ProfilingDriver::validate_grid(
     const tunable::AppSpec& spec,
     const std::vector<std::vector<double>>& grid) const {
   if (grid.size() != spec.resource_axes().size()) {
@@ -29,23 +40,29 @@ PerfDatabase ProfilingDriver::profile(
       throw std::invalid_argument("empty grid axis");
     }
   }
+}
 
-  PerfDatabase db(spec.resource_axes(), spec.metrics());
+std::vector<ConfigPoint> ProfilingDriver::enumerate_configs(
+    const tunable::AppSpec& spec) const {
   std::vector<ConfigPoint> configs = spec.space().enumerate();
   if (configs.empty()) {
     throw std::invalid_argument("configuration space is empty");
   }
+  return configs;
+}
 
-  // Odometer over the resource grid.
+std::vector<ResourcePoint> ProfilingDriver::enumerate_points(
+    const std::vector<std::vector<double>>& grid) const {
+  // Odometer over the resource grid, last axis fastest — the canonical
+  // sweep order shared by the serial and parallel paths.
+  std::vector<ResourcePoint> points;
   std::vector<std::size_t> idx(grid.size(), 0);
   for (;;) {
     ResourcePoint point(grid.size());
     for (std::size_t i = 0; i < grid.size(); ++i) {
       point[i] = grid[i][idx[i]];
     }
-    for (const ConfigPoint& config : configs) {
-      db.insert(config, point, run_one(config, point));
-    }
+    points.push_back(std::move(point));
     std::size_t i = grid.size();
     bool done = true;
     while (i-- > 0) {
@@ -57,6 +74,66 @@ PerfDatabase ProfilingDriver::profile(
     }
     if (done) break;
   }
+  return points;
+}
+
+PerfDatabase ProfilingDriver::profile_serial(
+    const tunable::AppSpec& spec,
+    const std::vector<std::vector<double>>& grid) const {
+  validate_grid(spec, grid);
+  PerfDatabase db(spec.resource_axes(), spec.metrics());
+  std::vector<ConfigPoint> configs = enumerate_configs(spec);
+  RunFn run = make_run_();
+  for (const ResourcePoint& point : enumerate_points(grid)) {
+    for (const ConfigPoint& config : configs) {
+      if (options_.on_run) options_.on_run(config, point);
+      db.insert(config, point, run(config, point));
+    }
+  }
+  for (int round = 0; round < options_.refinement_rounds; ++round) {
+    if (refine(db) == 0) break;
+  }
+  return db;
+}
+
+PerfDatabase ProfilingDriver::profile(
+    const tunable::AppSpec& spec,
+    const std::vector<std::vector<double>>& grid) const {
+  std::size_t threads = effective_threads();
+  if (threads <= 1) return profile_serial(spec, grid);
+
+  validate_grid(spec, grid);
+  PerfDatabase db(spec.resource_axes(), spec.metrics());
+  std::vector<ConfigPoint> configs = enumerate_configs(spec);
+  std::vector<ResourcePoint> points = enumerate_points(grid);
+
+  util::ThreadPool pool(threads);
+  // One RunFn per worker (plus a spare slot for the calling thread, which
+  // can only execute tasks during teardown): testbed state is per-worker,
+  // never shared.
+  std::vector<RunFn> runs(pool.size() + 1);
+  for (RunFn& r : runs) r = make_run_();
+
+  // Shard the (point, config) cartesian product across the pool; buffer
+  // every result, then commit in canonical sweep order so the database —
+  // and its save() bytes — are bit-for-bit those of profile_serial().
+  const std::size_t total = points.size() * configs.size();
+  std::vector<QosVector> results(total);
+  pool.parallel_for(total, [&](std::size_t t) {
+    const ConfigPoint& config = configs[t % configs.size()];
+    const ResourcePoint& point = points[t / configs.size()];
+    results[t] = runs[pool.current_worker()](config, point);
+  });
+
+  std::vector<PerfRecord> batch;
+  batch.reserve(total);
+  for (std::size_t t = 0; t < total; ++t) {
+    const ConfigPoint& config = configs[t % configs.size()];
+    const ResourcePoint& point = points[t / configs.size()];
+    if (options_.on_run) options_.on_run(config, point);
+    batch.push_back(PerfRecord{config, point, std::move(results[t])});
+  }
+  db.insert_batch(batch);
 
   for (int round = 0; round < options_.refinement_rounds; ++round) {
     if (refine(db) == 0) break;
@@ -64,30 +141,68 @@ PerfDatabase ProfilingDriver::profile(
   return db;
 }
 
-std::size_t ProfilingDriver::refine(PerfDatabase& db) const {
-  std::vector<RefinementSuggestion> suggestions =
-      sensitivity_analysis(db, options_.sensitivity_threshold);
+std::vector<const RefinementSuggestion*> ProfilingDriver::select_suggestions(
+    const std::vector<RefinementSuggestion>& suggestions) const {
   // Allocate the per-round budget round-robin across configurations
   // (strongest change first within each): a few very volatile
   // configurations must not starve refinement of everything else.
+  // `suggestions` arrives totally ordered (strength desc, then config,
+  // point, axis, metric — see sensitivity_analysis), and per_config is an
+  // ordered map, so the selection — and therefore the commit order — is
+  // identical across runs and thread counts.
   std::map<std::string, std::vector<const RefinementSuggestion*>> per_config;
   for (const RefinementSuggestion& s : suggestions) {
     per_config[s.config.key()].push_back(&s);
   }
-  std::size_t taken = 0;
-  for (std::size_t rank = 0; taken < options_.max_suggestions_per_round;
-       ++rank) {
+  std::vector<const RefinementSuggestion*> picked;
+  for (std::size_t rank = 0;
+       picked.size() < options_.max_suggestions_per_round; ++rank) {
     bool any = false;
     for (auto& [key, list] : per_config) {
       if (rank >= list.size()) continue;
       any = true;
-      const RefinementSuggestion& s = *list[rank];
-      db.insert(s.config, s.point, run_one(s.config, s.point));
-      if (++taken >= options_.max_suggestions_per_round) break;
+      picked.push_back(list[rank]);
+      if (picked.size() >= options_.max_suggestions_per_round) break;
     }
     if (!any) break;
   }
-  return taken;
+  return picked;
+}
+
+std::size_t ProfilingDriver::refine(PerfDatabase& db) const {
+  std::size_t threads = effective_threads();
+  std::vector<RefinementSuggestion> suggestions =
+      sensitivity_analysis(db, options_.sensitivity_threshold, threads);
+  std::vector<const RefinementSuggestion*> picked =
+      select_suggestions(suggestions);
+  if (picked.empty()) return 0;
+
+  if (threads <= 1) {
+    RunFn run = make_run_();
+    for (const RefinementSuggestion* s : picked) {
+      if (options_.on_run) options_.on_run(s->config, s->point);
+      db.insert(s->config, s->point, run(s->config, s->point));
+    }
+    return picked.size();
+  }
+
+  util::ThreadPool pool(threads);
+  std::vector<RunFn> runs(pool.size() + 1);
+  for (RunFn& r : runs) r = make_run_();
+  std::vector<QosVector> results(picked.size());
+  pool.parallel_for(picked.size(), [&](std::size_t i) {
+    results[i] = runs[pool.current_worker()](picked[i]->config,
+                                             picked[i]->point);
+  });
+  std::vector<PerfRecord> batch;
+  batch.reserve(picked.size());
+  for (std::size_t i = 0; i < picked.size(); ++i) {
+    if (options_.on_run) options_.on_run(picked[i]->config, picked[i]->point);
+    batch.push_back(PerfRecord{picked[i]->config, picked[i]->point,
+                               std::move(results[i])});
+  }
+  db.insert_batch(batch);
+  return picked.size();
 }
 
 }  // namespace avf::perfdb

@@ -7,6 +7,16 @@
 // The driver is application-agnostic: the caller supplies a RunFn that
 // builds a fresh testbed, executes one run of the given configuration under
 // the given resource conditions, and returns the measured QoS vector.
+//
+// Profiling the full configs x resource-grid cartesian product is the
+// dominant offline cost of the framework, so the driver shards runs across
+// a work-stealing thread pool (Options::threads) with a deterministic
+// assembly contract: results are buffered per shard and committed into the
+// PerfDatabase in canonical (grid point, config) order, so a parallel
+// profile() is bit-for-bit identical — including save() bytes — to
+// profile_serial().  Callers with per-run state supply a RunFactory; each
+// worker thread then gets its own RunFn, so testbed/sandbox state is never
+// shared across threads.
 #pragma once
 
 #include <functional>
@@ -22,6 +32,9 @@ class ProfilingDriver {
  public:
   using RunFn = std::function<tunable::QosVector(const tunable::ConfigPoint&,
                                                  const ResourcePoint&)>;
+  /// Makes one RunFn per worker thread (parallel profiling); called once
+  /// per worker at sweep start, from the coordinating thread.
+  using RunFactory = std::function<RunFn()>;
 
   struct Options {
     /// Rounds of sensitivity-directed refinement after the base grid.
@@ -30,30 +43,60 @@ class ProfilingDriver {
     double sensitivity_threshold = 0.5;
     /// Cap on extra samples per refinement round (strongest changes first).
     std::size_t max_suggestions_per_round = 32;
-    /// Progress callback (config, point, runs_done, runs_total-estimate).
+    /// Progress callback (config, point).  Serial runs invoke it before
+    /// each run; parallel runs invoke it from the coordinating thread as
+    /// results are committed, in canonical order.
     std::function<void(const tunable::ConfigPoint&, const ResourcePoint&)>
         on_run;
+    /// Worker threads for profile()/refine(): 1 = serial (default),
+    /// 0 = hardware_concurrency, N = exactly N workers.
+    std::size_t threads = 1;
   };
 
-  explicit ProfilingDriver(RunFn run) : run_(std::move(run)) {}
-  ProfilingDriver(RunFn run, Options options)
-      : run_(std::move(run)), options_(std::move(options)) {}
+  /// Single RunFn, shared by all workers.  With threads > 1 the RunFn is
+  /// invoked concurrently and must be thread-safe (e.g. build a fresh
+  /// testbed per call); use the RunFactory constructor for per-worker
+  /// state.
+  explicit ProfilingDriver(RunFn run);
+  ProfilingDriver(RunFn run, Options options);
+
+  /// Per-worker contexts: `make_run` is invoked once per worker thread at
+  /// the start of each parallel sweep (and once total for serial runs).
+  ProfilingDriver(RunFactory make_run, Options options);
 
   /// Profile every configuration of `spec` on the cartesian grid given by
   /// `grid[i]` = sample values for spec.resource_axes()[i], then apply the
-  /// configured refinement rounds.
+  /// configured refinement rounds.  Shards runs across Options::threads
+  /// workers; the assembled database is identical to profile_serial().
   PerfDatabase profile(const tunable::AppSpec& spec,
                        const std::vector<std::vector<double>>& grid) const;
 
+  /// The reference single-threaded path (kept as the determinism oracle:
+  /// profile() at any thread count must produce identical save() bytes).
+  PerfDatabase profile_serial(const tunable::AppSpec& spec,
+                              const std::vector<std::vector<double>>& grid)
+      const;
+
   /// Run one refinement round against an existing database; returns the
-  /// number of new samples taken.
+  /// number of new samples taken.  Suggestion selection is deterministic:
+  /// suggestions are ranked (strength desc, config, point) and the
+  /// per-round budget is allocated round-robin across configurations.
   std::size_t refine(PerfDatabase& db) const;
 
  private:
-  tunable::QosVector run_one(const tunable::ConfigPoint& config,
-                             const ResourcePoint& at) const;
+  void validate_grid(const tunable::AppSpec& spec,
+                     const std::vector<std::vector<double>>& grid) const;
+  std::vector<tunable::ConfigPoint> enumerate_configs(
+      const tunable::AppSpec& spec) const;
+  /// Grid points in canonical odometer order (last axis fastest).
+  std::vector<ResourcePoint> enumerate_points(
+      const std::vector<std::vector<double>>& grid) const;
+  /// Deterministic refinement picks for one round, in commit order.
+  std::vector<const RefinementSuggestion*> select_suggestions(
+      const std::vector<RefinementSuggestion>& suggestions) const;
+  std::size_t effective_threads() const;
 
-  RunFn run_;
+  RunFactory make_run_;
   Options options_{};
 };
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/thread_pool.hpp"
+
 namespace avf::perfdb {
 
 using tunable::ConfigPoint;
@@ -65,23 +67,61 @@ bool equivalent(const tunable::MetricSchema& schema, const ConfigSamples& a,
 
 }  // namespace
 
-PruneResult analyze_prune(const PerfDatabase& db, double equivalence_epsilon) {
+PruneResult analyze_prune(const PerfDatabase& db, double equivalence_epsilon,
+                          std::size_t threads) {
   PruneResult result;
   std::vector<ConfigSamples> all;
   for (const ConfigPoint& c : db.configs()) {
     all.push_back(ConfigSamples{c, db.records(c)});
   }
+  const std::size_t n = all.size();
 
-  std::vector<bool> removed(all.size(), false);
+  // The pairwise predicates are pure functions of the sampled records, so
+  // they can be evaluated up front on a pool; the marking passes below
+  // then consult the precomputed matrices and stay byte-identical to the
+  // serial analysis (the marking order — which representative wins a
+  // merge, which domination is discovered first — is what defines the
+  // result, and it never changes).
+  threads = util::ThreadPool::resolve_threads(threads);
+  std::vector<char> equiv;      // row-major [i * n + j], j > i only
+  std::vector<char> dominated;  // [j * n + i]: all[j] dominates all[i]
+  const bool precomputed = threads > 1 && n > 1;
+  if (precomputed) {
+    equiv.assign(n * n, 0);
+    dominated.assign(n * n, 0);
+    util::ThreadPool pool(threads);
+    pool.parallel_for(n, [&](std::size_t i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        equiv[i * n + j] =
+            equivalent(db.schema(), all[i], all[j], equivalence_epsilon) ? 1
+                                                                         : 0;
+      }
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        dominated[j * n + i] = dominates(db.schema(), all[j], all[i]) ? 1 : 0;
+      }
+    });
+  }
+  auto is_equivalent = [&](std::size_t i, std::size_t j) {
+    return precomputed
+               ? equiv[i * n + j] != 0
+               : equivalent(db.schema(), all[i], all[j], equivalence_epsilon);
+  };
+  auto is_dominated_by = [&](std::size_t i, std::size_t j) {
+    return precomputed ? dominated[j * n + i] != 0
+                       : dominates(db.schema(), all[j], all[i]);
+  };
+
+  std::vector<bool> removed(n, false);
 
   // Pass 1: merge equivalent configurations (keep the lexicographically
   // first as representative, matching the paper's "only one of them being
   // stored").
-  for (std::size_t i = 0; i < all.size(); ++i) {
+  for (std::size_t i = 0; i < n; ++i) {
     if (removed[i]) continue;
-    for (std::size_t j = i + 1; j < all.size(); ++j) {
+    for (std::size_t j = i + 1; j < n; ++j) {
       if (removed[j]) continue;
-      if (equivalent(db.schema(), all[i], all[j], equivalence_epsilon)) {
+      if (is_equivalent(i, j)) {
         removed[j] = true;
         result.merged_into[all[j].config.key()] = all[i].config.key();
       }
@@ -89,11 +129,11 @@ PruneResult analyze_prune(const PerfDatabase& db, double equivalence_epsilon) {
   }
 
   // Pass 2: drop dominated configurations.
-  for (std::size_t i = 0; i < all.size(); ++i) {
+  for (std::size_t i = 0; i < n; ++i) {
     if (removed[i]) continue;
-    for (std::size_t j = 0; j < all.size(); ++j) {
+    for (std::size_t j = 0; j < n; ++j) {
       if (i == j || removed[j]) continue;
-      if (dominates(db.schema(), all[j], all[i])) {
+      if (is_dominated_by(i, j)) {
         removed[i] = true;
         result.dominated.push_back(all[i].config);
         break;
@@ -101,7 +141,7 @@ PruneResult analyze_prune(const PerfDatabase& db, double equivalence_epsilon) {
     }
   }
 
-  for (std::size_t i = 0; i < all.size(); ++i) {
+  for (std::size_t i = 0; i < n; ++i) {
     if (!removed[i]) result.kept.push_back(all[i].config);
   }
   return result;

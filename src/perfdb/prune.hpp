@@ -25,7 +25,13 @@ struct PruneResult {
 /// Analyze `db`.  Two configs are only compared where they were sampled at
 /// identical resource points (the profiling driver samples all configs on
 /// one grid, so in practice the full grid).
-PruneResult analyze_prune(const PerfDatabase& db, double equivalence_epsilon);
+///
+/// `threads` > 1 (0 = hardware_concurrency) evaluates the O(n^2) pairwise
+/// equivalence/dominance predicates on a work-stealing pool; the
+/// keep/merge/dominate marking itself stays serial and order-identical, so
+/// the result matches the single-threaded analysis exactly.
+PruneResult analyze_prune(const PerfDatabase& db, double equivalence_epsilon,
+                          std::size_t threads = 1);
 
 /// Copy of `db` with dominated and merged configurations removed.
 PerfDatabase apply_prune(const PerfDatabase& db, const PruneResult& result);

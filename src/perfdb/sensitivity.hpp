@@ -26,7 +26,14 @@ struct RefinementSuggestion {
 };
 
 /// Suggestions, deduplicated by (config, point), strongest changes first.
+/// The order is a deterministic total order — relative change descending,
+/// ties broken by (config key, point, axis, metric) — so downstream
+/// refinement picks are identical across runs and thread counts.
+/// `threads` > 1 fans the per-configuration scans out across a
+/// work-stealing pool (0 = hardware_concurrency); the result is identical
+/// to the serial scan.
 std::vector<RefinementSuggestion> sensitivity_analysis(
-    const PerfDatabase& db, double relative_threshold);
+    const PerfDatabase& db, double relative_threshold,
+    std::size_t threads = 1);
 
 }  // namespace avf::perfdb

@@ -23,6 +23,7 @@ std::string_view level_name(LogLevel level) {
 
 void Logger::write(LogLevel level, std::string_view component, double sim_time,
                    std::string_view message) {
+  std::scoped_lock lock(write_mutex_);
   std::ostream& out = sink_ != nullptr ? *sink_ : std::cerr;
   out << avf::util::format("[{:>5}] t={:.6f} {}: {}\n", level_name(level), sim_time,
                      component, message);

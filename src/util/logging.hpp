@@ -8,6 +8,7 @@
 
 #include "util/fmt.hpp"
 #include <iosfwd>
+#include <mutex>
 #include <string>
 #include <string_view>
 
@@ -15,8 +16,11 @@ namespace avf::util {
 
 enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 
-/// Global log configuration. Not thread-safe by design: the simulator is
-/// single-threaded and tests set the level once up front.
+/// Global log configuration.  Each simulator stays single-threaded, but the
+/// parallel profiling driver runs many simulators at once, so write() takes
+/// a mutex (lines from concurrent workers interleave whole, never mixed).
+/// Level and sink are still expected to be configured once up front, before
+/// any worker threads exist.
 class Logger {
  public:
   static Logger& instance();
@@ -36,6 +40,7 @@ class Logger {
   Logger() = default;
   LogLevel level_ = LogLevel::kWarn;
   std::ostream* sink_ = nullptr;
+  std::mutex write_mutex_;
 };
 
 /// Human-readable level tag ("TRACE", "INFO", ...).

@@ -25,6 +25,7 @@ std::optional<std::size_t> CompressedSizeCache::lookup(
 
 std::optional<std::size_t> CompressedSizeCache::lookup(
     codec::CodecId id, std::uint64_t fp) const {
+  std::scoped_lock lock(mutex_);
   auto it = sizes_.find(Key{fp, id});
   if (it == sizes_.end()) {
     ++misses_;
@@ -42,6 +43,7 @@ void CompressedSizeCache::store(codec::CodecId id, codec::BytesView payload,
 void CompressedSizeCache::store(codec::CodecId id, std::uint64_t fp,
                                 std::size_t size) {
   if (max_entries_ == 0) return;
+  std::scoped_lock lock(mutex_);
   Key key{fp, id};
   auto [it, inserted] = sizes_.insert_or_assign(key, size);
   (void)it;

@@ -14,6 +14,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 
@@ -54,11 +55,23 @@ class CompressedSizeCache {
   void store(codec::CodecId id, codec::BytesView payload, std::size_t size);
   void store(codec::CodecId id, std::uint64_t fingerprint, std::size_t size);
 
-  std::size_t size() const { return sizes_.size(); }
+  std::size_t size() const {
+    std::scoped_lock lock(mutex_);
+    return sizes_.size();
+  }
   std::size_t max_entries() const { return max_entries_; }
-  std::size_t hits() const { return hits_; }
-  std::size_t misses() const { return misses_; }
-  std::size_t evictions() const { return evictions_; }
+  std::size_t hits() const {
+    std::scoped_lock lock(mutex_);
+    return hits_;
+  }
+  std::size_t misses() const {
+    std::scoped_lock lock(mutex_);
+    return misses_;
+  }
+  std::size_t evictions() const {
+    std::scoped_lock lock(mutex_);
+    return evictions_;
+  }
 
   /// Shared instance used by default; individual servers may use their own.
   static CompressedSizeCache& global();
@@ -82,6 +95,9 @@ class CompressedSizeCache {
   };
 
   std::size_t max_entries_;
+  // The global() instance is shared by every concurrently simulated world
+  // during a parallel profiling sweep, so all map/counter access locks.
+  mutable std::mutex mutex_;
   std::unordered_map<Key, std::size_t, KeyHash> sizes_;
   std::deque<Key> insertion_order_;  // FIFO eviction
   mutable std::size_t hits_ = 0;

@@ -48,8 +48,14 @@ const tunable::AppSpec& viz_app_spec() {
   return spec;
 }
 
+// The process-wide image/pyramid memos are shared by every world a
+// parallel profiling sweep builds, so lookups take a mutex.  Returned
+// references stay valid after the lock is dropped (std::map nodes are
+// stable and entries are never erased).
 const wavelet::Image& cached_image(int size, std::uint64_t seed) {
+  static std::mutex mutex;
   static std::map<std::pair<int, std::uint64_t>, wavelet::Image> cache;
+  std::scoped_lock lock(mutex);
   auto key = std::make_pair(size, seed);
   auto it = cache.find(key);
   if (it == cache.end()) {
@@ -61,9 +67,11 @@ const wavelet::Image& cached_image(int size, std::uint64_t seed) {
 std::shared_ptr<const wavelet::Pyramid> cached_pyramid(int size,
                                                        std::uint64_t seed,
                                                        int levels) {
+  static std::mutex mutex;
   static std::map<std::tuple<int, std::uint64_t, int>,
                   std::shared_ptr<const wavelet::Pyramid>>
       cache;
+  std::scoped_lock lock(mutex);
   auto key = std::make_tuple(size, seed, levels);
   auto it = cache.find(key);
   if (it == cache.end()) {
@@ -248,9 +256,14 @@ perfdb::ProfilingDriver::RunFn make_viz_run_fn(WorldSetup base) {
 perfdb::PerfDatabase build_viz_database(const WorldSetup& base,
                                         const std::vector<double>& cpu_grid,
                                         const std::vector<double>& bw_grid,
-                                        int refinement_rounds) {
+                                        int refinement_rounds,
+                                        std::size_t threads) {
   perfdb::ProfilingDriver::Options options;
   options.refinement_rounds = refinement_rounds;
+  options.threads = threads;
+  // Each run builds a fresh world, so one RunFn is safe to share across
+  // workers; the driver's deterministic assembly makes the database
+  // identical at any thread count.
   perfdb::ProfilingDriver driver(make_viz_run_fn(base), options);
   return driver.profile(viz_app_spec(), {cpu_grid, bw_grid});
 }

@@ -145,10 +145,13 @@ SessionResult run_adaptive_session(const WorldSetup& setup,
 perfdb::ProfilingDriver::RunFn make_viz_run_fn(WorldSetup base);
 
 /// Profile the full configuration space of viz_app_spec() over `cpu_grid` x
-/// `bw_grid` (with optional refinement rounds).
+/// `bw_grid` (with optional refinement rounds).  `threads` > 1 shards the
+/// runs across a work-stealing pool (0 = hardware_concurrency); the
+/// resulting database is identical to the serial build.
 perfdb::PerfDatabase build_viz_database(
     const WorldSetup& base, const std::vector<double>& cpu_grid,
-    const std::vector<double>& bw_grid, int refinement_rounds = 0);
+    const std::vector<double>& bw_grid, int refinement_rounds = 0,
+    std::size_t threads = 1);
 
 /// The database used by the figure benchmarks: built once per process on
 /// the standard grid, cached as CSV at `cache_path` across processes

@@ -24,61 +24,83 @@ void check_geometry(int width, int height, int levels) {
 /// One forward 2-D Haar step on the top-left `w x h` region of `work`
 /// (stride `stride`); leaves LL in the top-left quadrant and the three
 /// detail quadrants beside/below it.
-void forward_step(std::vector<std::int32_t>& work, int stride, int w, int h) {
-  std::vector<std::int32_t> row(static_cast<std::size_t>(std::max(w, h)));
-  // Rows.
+///
+/// `scratch` must hold at least w*h values and is reused across levels (a
+/// single allocation per transform).  Both passes walk rows through
+/// pointers: the column lift reads the two *input rows* of each output row
+/// pair sequentially instead of striding down one column at a time, so the
+/// whole step is sequential in memory — no per-pixel y*stride+x
+/// re-multiplication anywhere.  The arithmetic is element-for-element that
+/// of the textbook loops, so coefficients are bit-identical.
+void forward_step(std::int32_t* work, int stride, int w, int h,
+                  std::int32_t* scratch) {
+  const int half_w = w / 2;
+  const int half_h = h / 2;
+  // Rows: averages into the left half, differences into the right.
   for (int y = 0; y < h; ++y) {
-    std::int32_t* base = work.data() + static_cast<std::size_t>(y) * stride;
-    for (int x = 0; x < w / 2; ++x) {
-      std::int32_t x0 = base[2 * x], x1 = base[2 * x + 1];
-      row[x] = (x0 + x1) >> 1;          // average
-      row[w / 2 + x] = x0 - x1;         // difference
+    std::int32_t* base = work + static_cast<std::size_t>(y) * stride;
+    const std::int32_t* in = base;
+    for (int x = 0; x < half_w; ++x) {
+      std::int32_t x0 = in[0], x1 = in[1];
+      in += 2;
+      scratch[x] = (x0 + x1) >> 1;       // average
+      scratch[half_w + x] = x0 - x1;     // difference
     }
-    std::copy(row.begin(), row.begin() + w, base);
+    std::copy(scratch, scratch + w, base);
   }
-  // Columns.
-  for (int x = 0; x < w; ++x) {
-    for (int y = 0; y < h / 2; ++y) {
-      std::int32_t x0 = work[static_cast<std::size_t>(2 * y) * stride + x];
-      std::int32_t x1 =
-          work[static_cast<std::size_t>(2 * y + 1) * stride + x];
-      row[y] = (x0 + x1) >> 1;
-      row[h / 2 + y] = x0 - x1;
+  // Columns, walked row-wise: row pair (2y, 2y+1) -> average row y and
+  // difference row half_h + y, assembled in scratch then copied back.
+  for (int y = 0; y < half_h; ++y) {
+    const std::int32_t* r0 = work + static_cast<std::size_t>(2 * y) * stride;
+    const std::int32_t* r1 = r0 + stride;
+    std::int32_t* avg = scratch + static_cast<std::size_t>(y) * w;
+    std::int32_t* dif = scratch + static_cast<std::size_t>(half_h + y) * w;
+    for (int x = 0; x < w; ++x) {
+      avg[x] = (r0[x] + r1[x]) >> 1;
+      dif[x] = r0[x] - r1[x];
     }
-    for (int y = 0; y < h; ++y) {
-      work[static_cast<std::size_t>(y) * stride + x] = row[y];
-    }
+  }
+  for (int y = 0; y < h; ++y) {
+    const std::int32_t* src = scratch + static_cast<std::size_t>(y) * w;
+    std::copy(src, src + w, work + static_cast<std::size_t>(y) * stride);
   }
 }
 
 /// One inverse 2-D Haar step: quadrants -> interleaved image of `w x h`.
-void inverse_step(std::vector<std::int32_t>& work, int stride, int w, int h) {
-  std::vector<std::int32_t> col(static_cast<std::size_t>(std::max(w, h)));
-  // Columns first (inverse of forward's column pass).
-  for (int x = 0; x < w; ++x) {
-    for (int y = 0; y < h / 2; ++y) {
-      std::int32_t a = work[static_cast<std::size_t>(y) * stride + x];
-      std::int32_t d =
-          work[static_cast<std::size_t>(h / 2 + y) * stride + x];
-      std::int32_t x0 = a + ((d + 1) >> 1);
-      col[2 * y] = x0;
-      col[2 * y + 1] = x0 - d;
-    }
-    for (int y = 0; y < h; ++y) {
-      work[static_cast<std::size_t>(y) * stride + x] = col[y];
+/// Same contract as forward_step (scratch >= w*h, bit-identical results).
+void inverse_step(std::int32_t* work, int stride, int w, int h,
+                  std::int32_t* scratch) {
+  const int half_w = w / 2;
+  const int half_h = h / 2;
+  // Columns first (inverse of forward's column pass), walked row-wise:
+  // average row y + difference row half_h + y -> output rows 2y and 2y+1.
+  for (int y = 0; y < half_h; ++y) {
+    const std::int32_t* a_row = work + static_cast<std::size_t>(y) * stride;
+    const std::int32_t* d_row =
+        work + static_cast<std::size_t>(half_h + y) * stride;
+    std::int32_t* o0 = scratch + static_cast<std::size_t>(2 * y) * w;
+    std::int32_t* o1 = o0 + w;
+    for (int x = 0; x < w; ++x) {
+      std::int32_t d = d_row[x];
+      std::int32_t x0 = a_row[x] + ((d + 1) >> 1);
+      o0[x] = x0;
+      o1[x] = x0 - d;
     }
   }
-  // Rows.
   for (int y = 0; y < h; ++y) {
-    std::int32_t* base = work.data() + static_cast<std::size_t>(y) * stride;
-    for (int x = 0; x < w / 2; ++x) {
-      std::int32_t a = base[x];
-      std::int32_t d = base[w / 2 + x];
-      std::int32_t x0 = a + ((d + 1) >> 1);
-      col[2 * x] = x0;
-      col[2 * x + 1] = x0 - d;
+    const std::int32_t* src = scratch + static_cast<std::size_t>(y) * w;
+    std::copy(src, src + w, work + static_cast<std::size_t>(y) * stride);
+  }
+  // Rows (scratch's first row doubles as the per-row pair buffer).
+  for (int y = 0; y < h; ++y) {
+    std::int32_t* base = work + static_cast<std::size_t>(y) * stride;
+    for (int x = 0; x < half_w; ++x) {
+      std::int32_t d = base[half_w + x];
+      std::int32_t x0 = base[x] + ((d + 1) >> 1);
+      scratch[2 * x] = x0;
+      scratch[2 * x + 1] = x0 - d;
     }
-    std::copy(col.begin(), col.begin() + w, base);
+    std::copy(scratch, scratch + w, base);
   }
 }
 
@@ -108,41 +130,47 @@ Pyramid::Pyramid(int width, int height, int levels)
 Pyramid::Pyramid(const Image& image, int levels)
     : Pyramid(image.width(), image.height(), levels) {
   // Full forward transform in an int32 working frame, then split quadrants
-  // into bands.
+  // into bands.  One scratch buffer serves every level's lifting step.
   std::vector<std::int32_t> work(
       static_cast<std::size_t>(width_) * height_);
-  for (int y = 0; y < height_; ++y) {
-    for (int x = 0; x < width_; ++x) {
-      work[static_cast<std::size_t>(y) * width_ + x] = image.at(x, y);
-    }
-  }
+  std::vector<std::int32_t> scratch(work.size());
+  const std::uint8_t* pixels = image.pixels().data();
+  for (std::size_t i = 0; i < work.size(); ++i) work[i] = pixels[i];
   int w = width_, h = height_;
   for (int step = 0; step < levels; ++step) {
-    forward_step(work, width_, w, h);
+    forward_step(work.data(), width_, w, h, scratch.data());
     // The detail quadrants produced by this step correspond to
     // reconstruction level k = levels - step.
     int k = levels_ - step;
     Band& lh = details_[k - 1][static_cast<int>(Orientation::kLH)];
     Band& hl = details_[k - 1][static_cast<int>(Orientation::kHL)];
     Band& hh = details_[k - 1][static_cast<int>(Orientation::kHH)];
-    for (int y = 0; y < h / 2; ++y) {
-      for (int x = 0; x < w / 2; ++x) {
-        hl.at(x, y) = static_cast<std::int16_t>(
-            work[static_cast<std::size_t>(y) * width_ + w / 2 + x]);
-        lh.at(x, y) = static_cast<std::int16_t>(
-            work[static_cast<std::size_t>(h / 2 + y) * width_ + x]);
-        hh.at(x, y) = static_cast<std::int16_t>(
-            work[static_cast<std::size_t>(h / 2 + y) * width_ + w / 2 + x]);
+    const int half_w = w / 2, half_h = h / 2;
+    for (int y = 0; y < half_h; ++y) {
+      const std::int32_t* top =
+          work.data() + static_cast<std::size_t>(y) * width_;
+      const std::int32_t* bot =
+          work.data() + static_cast<std::size_t>(half_h + y) * width_;
+      std::int16_t* hl_row = hl.coeffs.data() +
+                             static_cast<std::size_t>(y) * half_w;
+      std::int16_t* lh_row = lh.coeffs.data() +
+                             static_cast<std::size_t>(y) * half_w;
+      std::int16_t* hh_row = hh.coeffs.data() +
+                             static_cast<std::size_t>(y) * half_w;
+      for (int x = 0; x < half_w; ++x) {
+        hl_row[x] = static_cast<std::int16_t>(top[half_w + x]);
+        lh_row[x] = static_cast<std::int16_t>(bot[x]);
+        hh_row[x] = static_cast<std::int16_t>(bot[half_w + x]);
       }
     }
     w /= 2;
     h /= 2;
   }
   for (int y = 0; y < h; ++y) {
-    for (int x = 0; x < w; ++x) {
-      ll_.at(x, y) = static_cast<std::int16_t>(
-          work[static_cast<std::size_t>(y) * width_ + x]);
-    }
+    const std::int32_t* src =
+        work.data() + static_cast<std::size_t>(y) * width_;
+    std::int16_t* dst = ll_.coeffs.data() + static_cast<std::size_t>(y) * w;
+    for (int x = 0; x < w; ++x) dst[x] = static_cast<std::int16_t>(src[x]);
   }
 }
 
@@ -170,33 +198,46 @@ Image Pyramid::reconstruct(int level) const {
   int out_w = width_at(level);
   int out_h = height_at(level);
   std::vector<std::int32_t> work(static_cast<std::size_t>(out_w) * out_h);
+  std::vector<std::int32_t> scratch(work.size());
   // Seed with LL.
   for (int y = 0; y < ll_.height; ++y) {
-    for (int x = 0; x < ll_.width; ++x) {
-      work[static_cast<std::size_t>(y) * out_w + x] = ll_.at(x, y);
-    }
+    const std::int16_t* src =
+        ll_.coeffs.data() + static_cast<std::size_t>(y) * ll_.width;
+    std::int32_t* dst = work.data() + static_cast<std::size_t>(y) * out_w;
+    for (int x = 0; x < ll_.width; ++x) dst[x] = src[x];
   }
   for (int k = 1; k <= level; ++k) {
     const Band& lh = detail(k, Orientation::kLH);
     const Band& hl = detail(k, Orientation::kHL);
     const Band& hh = detail(k, Orientation::kHH);
     int w = lh.width * 2, h = lh.height * 2;
+    const int half_w = lh.width, half_h = lh.height;
     // Lay detail quadrants next to the current LL region in the frame.
-    for (int y = 0; y < lh.height; ++y) {
-      for (int x = 0; x < lh.width; ++x) {
-        work[static_cast<std::size_t>(y) * out_w + w / 2 + x] = hl.at(x, y);
-        work[static_cast<std::size_t>(h / 2 + y) * out_w + x] = lh.at(x, y);
-        work[static_cast<std::size_t>(h / 2 + y) * out_w + w / 2 + x] =
-            hh.at(x, y);
+    for (int y = 0; y < half_h; ++y) {
+      std::int32_t* top = work.data() + static_cast<std::size_t>(y) * out_w;
+      std::int32_t* bot =
+          work.data() + static_cast<std::size_t>(half_h + y) * out_w;
+      const std::int16_t* hl_row =
+          hl.coeffs.data() + static_cast<std::size_t>(y) * half_w;
+      const std::int16_t* lh_row =
+          lh.coeffs.data() + static_cast<std::size_t>(y) * half_w;
+      const std::int16_t* hh_row =
+          hh.coeffs.data() + static_cast<std::size_t>(y) * half_w;
+      for (int x = 0; x < half_w; ++x) {
+        top[half_w + x] = hl_row[x];
+        bot[x] = lh_row[x];
+        bot[half_w + x] = hh_row[x];
       }
     }
-    inverse_step(work, out_w, w, h);
+    inverse_step(work.data(), out_w, w, h, scratch.data());
   }
   Image img(out_w, out_h);
   for (int y = 0; y < out_h; ++y) {
+    const std::int32_t* src =
+        work.data() + static_cast<std::size_t>(y) * out_w;
     for (int x = 0; x < out_w; ++x) {
-      img.at(x, y) = static_cast<std::uint8_t>(std::clamp(
-          work[static_cast<std::size_t>(y) * out_w + x], 0, 255));
+      img.at(x, y) =
+          static_cast<std::uint8_t>(std::clamp(src[x], 0, 255));
     }
   }
   return img;

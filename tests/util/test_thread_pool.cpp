@@ -1,0 +1,159 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace avf::util {
+namespace {
+
+TEST(ThreadPool, ResolveThreads) {
+  EXPECT_EQ(ThreadPool::resolve_threads(3), 3u);
+  EXPECT_GE(ThreadPool::resolve_threads(0), 1u);
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  for (std::size_t threads : {1u, 2u, 4u}) {
+    ThreadPool pool(threads);
+    constexpr std::size_t kCount = 500;
+    std::vector<std::atomic<int>> hits(kCount);
+    pool.parallel_for(kCount,
+                      [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < kCount; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+  }
+}
+
+TEST(ThreadPool, ResultIndependentOfExecutionOrder) {
+  // The same reduction computed at several pool widths must agree with the
+  // serial answer: sharding may reorder execution, never results.
+  constexpr std::size_t kCount = 1000;
+  std::vector<long> expected(kCount);
+  for (std::size_t i = 0; i < kCount; ++i) {
+    expected[i] = static_cast<long>(i * i % 9973);
+  }
+  for (std::size_t threads : {1u, 2u, 3u, 8u}) {
+    ThreadPool pool(threads);
+    std::vector<long> out(kCount, -1);
+    pool.parallel_for(kCount, [&](std::size_t i) {
+      out[i] = static_cast<long>(i * i % 9973);
+    });
+    EXPECT_EQ(out, expected) << "threads=" << threads;
+  }
+}
+
+TEST(ThreadPool, PropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [](std::size_t i) {
+                                   if (i == 37) {
+                                     throw std::runtime_error("boom 37");
+                                   }
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, LowestFailingIndexWins) {
+  // Deterministic error reporting: no matter how shards interleave, the
+  // exception of the lowest failing index is the one rethrown.
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    ThreadPool pool(4);
+    try {
+      pool.parallel_for(200, [](std::size_t i) {
+        if (i % 3 == 2) {  // 2, 5, 8, ... all fail
+          throw std::runtime_error("fail " + std::to_string(i));
+        }
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "fail 2");
+    }
+  }
+}
+
+TEST(ThreadPool, PoolUsableAfterException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(10, [](std::size_t) { throw std::logic_error("x"); }),
+      std::logic_error);
+  std::atomic<int> ran{0};
+  pool.parallel_for(10, [&](std::size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 10);
+}
+
+TEST(ThreadPool, StopCancelsMidSweep) {
+  ThreadPool pool(2);
+  std::atomic<std::size_t> started{0};
+  std::atomic<bool> release{false};
+  // Tasks block until released; stop fires while the sweep is in flight,
+  // so later payloads must be skipped and the call must report it.
+  std::thread stopper([&] {
+    while (started.load() < 2) std::this_thread::yield();
+    pool.request_stop();
+    release.store(true);
+  });
+  EXPECT_THROW(pool.parallel_for(64,
+                                 [&](std::size_t) {
+                                   started.fetch_add(1);
+                                   while (!release.load()) {
+                                     std::this_thread::yield();
+                                   }
+                                 }),
+               ThreadPoolStopped);
+  stopper.join();
+  EXPECT_LT(started.load(), 64u);
+  EXPECT_TRUE(pool.stop_requested());
+}
+
+TEST(ThreadPool, StealingBalancesSkewedShards) {
+  // One giant shard plus many tiny ones: with stealing, total wall time is
+  // bounded by the giant shard, not the sum.  We assert the behavioral
+  // consequence that at least two distinct workers executed tasks.
+  ThreadPool pool(4);
+  std::mutex mutex;
+  std::set<std::size_t> seen_workers;
+  pool.parallel_for(64, [&](std::size_t i) {
+    // Index 0 is ~50x heavier than the rest.
+    auto spin = std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(i == 0 ? 50 : 1);
+    while (std::chrono::steady_clock::now() < spin) {
+    }
+    std::scoped_lock lock(mutex);
+    seen_workers.insert(pool.current_worker());
+  });
+  EXPECT_GE(seen_workers.size(), 2u);
+  for (std::size_t w : seen_workers) EXPECT_LT(w, pool.size());
+}
+
+TEST(ThreadPool, CurrentWorkerOutsidePoolIsSize) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.current_worker(), pool.size());
+}
+
+TEST(ThreadPool, SubmitFireAndForget) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&] { ran.fetch_add(1); });
+    }
+    // Destruction drains the queues before joining.
+  }
+  EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ThreadPool, ZeroCountIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL(); });
+}
+
+}  // namespace
+}  // namespace avf::util

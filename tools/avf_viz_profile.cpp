@@ -5,9 +5,10 @@
 //
 // Usage:
 //   avf_viz_profile [--size N] [--images SEED] [--cpu a,b,c] [--bw a,b,c]
-//                   [--refine R] [--out FILE]
+//                   [--refine R] [--threads T] [--out FILE]
 // Defaults: 512x512 image, cpu 0.1,0.4,0.7,1.0, bw 25e3,50e3,250e3,500e3,
-// no refinement, stdout.
+// no refinement, 1 thread (0 = hardware concurrency; any thread count
+// produces a byte-identical database), stdout.
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -33,7 +34,7 @@ std::vector<double> parse_list(const std::string& arg) {
 
 [[noreturn]] void usage() {
   std::cerr << "usage: avf_viz_profile [--size N] [--cpu a,b,..] "
-               "[--bw a,b,..] [--refine R] [--out FILE]\n";
+               "[--bw a,b,..] [--refine R] [--threads T] [--out FILE]\n";
   std::exit(2);
 }
 
@@ -45,6 +46,7 @@ int main(int argc, char** argv) {
   std::vector<double> cpu_grid{0.1, 0.4, 0.7, 1.0};
   std::vector<double> bw_grid{25e3, 50e3, 250e3, 500e3};
   int refine = 0;
+  std::size_t threads = 1;
   std::string out_path;
 
   for (int i = 1; i < argc; ++i) {
@@ -61,6 +63,10 @@ int main(int argc, char** argv) {
       bw_grid = parse_list(next());
     } else if (arg == "--refine") {
       refine = std::stoi(next());
+    } else if (arg == "--threads") {
+      int t = std::stoi(next());
+      if (t < 0) usage();
+      threads = static_cast<std::size_t>(t);
     } else if (arg == "--out") {
       out_path = next();
     } else {
@@ -73,9 +79,11 @@ int main(int argc, char** argv) {
             << " configurations over " << cpu_grid.size() << "x"
             << bw_grid.size() << " resource grid (" << setup.image_size
             << "x" << setup.image_size << " image, " << refine
-            << " refinement rounds)...\n";
+            << " refinement rounds, "
+            << (threads == 0 ? std::string("hw") : std::to_string(threads))
+            << " threads)...\n";
   perfdb::PerfDatabase db =
-      viz::build_viz_database(setup, cpu_grid, bw_grid, refine);
+      viz::build_viz_database(setup, cpu_grid, bw_grid, refine, threads);
   std::cerr << db.size() << " samples collected\n";
 
   if (out_path.empty()) {
