@@ -1,0 +1,272 @@
+// Micro-benchmark: multi-client Active Visualization scaling.
+//
+// Sweeps 1 -> 128 concurrent clients against one multi-session server and
+// verifies the three contracts of the scale work:
+//
+//  1. Determinism: for a fixed seed every client count yields a
+//     bit-identical golden trace (run twice, compare result_fingerprint).
+//  2. Cache transparency + payoff: the shared encode/compression caches
+//     change no payload byte (per-image payload_hash equality vs the
+//     no-cache baseline at 64 clients) while cutting host wall time by
+//     >= 4x (AVF_VIZ_MIN_SPEEDUP overrides; 0 disables the gate).
+//  3. Incremental fluid sharing: the link's bandwidth reallocation skips
+//     flows whose rate did not change — counter-asserted, not assumed.
+//
+// Per-case JSON (bench_results/BENCH_micro_viz_scale.json): wall_ns,
+// simulated events, cache hit/miss counters, mean per-client response
+// time, and the fluid reallocation counters.
+#include <chrono>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "viz/caches.hpp"
+#include "viz/world.hpp"
+
+namespace {
+
+using namespace avf;
+using viz::CompressedChunkCache;
+using viz::CompressedSizeCache;
+using viz::MultiSessionResult;
+using viz::RegionEncodeCache;
+using viz::VizClient;
+using viz::VizWorld;
+using viz::WorldSetup;
+
+WorldSetup scale_setup(int clients) {
+  WorldSetup setup;
+  setup.client_count = clients;
+  setup.image_size = 256;
+  setup.levels = 3;
+  setup.image_count = 2;
+  // Cap every endpoint well below the link so the aggregate stays
+  // under-subscribed at 128 clients (128 * cap = 0.5 * capacity per
+  // direction): the regime where the incremental fluid fast path engages.
+  setup.client_net_bps = setup.link_bandwidth_bps / 256.0;
+  setup.server_net_bps = setup.link_bandwidth_bps / 256.0;
+  return setup;
+}
+
+struct FluidCounters {
+  std::uint64_t full_reallocs = 0;
+  std::uint64_t fast_reallocs = 0;
+  std::uint64_t rate_rescales = 0;
+  std::uint64_t rate_keeps = 0;
+  std::uint64_t flows_skipped = 0;
+};
+
+struct RunStats {
+  MultiSessionResult result;
+  double wall_ms = 0.0;
+  std::uint64_t events = 0;
+  double avg_response = 0.0;  // mean over clients and images
+  FluidCounters fluid;
+};
+
+/// One full multi-client session with direct world access (the library
+/// runner hides the world, and we need simulator/link/cache counters).
+RunStats run_world(const WorldSetup& setup, const tunable::ConfigPoint& cfg) {
+  auto start = std::chrono::steady_clock::now();
+
+  VizWorld world(setup);
+  sim::Simulator& sim = world.simulator();
+  for (int i = 0; i < setup.client_count; ++i) {
+    world.make_client_at(static_cast<std::size_t>(i), cfg);
+  }
+  world.spawn_server_loops();
+  auto driver = [](VizClient* client, int images) -> sim::Task<> {
+    co_await client->fetch_images(0, images);
+    co_await client->shutdown_server();
+  };
+  for (int i = 0; i < setup.client_count; ++i) {
+    sim.spawn(driver(&world.client(static_cast<std::size_t>(i)),
+                     setup.image_count));
+  }
+  sim.run();
+
+  auto stop = std::chrono::steady_clock::now();
+
+  RunStats stats;
+  stats.wall_ms =
+      std::chrono::duration<double, std::milli>(stop - start).count();
+  stats.events = sim.events_processed();
+  stats.result.total_time = sim.now();
+  double response_sum = 0.0;
+  std::size_t response_n = 0;
+  for (int i = 0; i < setup.client_count; ++i) {
+    viz::SessionResult session;
+    session.images = world.client(static_cast<std::size_t>(i)).history();
+    session.initial_config = cfg;
+    session.total_time = sim.now();
+    for (const auto& image : session.images) {
+      response_sum += image.avg_response;
+      ++response_n;
+    }
+    stats.result.clients.push_back(std::move(session));
+  }
+  stats.avg_response = response_n ? response_sum / response_n : 0.0;
+  for (sim::FluidResource* dir :
+       {&world.link().forward(), &world.link().backward()}) {
+    stats.fluid.full_reallocs += dir->full_reallocs();
+    stats.fluid.fast_reallocs += dir->fast_reallocs();
+    stats.fluid.rate_rescales += dir->rate_rescales();
+    stats.fluid.rate_keeps += dir->rate_keeps();
+    stats.fluid.flows_skipped += dir->flows_skipped();
+  }
+  return stats;
+}
+
+bool payloads_match(const MultiSessionResult& a, const MultiSessionResult& b) {
+  if (a.clients.size() != b.clients.size()) return false;
+  for (std::size_t i = 0; i < a.clients.size(); ++i) {
+    const auto& ia = a.clients[i].images;
+    const auto& ib = b.clients[i].images;
+    if (ia.size() != ib.size()) return false;
+    for (std::size_t j = 0; j < ia.size(); ++j) {
+      if (ia[j].payload_hash != ib[j].payload_hash) return false;
+      if (ia[j].wire_bytes != ib[j].wire_bytes) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  const tunable::ConfigPoint cfg = bench::viz_config(160, 1, 3);
+  const std::vector<int> client_counts = {1, 4, 16, 64, 128};
+  constexpr int kGateClients = 64;
+
+  std::printf("micro_viz_scale: 256px images x2, dR=160 lzw l=3\n");
+  std::printf("%-22s %12s %12s %10s %10s %10s\n", "case", "wall_ms",
+              "events", "rgn_hit%", "skips", "resp_ms");
+
+  bool ok = true;
+  std::vector<bench::JsonBenchCase> cases;
+  double cached_64_ms = 0.0;
+  MultiSessionResult cached_64;
+
+  for (int n : client_counts) {
+    // Fresh local caches per run: counters attributable, no cross-run
+    // reuse inflating the numbers.
+    CompressedSizeCache size_cache;
+    RegionEncodeCache region_cache;
+    CompressedChunkCache chunk_cache;
+    WorldSetup setup = scale_setup(n);
+    setup.server_options.size_cache = &size_cache;
+    setup.server_options.region_cache = &region_cache;
+    setup.server_options.chunk_cache = &chunk_cache;
+
+    RunStats run = run_world(setup, cfg);
+    std::uint64_t fp = viz::result_fingerprint(run.result);
+
+    // Determinism: the identical world replayed must fingerprint equal.
+    RunStats replay = run_world(setup, cfg);
+    bool deterministic = viz::result_fingerprint(replay.result) == fp;
+    ok = ok && deterministic;
+
+    if (n == kGateClients) {
+      cached_64_ms = run.wall_ms;
+      cached_64 = run.result;
+    }
+
+    double region_total =
+        static_cast<double>(region_cache.hits() + region_cache.misses());
+    double hit_pct =
+        region_total > 0.0 ? 100.0 * region_cache.hits() / region_total : 0.0;
+    std::printf("%-22s %12.2f %12" PRIu64 " %9.1f%% %10" PRIu64 " %10.2f %s\n",
+                ("cached/clients=" + std::to_string(n)).c_str(), run.wall_ms,
+                run.events, hit_pct, run.fluid.flows_skipped,
+                run.avg_response * 1e3, deterministic ? "ok" : "NONDET");
+
+    bench::JsonBenchCase c;
+    c.label = "cached/clients=" + std::to_string(n);
+    c.wall_ns = run.wall_ms * 1e6;
+    c.extra["clients"] = n;
+    c.extra["events"] = static_cast<double>(run.events);
+    c.extra["sim_time_s"] = run.result.total_time;
+    c.extra["avg_response_s"] = run.avg_response;
+    c.extra["deterministic"] = deterministic ? 1.0 : 0.0;
+    c.extra["region_hits"] = static_cast<double>(region_cache.hits());
+    c.extra["region_misses"] = static_cast<double>(region_cache.misses());
+    c.extra["region_evictions"] = static_cast<double>(region_cache.evictions());
+    c.extra["size_hits"] = static_cast<double>(size_cache.hits());
+    c.extra["size_misses"] = static_cast<double>(size_cache.misses());
+    c.extra["chunk_hits"] = static_cast<double>(chunk_cache.hits());
+    c.extra["fluid_full_reallocs"] =
+        static_cast<double>(run.fluid.full_reallocs);
+    c.extra["fluid_fast_reallocs"] =
+        static_cast<double>(run.fluid.fast_reallocs);
+    c.extra["fluid_rate_rescales"] =
+        static_cast<double>(run.fluid.rate_rescales);
+    c.extra["fluid_rate_keeps"] = static_cast<double>(run.fluid.rate_keeps);
+    c.extra["fluid_flows_skipped"] =
+        static_cast<double>(run.fluid.flows_skipped);
+    cases.push_back(std::move(c));
+
+    // The incremental-fluid contract: under-subscribed capped flows must
+    // be skipped, not rescaled, when other flows come and go.
+    if (n == kGateClients && run.fluid.flows_skipped == 0) {
+      std::fprintf(stderr,
+                   "FAIL: fluid reallocation skipped no flows at %d clients "
+                   "(incremental path not engaged)\n",
+                   n);
+      ok = false;
+    }
+  }
+
+  // No-cache baseline at the gate point: every request re-serializes its
+  // region and really compresses (and clients really decompress).
+  {
+    WorldSetup naive = scale_setup(kGateClients);
+    naive.server_options.size_cache = nullptr;
+    naive.server_options.region_cache = nullptr;
+    naive.server_options.chunk_cache = nullptr;
+    RunStats run = run_world(naive, cfg);
+    std::printf("%-22s %12.2f %12" PRIu64 "\n", "naive/clients=64",
+                run.wall_ms, run.events);
+
+    bench::JsonBenchCase c;
+    c.label = "naive/clients=" + std::to_string(kGateClients);
+    c.wall_ns = run.wall_ms * 1e6;
+    c.extra["clients"] = kGateClients;
+    c.extra["events"] = static_cast<double>(run.events);
+    c.extra["avg_response_s"] = run.avg_response;
+
+    double speedup = cached_64_ms > 0.0 ? run.wall_ms / cached_64_ms : 0.0;
+    c.extra["cached_speedup"] = speedup;
+    bool bytes_equal = payloads_match(cached_64, run.result);
+    c.extra["payloads_match_cached"] = bytes_equal ? 1.0 : 0.0;
+    cases.push_back(std::move(c));
+
+    if (!bytes_equal) {
+      std::fprintf(stderr,
+                   "FAIL: cached and uncached 64-client runs disagree on "
+                   "payload bytes\n");
+      ok = false;
+    }
+    // Throughput floor, overridable for instrumented builds
+    // (AVF_VIZ_MIN_SPEEDUP=0 disables).
+    double min_speedup = 4.0;
+    if (const char* env = std::getenv("AVF_VIZ_MIN_SPEEDUP")) {
+      min_speedup = std::atof(env);
+    }
+    std::printf("cached 64-client speedup over naive: %.2fx (floor %.2fx)\n",
+                speedup, min_speedup);
+    if (speedup < min_speedup) {
+      std::fprintf(stderr, "FAIL: 64-client cached speedup %.2fx < %.2fx\n",
+                   speedup, min_speedup);
+      ok = false;
+    }
+  }
+
+  bench::write_bench_json("micro_viz_scale", cases);
+  if (!ok) return 1;
+  std::printf("all client counts deterministic; caches byte-transparent\n");
+  return 0;
+}

@@ -11,6 +11,10 @@ namespace avf::sim {
 namespace {
 // Work amounts are ops (>= 1e3 scale) or bytes; anything below this is done.
 constexpr double kRemainingEpsilon = 1e-7;
+
+double cap_rate_of(const ShareSlot& slot, double capacity) {
+  return std::clamp(slot.cap, 0.0, 1.0) * capacity;
+}
 }  // namespace
 
 FluidResource::FluidResource(Simulator& sim, std::string name, double capacity)
@@ -20,7 +24,6 @@ FluidResource::FluidResource(Simulator& sim, std::string name, double capacity)
         avf::util::format("resource {}: capacity must be > 0, got {}", name_,
                     capacity));
   }
-  last_update_ = sim_.now();
 }
 
 void FluidResource::set_capacity(double capacity) {
@@ -29,15 +32,11 @@ void FluidResource::set_capacity(double capacity) {
         avf::util::format("resource {}: capacity must be > 0, got {}", name_,
                     capacity));
   }
-  advance();
   capacity_ = capacity;
-  reschedule();
+  full_reallocate();
 }
 
-void FluidResource::reallocate() {
-  advance();
-  reschedule();
-}
+void FluidResource::reallocate() { full_reallocate(); }
 
 void FluidResource::add_request(double amount, ShareSlotPtr slot,
                                 OwnerId owner, std::coroutine_handle<> h) {
@@ -50,38 +49,89 @@ void FluidResource::add_request(double amount, ShareSlotPtr slot,
         avf::util::format("resource {}: non-positive weight {}", name_,
                     slot->weight));
   }
-  advance();
-  requests_.push_back(Request{amount, 0.0, std::move(slot), owner, h});
-  reschedule();
-}
-
-void FluidResource::advance() {
   SimTime now = sim_.now();
-  double dt = now - last_update_;
-  last_update_ = now;
-  if (dt <= 0.0) return;
-  for (Request& r : requests_) {
-    double delta = std::min(r.rate * dt, r.remaining);
-    r.remaining -= delta;
-    if (r.owner != kNoOwner) served_[r.owner] += delta;
-    total_served_ += delta;
-  }
-}
-
-void FluidResource::reschedule() {
-  // 1. Complete any finished requests.  A request also counts as finished
-  // when its residual work is so small that the completion delay would not
-  // advance the simulation clock (now + remaining/rate == now in double
-  // precision) — otherwise the completion event would fire at the same
-  // timestamp, advance() would credit zero progress, and the resource
-  // would reschedule itself forever.
-  SimTime now = sim_.now();
-  for (auto it = requests_.begin(); it != requests_.end();) {
-    bool finished = it->remaining <= kRemainingEpsilon;
-    if (!finished && it->rate > 0.0) {
-      finished = now + it->remaining / it->rate <= now;
+  requests_.push_back(Request{amount, 0.0, now, 0.0, std::move(slot), owner,
+                              h, EventHandle{}});
+  RequestIt it = std::prev(requests_.end());
+  double cr = cap_rate_of(*it->slot, capacity_);
+  if (all_at_cap_ && cap_rate_sum_ + cr <= capacity_) {
+    // Under-loaded arrival: the newcomer runs at exactly its cap and no
+    // other flow's allocation moves (the §5.1 guarantee held before and
+    // still holds) — O(1), nobody else is touched.
+    it->cap_rate = cr;
+    it->rate = cr;
+    cap_rate_sum_ += cr;
+    if (cr > 0.0) {
+      ++rate_rescales_;
+      schedule_completion(it);
     }
-    if (finished) {
+    ++fast_reallocs_;
+    flows_skipped_ += requests_.size() - 1;
+    return;
+  }
+  full_reallocate();
+}
+
+void FluidResource::credit(Request& r, SimTime now) {
+  double dt = now - r.credited_at;
+  r.credited_at = now;
+  if (dt <= 0.0 || r.rate <= 0.0) return;
+  double delta = std::min(r.rate * dt, r.remaining);
+  r.remaining -= delta;
+  if (r.owner != kNoOwner) served_[r.owner] += delta;
+  total_served_ += delta;
+}
+
+bool FluidResource::finished(const Request& r, SimTime now) const {
+  if (r.remaining <= kRemainingEpsilon) return true;
+  // Residual so small the completion delay would not advance the clock:
+  // treat as done, otherwise the completion event would fire at the same
+  // timestamp, credit zero progress, and respin forever.
+  return r.rate > 0.0 && now + r.remaining / r.rate <= now;
+}
+
+void FluidResource::schedule_completion(RequestIt it) {
+  it->completion.cancel();
+  it->completion = sim_.schedule(it->remaining / it->rate,
+                                 [this, it] { on_completion(it); });
+}
+
+void FluidResource::on_completion(RequestIt it) {
+  SimTime now = sim_.now();
+  credit(*it, now);
+  if (!finished(*it, now)) {
+    // Floating-point leftover big enough to matter: keep serving it.
+    schedule_completion(it);
+    return;
+  }
+  remove_request(it);
+}
+
+void FluidResource::remove_request(RequestIt it) {
+  it->completion.cancel();
+  sim_.resume_soon(it->waiter);
+  cap_rate_sum_ -= it->cap_rate;
+  requests_.erase(it);
+  if (requests_.empty()) cap_rate_sum_ = 0.0;  // kill accumulated drift
+  if (all_at_cap_) {
+    // Every surviving flow already runs at its cap; freeing capacity cannot
+    // raise anyone above it, so allocations are unchanged — O(1).
+    ++fast_reallocs_;
+    flows_skipped_ += requests_.size();
+    return;
+  }
+  full_reallocate();
+}
+
+void FluidResource::full_reallocate() {
+  ++full_reallocs_;
+  SimTime now = sim_.now();
+
+  // 1. Credit progress and complete any finished requests.
+  for (Request& r : requests_) credit(r, now);
+  for (auto it = requests_.begin(); it != requests_.end();) {
+    if (finished(*it, now)) {
+      it->completion.cancel();
       sim_.resume_soon(it->waiter);
       it = requests_.erase(it);
     } else {
@@ -90,23 +140,29 @@ void FluidResource::reschedule() {
   }
 
   // 2. Water-filling: weighted max-min allocation under per-request caps.
-  std::vector<Request*> unfixed;
-  unfixed.reserve(requests_.size());
+  // Rates land in `target` (parallel to iteration order) so the current
+  // rates survive for the changed-vs-kept comparison below.
+  std::vector<Request*> all;
+  std::vector<double> target;
+  all.reserve(requests_.size());
   for (Request& r : requests_) {
-    r.rate = 0.0;
-    unfixed.push_back(&r);
+    r.cap_rate = cap_rate_of(*r.slot, capacity_);
+    all.push_back(&r);
   }
+  target.assign(all.size(), 0.0);
+  std::vector<std::size_t> unfixed(all.size());
+  for (std::size_t i = 0; i < all.size(); ++i) unfixed[i] = i;
   double budget = capacity_;
   while (!unfixed.empty() && budget > 0.0) {
     double weight_sum = 0.0;
-    for (Request* r : unfixed) weight_sum += r->slot->weight;
+    for (std::size_t i : unfixed) weight_sum += all[i]->slot->weight;
     bool fixed_any = false;
     for (auto it = unfixed.begin(); it != unfixed.end();) {
-      Request* r = *it;
-      double cap_rate = std::clamp(r->slot->cap, 0.0, 1.0) * capacity_;
+      Request* r = all[*it];
+      double cap_rate = r->cap_rate;
       double fair = budget * r->slot->weight / weight_sum;
       if (fair >= cap_rate) {
-        r->rate = cap_rate;
+        target[*it] = cap_rate;
         budget -= cap_rate;
         it = unfixed.erase(it);
         fixed_any = true;
@@ -116,48 +172,59 @@ void FluidResource::reschedule() {
     }
     if (!fixed_any) {
       // Nobody hits a cap: split the remaining budget by weight.
-      for (Request* r : unfixed) {
-        r->rate = budget * r->slot->weight / weight_sum;
+      for (std::size_t i : unfixed) {
+        target[i] = budget * all[i]->slot->weight / weight_sum;
       }
       break;
     }
     budget = std::max(budget, 0.0);
   }
 
-  // 3. Schedule the earliest completion.
-  completion_event_.cancel();
-  double earliest = std::numeric_limits<double>::infinity();
-  for (const Request& r : requests_) {
-    if (r.rate > 0.0) earliest = std::min(earliest, r.remaining / r.rate);
-  }
-  if (earliest != std::numeric_limits<double>::infinity()) {
-    completion_event_ = sim_.schedule(earliest, [this] {
-      advance();
-      reschedule();
-    });
+  // 3. Apply: only flows whose rate actually changed get their completion
+  // event rescheduled; bit-identical rates keep their pending event (its
+  // absolute fire time is already right, and not touching it is what makes
+  // capped multi-flow workloads cheap).
+  cap_rate_sum_ = 0.0;
+  all_at_cap_ = true;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    Request& r = *all[i];
+    cap_rate_sum_ += r.cap_rate;
+    if (target[i] != r.cap_rate) all_at_cap_ = false;
+    if (target[i] == r.rate && (r.rate <= 0.0 || r.completion.pending())) {
+      if (r.rate > 0.0) ++rate_keeps_;
+      continue;
+    }
+    r.rate = target[i];
+    ++rate_rescales_;
+    if (r.rate > 0.0) {
+      schedule_completion(std::next(requests_.begin(),
+                                    static_cast<std::ptrdiff_t>(i)));
+    } else {
+      r.completion.cancel();
+    }
   }
 }
 
 double FluidResource::served(OwnerId owner) const {
-  // Account the in-flight progress since last_update_ without mutating.
+  // Account the in-flight progress since each request's credit point
+  // without mutating.
   double base = 0.0;
   if (auto it = served_.find(owner); it != served_.end()) base = it->second;
-  double dt = sim_.now() - last_update_;
-  if (dt > 0.0) {
-    for (const Request& r : requests_) {
-      if (r.owner == owner) base += std::min(r.rate * dt, r.remaining);
-    }
+  SimTime now = sim_.now();
+  for (const Request& r : requests_) {
+    if (r.owner != owner) continue;
+    double dt = now - r.credited_at;
+    if (dt > 0.0) base += std::min(r.rate * dt, r.remaining);
   }
   return base;
 }
 
 double FluidResource::total_served() const {
   double base = total_served_;
-  double dt = sim_.now() - last_update_;
-  if (dt > 0.0) {
-    for (const Request& r : requests_) {
-      base += std::min(r.rate * dt, r.remaining);
-    }
+  SimTime now = sim_.now();
+  for (const Request& r : requests_) {
+    double dt = now - r.credited_at;
+    if (dt > 0.0) base += std::min(r.rate * dt, r.remaining);
   }
   return base;
 }

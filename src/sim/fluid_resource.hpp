@@ -9,9 +9,18 @@
 // guarantee, §5.1); when over-subscribed, capacity is split proportionally to
 // weights below the caps.
 //
-// Requests progress as fluid flows: whenever the active set, a cap, or the
-// capacity changes, in-flight progress is credited and allocations are
-// recomputed (water-filling), and the earliest completion is (re)scheduled.
+// Requests progress as fluid flows.  Reallocation is *incremental*: each
+// in-flight request carries its own completion event and a lazily-updated
+// progress credit, so a flow start/finish only touches the flows whose rate
+// actually changes.  In the under-loaded regime (every active flow capped,
+// cap-rates summing below capacity) an arrival or departure is O(1): the
+// other flows' rates are provably unchanged, so their events and credits are
+// left alone.  Only when the allocation genuinely shifts (over-subscription,
+// capacity change, slot mutation) does a full water-filling pass run — and
+// even then, flows whose recomputed rate is bit-identical keep their
+// scheduled completion event.  With N clients contending on one link this
+// turns the O(N) per-event / O(N^2) per-wave reallocation of the previous
+// implementation into O(1) per event for capped workloads.
 #pragma once
 
 #include <coroutine>
@@ -40,7 +49,8 @@ class FluidResource {
   void set_capacity(double capacity);
 
   /// Must be called after mutating any ShareSlot used by an in-flight
-  /// request (the resource cannot observe the change on its own).
+  /// request (the resource cannot observe the change on its own).  Always a
+  /// full water-filling pass — slot mutations can change any flow's rate.
   void reallocate();
 
   /// Awaitable: consume `amount` units under the entitlement in `slot`.
@@ -78,30 +88,74 @@ class FluidResource {
   /// Current aggregate allocated rate (units/s); <= capacity.
   double allocated_rate() const;
 
+  // -- reallocation statistics (micro_viz_scale gates on these) -----------
+  /// Full water-filling passes (arrival/departure outside the capped fast
+  /// path, capacity changes, explicit reallocate() calls).
+  std::uint64_t full_reallocs() const { return full_reallocs_; }
+  /// O(1) arrivals/departures that provably left every other flow's rate
+  /// unchanged (the under-loaded capped regime).
+  std::uint64_t fast_reallocs() const { return fast_reallocs_; }
+  /// Per-flow rate assignments where the rate actually changed (each one
+  /// reschedules that flow's completion event).
+  std::uint64_t rate_rescales() const { return rate_rescales_; }
+  /// Flows inspected by a full pass whose rate was bit-identical — their
+  /// completion events were left untouched.  The previous implementation
+  /// rescheduled these too.
+  std::uint64_t rate_keeps() const { return rate_keeps_; }
+  /// Other in-flight flows present during fast-path events — flows the
+  /// previous O(N)-per-event implementation would have re-credited and
+  /// rescheduled.
+  std::uint64_t flows_skipped() const { return flows_skipped_; }
+
  private:
   struct Request {
     double remaining;
-    double rate = 0.0;  // current allocation, units/s
+    double rate = 0.0;        // current allocation, units/s
+    SimTime credited_at;      // progress has been credited up to here
+    double cap_rate = 0.0;    // clamp(slot->cap, 0, 1) * capacity at last alloc
     ShareSlotPtr slot;
     OwnerId owner;
     std::coroutine_handle<> waiter;
+    EventHandle completion;
   };
+  using RequestIt = std::list<Request>::iterator;
 
   void add_request(double amount, ShareSlotPtr slot, OwnerId owner,
                    std::coroutine_handle<> h);
-  /// Credit progress since last_update_ at current rates.
-  void advance();
-  /// Recompute allocations (water-filling) and reschedule completion.
-  void reschedule();
+  /// Credit progress since `credited_at` at the request's current rate.
+  void credit(Request& r, SimTime now);
+  /// Completion criterion shared by the event path and full passes: either
+  /// the residual is below epsilon or so small that the completion delay
+  /// would not advance the clock (then the event would respin forever).
+  bool finished(const Request& r, SimTime now) const;
+  /// (Re)schedule the request's own completion event from its current
+  /// remaining/rate; cancels any previous event.
+  void schedule_completion(RequestIt it);
+  /// A request's own completion event fired.
+  void on_completion(RequestIt it);
+  /// Resume the waiter and drop the request; O(1) when every remaining flow
+  /// is at its cap (nobody's rate can rise above it), full pass otherwise.
+  void remove_request(RequestIt it);
+  /// Credit everyone, sweep finished requests, rerun water-filling, and
+  /// reschedule exactly the flows whose rate changed.
+  void full_reallocate();
 
   Simulator& sim_;
   std::string name_;
   double capacity_;
-  SimTime last_update_ = 0.0;
   std::list<Request> requests_;
-  EventHandle completion_event_;
+  /// Sum of the active requests' cap_rate values, maintained incrementally.
+  double cap_rate_sum_ = 0.0;
+  /// True iff every active flow's rate equals its cap rate (the under-loaded
+  /// guarantee regime): arrivals and departures cannot change anyone else.
+  bool all_at_cap_ = true;
   mutable std::unordered_map<OwnerId, double> served_;
   double total_served_ = 0.0;
+  std::uint64_t full_reallocs_ = 0;
+  std::uint64_t fast_reallocs_ = 0;
+  std::uint64_t rate_rescales_ = 0;
+  std::uint64_t rate_keeps_ = 0;
+  std::uint64_t flows_skipped_ = 0;
 };
 
 }  // namespace avf::sim

@@ -97,7 +97,12 @@ class Endpoint {
   /// Awaitable: receive the next message.
   auto recv() { return inbox_.recv(); }
   std::optional<Message> try_recv() { return inbox_.try_recv(); }
+  /// Messages physically queued, including ones reserved for coroutines
+  /// already blocked in recv() — see Mailbox::size().
   std::size_t pending() const { return inbox_.size(); }
+  /// Messages a fresh try_recv()/recv() could claim right now (pending
+  /// minus reserved).
+  std::size_t available() const { return inbox_.available(); }
 
   /// The slot the sandbox adjusts to throttle this endpoint's bandwidth.
   const ShareSlotPtr& share_slot() const { return slot_; }

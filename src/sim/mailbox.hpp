@@ -72,8 +72,16 @@ class Mailbox {
     return item;
   }
 
+  /// Items physically queued, *including* ones already reserved for queued
+  /// receivers.  A poller watching a mailbox that other coroutines recv()
+  /// from should use available() — size() > 0 does not imply try_recv()
+  /// will succeed.
   std::size_t size() const { return items_.size(); }
+  /// empty() mirrors size(): false can still mean nothing is claimable.
   bool empty() const { return items_.empty(); }
+  /// Items a new receiver could claim right now (queued minus reserved) —
+  /// exactly the count try_recv() sees.
+  std::size_t available() const { return items_.size() - reserved_; }
   std::size_t waiting_receivers() const { return waiters_.size(); }
 
  private:

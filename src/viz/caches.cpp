@@ -1,0 +1,155 @@
+#include "viz/caches.hpp"
+
+#include <cstring>
+
+namespace avf::viz {
+
+namespace {
+
+void append_bytes(std::string& out, const void* data, std::size_t n) {
+  out.append(static_cast<const char*>(data), n);
+}
+
+std::string region_key(const wavelet::Pyramid* pyramid, int tile_size,
+                       std::span<const wavelet::TileRef> tiles) {
+  std::string key;
+  key.reserve(sizeof(pyramid) + 1 + tiles.size() * 5);
+  append_bytes(key, &pyramid, sizeof(pyramid));
+  key.push_back(static_cast<char>(tile_size));
+  for (const wavelet::TileRef& t : tiles) {
+    key.push_back(static_cast<char>(t.band));
+    append_bytes(key, &t.tx, sizeof(t.tx));
+    append_bytes(key, &t.ty, sizeof(t.ty));
+  }
+  return key;
+}
+
+}  // namespace
+
+std::shared_ptr<const wavelet::Bytes> RegionEncodeCache::encode(
+    const std::shared_ptr<const wavelet::Pyramid>& pyramid,
+    const wavelet::ProgressiveEncoder& encoder,
+    std::span<const wavelet::TileRef> tiles) {
+  std::string key = region_key(pyramid.get(), encoder.tile_size(), tiles);
+  {
+    std::scoped_lock lock(mutex_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++hits_;
+      return it->second.payload;
+    }
+    ++misses_;
+  }
+  // Serialize outside the lock: two threads may race to fill the same key,
+  // in which case both produce byte-identical payloads and the first insert
+  // wins — correctness is unaffected, only a little work is duplicated.
+  auto payload = std::make_shared<const wavelet::Bytes>(
+      encoder.serialize_tiles(tiles));
+  if (max_entries_ == 0) return payload;
+  std::scoped_lock lock(mutex_);
+  auto [it, inserted] = entries_.emplace(key, Entry{payload, pyramid});
+  if (!inserted) return it->second.payload;
+  insertion_order_.push_back(std::move(key));
+  while (entries_.size() > max_entries_) {
+    entries_.erase(insertion_order_.front());
+    insertion_order_.pop_front();
+    ++evictions_;
+  }
+  return payload;
+}
+
+std::size_t RegionEncodeCache::size() const {
+  std::scoped_lock lock(mutex_);
+  return entries_.size();
+}
+
+std::uint64_t RegionEncodeCache::hits() const {
+  std::scoped_lock lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t RegionEncodeCache::misses() const {
+  std::scoped_lock lock(mutex_);
+  return misses_;
+}
+
+std::uint64_t RegionEncodeCache::evictions() const {
+  std::scoped_lock lock(mutex_);
+  return evictions_;
+}
+
+void RegionEncodeCache::clear() {
+  std::scoped_lock lock(mutex_);
+  entries_.clear();
+  insertion_order_.clear();
+  hits_ = misses_ = evictions_ = 0;
+}
+
+RegionEncodeCache& RegionEncodeCache::global() {
+  static RegionEncodeCache cache;
+  return cache;
+}
+
+std::shared_ptr<const codec::Bytes> CompressedChunkCache::compress(
+    codec::CodecId id, codec::BytesView raw) {
+  std::string key;
+  key.reserve(1 + raw.size());
+  key.push_back(static_cast<char>(id));
+  append_bytes(key, raw.data(), raw.size());
+  {
+    std::scoped_lock lock(mutex_);
+    auto it = chunks_.find(key);
+    if (it != chunks_.end()) {
+      ++hits_;
+      return it->second;
+    }
+    ++misses_;
+  }
+  auto compressed = std::make_shared<const codec::Bytes>(
+      codec::codec_for(id).compress(raw));
+  if (max_entries_ == 0) return compressed;
+  std::scoped_lock lock(mutex_);
+  auto [it, inserted] = chunks_.emplace(key, compressed);
+  if (!inserted) return it->second;
+  insertion_order_.push_back(std::move(key));
+  while (chunks_.size() > max_entries_) {
+    chunks_.erase(insertion_order_.front());
+    insertion_order_.pop_front();
+    ++evictions_;
+  }
+  return compressed;
+}
+
+std::size_t CompressedChunkCache::size() const {
+  std::scoped_lock lock(mutex_);
+  return chunks_.size();
+}
+
+std::uint64_t CompressedChunkCache::hits() const {
+  std::scoped_lock lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t CompressedChunkCache::misses() const {
+  std::scoped_lock lock(mutex_);
+  return misses_;
+}
+
+std::uint64_t CompressedChunkCache::evictions() const {
+  std::scoped_lock lock(mutex_);
+  return evictions_;
+}
+
+void CompressedChunkCache::clear() {
+  std::scoped_lock lock(mutex_);
+  chunks_.clear();
+  insertion_order_.clear();
+  hits_ = misses_ = evictions_ = 0;
+}
+
+CompressedChunkCache& CompressedChunkCache::global() {
+  static CompressedChunkCache cache;
+  return cache;
+}
+
+}  // namespace avf::viz

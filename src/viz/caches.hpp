@@ -1,0 +1,118 @@
+// Process-wide shared caches for the multi-session Active Visualization
+// server.
+//
+// With many clients foveating the same images, the expensive server-side
+// work (serializing wavelet tiles, running the real codec) is identical
+// across sessions; only the per-session sent-state differs.  Both caches
+// below key on *exact* content, not a content hash:
+//
+//  - RegionEncodeCache keys on (pyramid identity, tile size, the precise
+//    tile list to serialize).  The tile list is what (region, level,
+//    already-sent state class) resolve to, so two sessions whose sent-state
+//    differs can still share the payload whenever they need the same tiles
+//    — and because ProgressiveEncoder::serialize_tiles is a pure function
+//    of that key, a hit is byte-identical to the uncached path by
+//    construction.
+//  - CompressedChunkCache keys on (codec id, the exact raw chunk bytes),
+//    so a hit returns the byte-identical compressed output the codec would
+//    have produced.
+//
+// Both are FIFO-bounded, mutex-protected (the global() instances are shared
+// by every world a parallel profiling sweep builds), export hit/miss/
+// eviction counters, and pin shared ownership of what they return so
+// entries stay valid after eviction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+
+#include "codec/codec.hpp"
+#include "wavelet/progressive.hpp"
+
+namespace avf::viz {
+
+/// (pyramid, tile_size, tile list) -> serialized region payload.
+class RegionEncodeCache {
+ public:
+  static constexpr std::size_t kDefaultMaxEntries = 1 << 12;
+
+  RegionEncodeCache() : RegionEncodeCache(kDefaultMaxEntries) {}
+  explicit RegionEncodeCache(std::size_t max_entries)
+      : max_entries_(max_entries) {}
+
+  /// Serialize `tiles` against `encoder`'s pyramid, reusing a previous
+  /// byte-identical serialization when available.  `pyramid` must be the
+  /// pyramid `encoder` was built over; holding the shared_ptr in the entry
+  /// keeps the pointer half of the key unambiguous for the entry lifetime.
+  std::shared_ptr<const wavelet::Bytes> encode(
+      const std::shared_ptr<const wavelet::Pyramid>& pyramid,
+      const wavelet::ProgressiveEncoder& encoder,
+      std::span<const wavelet::TileRef> tiles);
+
+  std::size_t size() const;
+  std::size_t max_entries() const { return max_entries_; }
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  std::uint64_t evictions() const;
+  void clear();
+
+  /// Shared instance used by default; individual servers may use their own.
+  static RegionEncodeCache& global();
+
+ private:
+  struct Entry {
+    std::shared_ptr<const wavelet::Bytes> payload;
+    std::shared_ptr<const wavelet::Pyramid> pin;
+  };
+
+  std::size_t max_entries_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::deque<std::string> insertion_order_;  // FIFO eviction
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+/// (codec id, exact raw bytes) -> compressed bytes.
+class CompressedChunkCache {
+ public:
+  static constexpr std::size_t kDefaultMaxEntries = 1 << 10;
+
+  CompressedChunkCache() : CompressedChunkCache(kDefaultMaxEntries) {}
+  explicit CompressedChunkCache(std::size_t max_entries)
+      : max_entries_(max_entries) {}
+
+  /// Compress `raw` with `id`, reusing a previous byte-identical
+  /// compression of the same chunk when available.
+  std::shared_ptr<const codec::Bytes> compress(codec::CodecId id,
+                                               codec::BytesView raw);
+
+  std::size_t size() const;
+  std::size_t max_entries() const { return max_entries_; }
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  std::uint64_t evictions() const;
+  void clear();
+
+  /// Shared instance used by default; individual servers may use their own.
+  static CompressedChunkCache& global();
+
+ private:
+  std::size_t max_entries_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<const codec::Bytes>>
+      chunks_;
+  std::deque<std::string> insertion_order_;  // FIFO eviction
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace avf::viz

@@ -3,10 +3,36 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/fmt.hpp"
 #include "util/logging.hpp"
 #include "util/stats.hpp"
 
 namespace avf::viz {
+
+namespace {
+
+/// Accumulating FNV-1a (seeded with the offset basis on first use).
+std::uint64_t fnv1a_accumulate(std::uint64_t h,
+                               const std::vector<std::uint8_t>& bytes) {
+  if (h == 0) h = 0xcbf29ce484222325ULL;
+  for (std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Throw a descriptive error when the server answered with kError; other
+/// kinds pass through for the caller's decode to check.
+void check_not_error(const sim::Message& msg) {
+  if (msg.kind != kError) return;
+  ErrorReply err = decode_error(msg);
+  throw std::runtime_error(util::format(
+      "viz client: server error {} for session {}",
+      static_cast<int>(err.code), err.session_id));
+}
+
+}  // namespace
 
 VizClient::VizClient(sandbox::Sandbox& box, sim::Endpoint& endpoint,
                      adapt::SteeringAgent* steering,
@@ -44,11 +70,19 @@ sim::Task<VizClient::ImageStats> VizClient::fetch_image(
 
   // establish_connection + notify_server_compression_type.
   OpenImage open;
+  open.session_id = options_.session_id;
   open.image_id = image_id;
   open.level = static_cast<std::uint8_t>(level);
   open.codec = static_cast<std::uint8_t>(session_codec);
   co_await box_.send(endpoint_, encode(open));
-  OpenAck ack = decode_open_ack(co_await endpoint_.recv());
+  sim::Message ack_msg = co_await endpoint_.recv();
+  check_not_error(ack_msg);
+  OpenAck ack = decode_open_ack(ack_msg);
+  if (ack.session_id != options_.session_id) {
+    throw std::runtime_error(util::format(
+        "viz client: open-ack for session {}, expected {}", ack.session_id,
+        options_.session_id));
+  }
 
   wavelet::ProgressiveDecoder decoder(ack.width, ack.height, ack.levels,
                                       options_.tile_size);
@@ -67,6 +101,7 @@ sim::Task<VizClient::ImageStats> VizClient::fetch_image(
       // The transition action of Figure 2: notify the server of the new
       // compression type before the next request uses it.
       SetCodec set;
+      set.session_id = options_.session_id;
       set.codec = static_cast<std::uint8_t>(wanted_codec);
       co_await box_.send(endpoint_, encode(set));
       session_codec = wanted_codec;
@@ -74,6 +109,7 @@ sim::Task<VizClient::ImageStats> VizClient::fetch_image(
 
     half += cfg.get("dR");  // r += control.dR
     Request request;
+    request.session_id = options_.session_id;
     request.cx = static_cast<std::uint16_t>(cx);
     request.cy = static_cast<std::uint16_t>(cy);
     request.half = static_cast<std::uint16_t>(half);
@@ -81,9 +117,15 @@ sim::Task<VizClient::ImageStats> VizClient::fetch_image(
     co_await box_.send(endpoint_, encode(request));
 
     sim::Message raw_msg = co_await endpoint_.recv();
+    check_not_error(raw_msg);
     double wire_bytes = static_cast<double>(raw_msg.wire_size());
     double transfer_duration = raw_msg.delivered_at - raw_msg.sent_at;
     Reply reply = decode_reply(std::move(raw_msg));
+    if (reply.session_id != options_.session_id) {
+      throw std::runtime_error(util::format(
+          "viz client: reply for session {}, expected {}", reply.session_id,
+          options_.session_id));
+    }
     stats.wire_bytes += reply.wire_len;
 
     // Monitoring: observed bandwidth from the reply's own transfer.
@@ -101,6 +143,7 @@ sim::Task<VizClient::ImageStats> VizClient::fetch_image(
         reply.premeasured
             ? std::move(reply.payload)
             : codec.decompress(reply.payload);
+    stats.payload_hash = fnv1a_accumulate(stats.payload_hash, raw);
     auto applied = decoder.apply(raw);
     double scale = static_cast<double>(1 << (ack.levels - level));
     double shown_w =

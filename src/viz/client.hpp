@@ -35,6 +35,9 @@ class VizClient {
     double fixed_round_ops = 9e6;               // ~20 ms per round
     double reconstruct_ops_per_coeff = 250.0;   // inverse DWT
     double display_ops_per_pixel = 400.0;       // colormap + blit
+    /// Session id carried on every protocol message (non-zero, unique per
+    /// client against one server).  The default suits single-client worlds.
+    std::uint32_t session_id = 1;
     /// Foveal center; -1 = image center.
     int fovea_cx = -1;
     int fovea_cy = -1;
@@ -68,6 +71,10 @@ class VizClient {
     int rounds = 0;
     int resolution = 0;           ///< QoS.resolution (level of last round)
     std::uint64_t wire_bytes = 0;
+    /// FNV-1a over every round's raw (decompressed) payload bytes, in
+    /// arrival order.  Identical across cached/uncached server paths and
+    /// any client count — the byte-equality witness the tests compare.
+    std::uint64_t payload_hash = 0;
     std::string final_config;     ///< config key active at completion
   };
 

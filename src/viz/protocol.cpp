@@ -58,6 +58,7 @@ void check_kind(const sim::Message& m, int kind) {
 sim::Message encode(const OpenImage& m) {
   sim::Message out;
   out.kind = kOpenImage;
+  put_u32(out.payload, m.session_id);
   put_u32(out.payload, m.image_id);
   out.payload.push_back(m.level);
   out.payload.push_back(m.codec);
@@ -68,6 +69,7 @@ OpenImage decode_open_image(const sim::Message& m) {
   check_kind(m, kOpenImage);
   Reader r{m.payload};
   OpenImage out;
+  out.session_id = r.u32();
   out.image_id = r.u32();
   out.level = r.u8();
   out.codec = r.u8();
@@ -78,6 +80,7 @@ OpenImage decode_open_image(const sim::Message& m) {
 sim::Message encode(const OpenAck& m) {
   sim::Message out;
   out.kind = kOpenAck;
+  put_u32(out.payload, m.session_id);
   put_u16(out.payload, m.width);
   put_u16(out.payload, m.height);
   out.payload.push_back(m.levels);
@@ -88,6 +91,7 @@ OpenAck decode_open_ack(const sim::Message& m) {
   check_kind(m, kOpenAck);
   Reader r{m.payload};
   OpenAck out;
+  out.session_id = r.u32();
   out.width = r.u16();
   out.height = r.u16();
   out.levels = r.u8();
@@ -98,6 +102,7 @@ OpenAck decode_open_ack(const sim::Message& m) {
 sim::Message encode(const Request& m) {
   sim::Message out;
   out.kind = kRequest;
+  put_u32(out.payload, m.session_id);
   put_u16(out.payload, m.cx);
   put_u16(out.payload, m.cy);
   put_u16(out.payload, m.half);
@@ -109,6 +114,7 @@ Request decode_request(const sim::Message& m) {
   check_kind(m, kRequest);
   Reader r{m.payload};
   Request out;
+  out.session_id = r.u32();
   out.cx = r.u16();
   out.cy = r.u16();
   out.half = r.u16();
@@ -120,6 +126,7 @@ Request decode_request(const sim::Message& m) {
 sim::Message encode(const Reply& m) {
   sim::Message out;
   out.kind = kReply;
+  put_u32(out.payload, m.session_id);
   out.payload.push_back(m.complete ? 1 : 0);
   out.payload.push_back(m.codec);
   out.payload.push_back(m.premeasured ? 1 : 0);
@@ -128,7 +135,7 @@ sim::Message encode(const Reply& m) {
   out.payload.insert(out.payload.end(), m.payload.begin(), m.payload.end());
   if (m.premeasured) {
     // Network charges the compressed size, not the raw convenience bytes.
-    out.wire_size_override = m.wire_len + 11 + sim::kMessageHeaderBytes;
+    out.wire_size_override = m.wire_len + 15 + sim::kMessageHeaderBytes;
   }
   return out;
 }
@@ -137,6 +144,7 @@ Reply decode_reply(sim::Message m) {
   check_kind(m, kReply);
   Reader r{m.payload};
   Reply out;
+  out.session_id = r.u32();
   out.complete = r.u8() != 0;
   out.codec = r.u8();
   out.premeasured = r.u8() != 0;
@@ -150,6 +158,7 @@ Reply decode_reply(sim::Message m) {
 sim::Message encode(const SetCodec& m) {
   sim::Message out;
   out.kind = kSetCodec;
+  put_u32(out.payload, m.session_id);
   out.payload.push_back(m.codec);
   return out;
 }
@@ -158,7 +167,26 @@ SetCodec decode_set_codec(const sim::Message& m) {
   check_kind(m, kSetCodec);
   Reader r{m.payload};
   SetCodec out;
+  out.session_id = r.u32();
   out.codec = r.u8();
+  r.done();
+  return out;
+}
+
+sim::Message encode(const ErrorReply& m) {
+  sim::Message out;
+  out.kind = kError;
+  put_u32(out.payload, m.session_id);
+  out.payload.push_back(static_cast<std::uint8_t>(m.code));
+  return out;
+}
+
+ErrorReply decode_error(const sim::Message& m) {
+  check_kind(m, kError);
+  Reader r{m.payload};
+  ErrorReply out;
+  out.session_id = r.u32();
+  out.code = static_cast<ErrorCode>(r.u8());
   r.done();
   return out;
 }

@@ -6,6 +6,15 @@
 // the session codec.  A separate control message switches the compression
 // type at run time — the transition action in Figure 2
 // (`notify(env.server, new_control.c)`).
+//
+// Every message carries a `session_id` so one server endpoint loop can
+// multiplex many concurrent client sessions (the multi-client regime the
+// paper's evaluation hints at but the single-session seed could not
+// simulate).  Session ids are client-chosen, non-zero, and unique per
+// connection; the server echoes them on replies so a client can assert it
+// is not reading another session's traffic.  `kError` replaces the old
+// fatal server throw on per-session protocol violations: the offending
+// session gets an error reply and every other session keeps streaming.
 #pragma once
 
 #include <cstdint>
@@ -17,27 +26,38 @@
 namespace avf::viz {
 
 enum MsgKind : int {
-  kOpenImage = 1,  ///< client->server: image_id, level, codec
-  kOpenAck = 2,    ///< server->client: width, height, levels
-  kRequest = 3,    ///< client->server: cx, cy, half, level
-  kReply = 4,      ///< server->client: tiles (compressed or premeasured)
-  kSetCodec = 5,   ///< client->server control: codec
-  kShutdown = 6,   ///< stop the server loop
+  kOpenImage = 1,  ///< client->server: session_id, image_id, level, codec
+  kOpenAck = 2,    ///< server->client: session_id, width, height, levels
+  kRequest = 3,    ///< client->server: session_id, cx, cy, half, level
+  kReply = 4,      ///< server->client: session_id, tiles (compressed or premeasured)
+  kSetCodec = 5,   ///< client->server control: session_id, codec
+  kShutdown = 6,   ///< stop the server loop for this endpoint
+  kError = 7,      ///< server->client: session_id, error code (session survives)
+};
+
+/// Per-session error codes carried in ErrorReply.
+enum class ErrorCode : std::uint8_t {
+  kNoSession = 1,     ///< request/control for a session never opened
+  kUnknownImage = 2,  ///< open for an image id the server does not serve
+  kBadMessage = 3,    ///< known kind, malformed payload
 };
 
 struct OpenImage {
+  std::uint32_t session_id = 0;
   std::uint32_t image_id = 0;
   std::uint8_t level = 0;
   std::uint8_t codec = 0;
 };
 
 struct OpenAck {
+  std::uint32_t session_id = 0;
   std::uint16_t width = 0;
   std::uint16_t height = 0;
   std::uint8_t levels = 0;
 };
 
 struct Request {
+  std::uint32_t session_id = 0;
   std::uint16_t cx = 0;
   std::uint16_t cy = 0;
   std::uint16_t half = 0;
@@ -45,6 +65,7 @@ struct Request {
 };
 
 struct Reply {
+  std::uint32_t session_id = 0;
   bool complete = false;       ///< everything for this level has been sent
   std::uint8_t codec = 0;
   bool premeasured = false;    ///< payload is raw; wire size was overridden
@@ -54,7 +75,13 @@ struct Reply {
 };
 
 struct SetCodec {
+  std::uint32_t session_id = 0;
   std::uint8_t codec = 0;
+};
+
+struct ErrorReply {
+  std::uint32_t session_id = 0;  ///< 0 when the session could not be parsed
+  ErrorCode code = ErrorCode::kBadMessage;
 };
 
 // -- encode/decode to sim::Message ---------------------------------------
@@ -65,6 +92,7 @@ sim::Message encode(const OpenAck& m);
 sim::Message encode(const Request& m);
 sim::Message encode(const Reply& m);
 sim::Message encode(const SetCodec& m);
+sim::Message encode(const ErrorReply& m);
 sim::Message encode_shutdown();
 
 OpenImage decode_open_image(const sim::Message& m);
@@ -72,5 +100,6 @@ OpenAck decode_open_ack(const sim::Message& m);
 Request decode_request(const sim::Message& m);
 Reply decode_reply(sim::Message m);  // takes ownership of the payload
 SetCodec decode_set_codec(const sim::Message& m);
+ErrorReply decode_error(const sim::Message& m);
 
 }  // namespace avf::viz

@@ -7,6 +7,14 @@
 
 namespace avf::viz {
 
+CompressedSizeCache::CompressedSizeCache(std::size_t max_entries)
+    : max_entries_(max_entries),
+      // Sharding only helps once every shard can hold a useful number of
+      // entries; tightly bounded caches keep the exact single-FIFO
+      // semantics the eviction tests pin down.
+      shard_count_(max_entries >= kMaxShards * kMaxShards ? kMaxShards : 1),
+      shard_max_(max_entries / shard_count_) {}
+
 std::uint64_t CompressedSizeCache::fingerprint(codec::BytesView payload) {
   std::uint64_t h = 0xcbf29ce484222325ULL;
   for (std::uint8_t b : payload) {
@@ -18,6 +26,13 @@ std::uint64_t CompressedSizeCache::fingerprint(codec::BytesView payload) {
   return h;
 }
 
+CompressedSizeCache::Shard& CompressedSizeCache::shard_for(
+    std::uint64_t fp) const {
+  // Shard on high bits: the map hash mixes the low bits, so reusing them
+  // for shard selection would correlate shard and bucket.
+  return shards_[(fp >> 59) % shard_count_];
+}
+
 std::optional<std::size_t> CompressedSizeCache::lookup(
     codec::CodecId id, codec::BytesView payload) const {
   return lookup(id, fingerprint(payload));
@@ -25,13 +40,14 @@ std::optional<std::size_t> CompressedSizeCache::lookup(
 
 std::optional<std::size_t> CompressedSizeCache::lookup(
     codec::CodecId id, std::uint64_t fp) const {
-  std::scoped_lock lock(mutex_);
-  auto it = sizes_.find(Key{fp, id});
-  if (it == sizes_.end()) {
-    ++misses_;
+  Shard& shard = shard_for(fp);
+  std::scoped_lock lock(shard.mutex);
+  auto it = shard.sizes.find(Key{fp, id});
+  if (it == shard.sizes.end()) {
+    ++shard.misses;
     return std::nullopt;
   }
-  ++hits_;
+  ++shard.hits;
   return it->second;
 }
 
@@ -43,17 +59,54 @@ void CompressedSizeCache::store(codec::CodecId id, codec::BytesView payload,
 void CompressedSizeCache::store(codec::CodecId id, std::uint64_t fp,
                                 std::size_t size) {
   if (max_entries_ == 0) return;
-  std::scoped_lock lock(mutex_);
+  Shard& shard = shard_for(fp);
+  std::scoped_lock lock(shard.mutex);
   Key key{fp, id};
-  auto [it, inserted] = sizes_.insert_or_assign(key, size);
+  auto [it, inserted] = shard.sizes.insert_or_assign(key, size);
   (void)it;
   if (!inserted) return;  // overwrite keeps the original queue position
-  insertion_order_.push_back(key);
-  while (sizes_.size() > max_entries_) {
-    sizes_.erase(insertion_order_.front());
-    insertion_order_.pop_front();
-    ++evictions_;
+  shard.insertion_order.push_back(key);
+  while (shard.sizes.size() > shard_max_) {
+    shard.sizes.erase(shard.insertion_order.front());
+    shard.insertion_order.pop_front();
+    ++shard.evictions;
   }
+}
+
+std::size_t CompressedSizeCache::size() const {
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    std::scoped_lock lock(shards_[s].mutex);
+    total += shards_[s].sizes.size();
+  }
+  return total;
+}
+
+std::size_t CompressedSizeCache::hits() const {
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    std::scoped_lock lock(shards_[s].mutex);
+    total += shards_[s].hits;
+  }
+  return total;
+}
+
+std::size_t CompressedSizeCache::misses() const {
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    std::scoped_lock lock(shards_[s].mutex);
+    total += shards_[s].misses;
+  }
+  return total;
+}
+
+std::size_t CompressedSizeCache::evictions() const {
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    std::scoped_lock lock(shards_[s].mutex);
+    total += shards_[s].evictions;
+  }
+  return total;
 }
 
 CompressedSizeCache& CompressedSizeCache::global() {
@@ -81,23 +134,76 @@ void VizServer::add_image(std::uint32_t id,
   images_[id] = std::move(stored);
 }
 
-sim::Task<> VizServer::run() {
+sim::Task<> VizServer::send_error(sim::Endpoint& endpoint,
+                                  std::uint32_t session_id, ErrorCode code) {
+  ++protocol_errors_;
+  util::log_debug("viz.server", box_.host().simulator().now(),
+                  "session {} protocol error {}", session_id,
+                  static_cast<int>(code));
+  ErrorReply err;
+  err.session_id = session_id;
+  err.code = code;
+  co_await box_.send(endpoint, encode(err));
+}
+
+sim::Task<> VizServer::serve(sim::Endpoint& endpoint) {
   for (;;) {
-    sim::Message msg = co_await endpoint_.recv();
+    sim::Message msg = co_await endpoint.recv();
     switch (msg.kind) {
-      case kOpenImage:
-        co_await handle_open(decode_open_image(msg));
+      case kOpenImage: {
+        // A malformed payload of a known kind is a per-session fault, not a
+        // server bug: answer kError (session 0 — the id is unreadable) and
+        // keep serving every other session.  (Decoding happens outside any
+        // co_await so a plain try/catch suffices; co_await is not permitted
+        // inside an exception handler.)
+        std::optional<OpenImage> open;
+        try {
+          open = decode_open_image(msg);
+        } catch (const std::runtime_error&) {
+        }
+        if (!open) {
+          co_await send_error(endpoint, 0, ErrorCode::kBadMessage);
+          break;
+        }
+        co_await handle_open(endpoint, *open);
         break;
-      case kRequest:
-        co_await handle_request(decode_request(msg));
+      }
+      case kRequest: {
+        std::optional<Request> request;
+        try {
+          request = decode_request(msg);
+        } catch (const std::runtime_error&) {
+        }
+        if (!request) {
+          co_await send_error(endpoint, 0, ErrorCode::kBadMessage);
+          break;
+        }
+        co_await handle_request(endpoint, *request);
         break;
+      }
       case kSetCodec: {
-        SetCodec set = decode_set_codec(msg);
-        if (session_) {
-          session_->codec = static_cast<codec::CodecId>(set.codec);
+        std::optional<SetCodec> set;
+        try {
+          set = decode_set_codec(msg);
+        } catch (const std::runtime_error&) {
+        }
+        if (!set) {
+          co_await send_error(endpoint, 0, ErrorCode::kBadMessage);
+          break;
+        }
+        auto it = sessions_.find(set->session_id);
+        if (it == sessions_.end()) {
+          // Fire-and-forget control: count + log, no reply (the client is
+          // not waiting on one).
+          ++protocol_errors_;
           util::log_debug("viz.server", msg.delivered_at,
-                          "session codec -> {}",
-                          codec::codec_name(session_->codec));
+                          "set-codec for unknown session {}",
+                          set->session_id);
+        } else {
+          it->second.codec = static_cast<codec::CodecId>(set->codec);
+          util::log_debug("viz.server", msg.delivered_at,
+                          "session {} codec -> {}", set->session_id,
+                          codec::codec_name(it->second.codec));
         }
         break;
       }
@@ -110,47 +216,72 @@ sim::Task<> VizServer::run() {
   }
 }
 
-sim::Task<> VizServer::handle_open(const OpenImage& open) {
+sim::Task<> VizServer::handle_open(sim::Endpoint& endpoint,
+                                   const OpenImage& open) {
   auto it = images_.find(open.image_id);
   if (it == images_.end()) {
-    throw std::runtime_error(
-        util::format("viz server: unknown image {}", open.image_id));
+    co_await send_error(endpoint, open.session_id, ErrorCode::kUnknownImage);
+    co_return;
   }
   co_await box_.compute(options_.fixed_request_ops);
   Session session;
   session.image_id = open.image_id;
+  session.pyramid = it->second.pyramid;
   session.encoder = std::make_unique<wavelet::ProgressiveEncoder>(
       *it->second.pyramid, options_.tile_size);
   session.codec = static_cast<codec::CodecId>(open.codec);
   session.level = open.level;
-  session_ = std::move(session);
+  // Re-opening an existing id restarts that session (fresh sent-state) —
+  // exactly what a client fetching its next image does.
+  sessions_.insert_or_assign(open.session_id, std::move(session));
 
   OpenAck ack;
+  ack.session_id = open.session_id;
   ack.width = static_cast<std::uint16_t>(it->second.pyramid->full_width());
   ack.height = static_cast<std::uint16_t>(it->second.pyramid->full_height());
   ack.levels = static_cast<std::uint8_t>(it->second.levels);
-  co_await box_.send(endpoint_, encode(ack));
+  co_await box_.send(endpoint, encode(ack));
 }
 
-sim::Task<> VizServer::handle_request(const Request& request) {
-  if (!session_) {
-    throw std::runtime_error("viz server: request without open session");
+sim::Task<> VizServer::handle_request(sim::Endpoint& endpoint,
+                                      const Request& request) {
+  auto session_it = sessions_.find(request.session_id);
+  if (session_it == sessions_.end()) {
+    co_await send_error(endpoint, request.session_id, ErrorCode::kNoSession);
+    co_return;
   }
+  Session& session = session_it->second;
   ++requests_served_;
   co_await box_.compute(options_.fixed_request_ops);
 
   wavelet::Region region{request.cx, request.cy, request.half};
-  wavelet::Bytes raw =
-      session_->encoder->encode_region(region, request.level);
+  std::vector<wavelet::TileRef> tiles =
+      session.encoder->take_region_tiles(region, request.level);
+  // Serialization reuse: the tile list *is* the (region, level, sent-state)
+  // key, so interleaved sessions at the same point in their progressive
+  // walk share the payload.  Hits are byte-identical by construction.
+  std::shared_ptr<const wavelet::Bytes> raw_shared;
+  if (options_.region_cache != nullptr) {
+    raw_shared =
+        options_.region_cache->encode(session.pyramid, *session.encoder,
+                                      tiles);
+  } else {
+    raw_shared = std::make_shared<const wavelet::Bytes>(
+        session.encoder->serialize_tiles(tiles));
+  }
+  const wavelet::Bytes& raw = *raw_shared;
   raw_bytes_encoded_ += raw.size();
-  // Region extraction cost: proportional to coefficients serialized.
+  // Region extraction cost: proportional to coefficients serialized.  The
+  // simulated cost is charged whether or not the host-side cache hit —
+  // caches save real cycles, never simulated time.
   co_await box_.compute(options_.encode_ops_per_coeff *
                         static_cast<double>(raw.size() / 2));
 
-  const codec::Codec& codec = codec::codec_for(session_->codec);
+  const codec::Codec& codec = codec::codec_for(session.codec);
   Reply reply;
-  reply.complete = session_->encoder->fully_sent(request.level);
-  reply.codec = static_cast<std::uint8_t>(session_->codec);
+  reply.session_id = request.session_id;
+  reply.complete = session.encoder->fully_sent(request.level);
+  reply.codec = static_cast<std::uint8_t>(session.codec);
   reply.raw_len = static_cast<std::uint32_t>(raw.size());
 
   // Compression: always charge the codec's CPU cost; use the size cache to
@@ -161,30 +292,38 @@ sim::Task<> VizServer::handle_request(const Request& request) {
   if (options_.size_cache != nullptr) {
     // Hash the payload once; the same fingerprint keys the store on miss.
     raw_fingerprint = CompressedSizeCache::fingerprint(raw);
-    cached = options_.size_cache->lookup(session_->codec, raw_fingerprint);
+    cached = options_.size_cache->lookup(session.codec, raw_fingerprint);
   }
   if (cached) {
     reply.premeasured = true;
     reply.wire_len = static_cast<std::uint32_t>(*cached);
-    reply.payload = std::move(raw);
+    reply.payload = raw;
+  } else if (options_.size_cache != nullptr) {
+    std::size_t compressed_size =
+        options_.chunk_cache != nullptr
+            ? options_.chunk_cache->compress(session.codec, raw)->size()
+            : codec.compress(raw).size();
+    options_.size_cache->store(session.codec, raw_fingerprint,
+                               compressed_size);
+    // Ship raw with overridden wire size so the client can skip the real
+    // decompression too; the cache now knows the size for future runs.
+    reply.premeasured = true;
+    reply.wire_len = static_cast<std::uint32_t>(compressed_size);
+    reply.payload = raw;
   } else {
-    codec::Bytes compressed = codec.compress(raw);
-    if (options_.size_cache != nullptr) {
-      options_.size_cache->store(session_->codec, raw_fingerprint,
-                                 compressed.size());
-      // Ship raw with overridden wire size so the client can skip the real
-      // decompression too; the cache now knows the size for future runs.
-      reply.premeasured = true;
-      reply.wire_len = static_cast<std::uint32_t>(compressed.size());
-      reply.payload = std::move(raw);
-    } else {
-      reply.premeasured = false;
-      reply.wire_len = static_cast<std::uint32_t>(compressed.size());
-      reply.payload = std::move(compressed);
-    }
+    // Fidelity mode: the reply carries genuine compressed bytes.  The
+    // chunk cache still deduplicates the real compression work across
+    // sessions asking for the same tiles.
+    codec::Bytes compressed =
+        options_.chunk_cache != nullptr
+            ? *options_.chunk_cache->compress(session.codec, raw)
+            : codec.compress(raw);
+    reply.premeasured = false;
+    reply.wire_len = static_cast<std::uint32_t>(compressed.size());
+    reply.payload = std::move(compressed);
   }
   wire_bytes_sent_ += reply.wire_len;
-  co_await box_.send(endpoint_, encode(reply));
+  co_await box_.send(endpoint, encode(reply));
 }
 
 }  // namespace avf::viz

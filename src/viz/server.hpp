@@ -2,6 +2,14 @@
 // as wavelet pyramids, serves progressive foveal requests, compresses reply
 // payloads with the session codec (paper §2.1).
 //
+// The server is multi-session: every protocol message carries a session id,
+// one `serve()` loop runs per connected endpoint, and all loops share one
+// session map plus the process-wide caches — so N clients foveating the
+// same images reuse each other's encode/compress work.  Per-session
+// protocol violations (request for a session never opened, unknown image,
+// malformed payload of a known kind) produce a `kError` reply to the
+// offending client; the other sessions keep streaming.
+//
 // CPU cost model (simulated ops, DESIGN.md §5): a fixed per-request cost,
 // a per-coefficient region-extraction cost, and the codec's per-byte
 // compression cost.  Compression output sizes are *real* codec output; a
@@ -10,6 +18,7 @@
 // to the cached compressed size — timing-identical, cycles saved).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -22,6 +31,7 @@
 #include "sandbox/sandbox.hpp"
 #include "sim/link.hpp"
 #include "sim/task.hpp"
+#include "viz/caches.hpp"
 #include "viz/protocol.hpp"
 #include "wavelet/progressive.hpp"
 
@@ -36,13 +46,20 @@ namespace avf::viz {
 /// output size.  The cache is also bounded: entries beyond `max_entries`
 /// evict the oldest insertion (FIFO), so long profiling campaigns cannot
 /// grow the process-wide singleton without bound.
+///
+/// Storage is sharded 16 ways by fingerprint once `max_entries` is large
+/// enough to split (>= 16 per shard), so parallel profiling sweeps and the
+/// multi-session serve path stop serializing on a single mutex.  Each shard
+/// keeps its own FIFO bound of max_entries/shards; counters and size()
+/// aggregate across shards.  Small caches (tests, tight bounds) collapse to
+/// one shard and behave exactly like the unsharded implementation.
 class CompressedSizeCache {
  public:
   static constexpr std::size_t kDefaultMaxEntries = 1 << 16;
+  static constexpr std::size_t kMaxShards = 16;
 
   CompressedSizeCache() : CompressedSizeCache(kDefaultMaxEntries) {}
-  explicit CompressedSizeCache(std::size_t max_entries)
-      : max_entries_(max_entries) {}
+  explicit CompressedSizeCache(std::size_t max_entries);
 
   /// Content fingerprint used as the payload half of the key.  Exposed so
   /// callers issuing a lookup-then-store pair can hash the payload once.
@@ -55,23 +72,12 @@ class CompressedSizeCache {
   void store(codec::CodecId id, codec::BytesView payload, std::size_t size);
   void store(codec::CodecId id, std::uint64_t fingerprint, std::size_t size);
 
-  std::size_t size() const {
-    std::scoped_lock lock(mutex_);
-    return sizes_.size();
-  }
+  std::size_t size() const;
   std::size_t max_entries() const { return max_entries_; }
-  std::size_t hits() const {
-    std::scoped_lock lock(mutex_);
-    return hits_;
-  }
-  std::size_t misses() const {
-    std::scoped_lock lock(mutex_);
-    return misses_;
-  }
-  std::size_t evictions() const {
-    std::scoped_lock lock(mutex_);
-    return evictions_;
-  }
+  std::size_t shard_count() const { return shard_count_; }
+  std::size_t hits() const;
+  std::size_t misses() const;
+  std::size_t evictions() const;
 
   /// Shared instance used by default; individual servers may use their own.
   static CompressedSizeCache& global();
@@ -93,16 +99,23 @@ class CompressedSizeCache {
       return static_cast<std::size_t>(h);
     }
   };
+  struct Shard {
+    // Each shard is shared by every concurrently simulated world during a
+    // parallel profiling sweep, so all map/counter access locks.
+    mutable std::mutex mutex;
+    std::unordered_map<Key, std::size_t, KeyHash> sizes;
+    std::deque<Key> insertion_order;  // FIFO eviction
+    mutable std::size_t hits = 0;
+    mutable std::size_t misses = 0;
+    std::size_t evictions = 0;
+  };
+
+  Shard& shard_for(std::uint64_t fingerprint) const;
 
   std::size_t max_entries_;
-  // The global() instance is shared by every concurrently simulated world
-  // during a parallel profiling sweep, so all map/counter access locks.
-  mutable std::mutex mutex_;
-  std::unordered_map<Key, std::size_t, KeyHash> sizes_;
-  std::deque<Key> insertion_order_;  // FIFO eviction
-  mutable std::size_t hits_ = 0;
-  mutable std::size_t misses_ = 0;
-  std::size_t evictions_ = 0;
+  std::size_t shard_count_;
+  std::size_t shard_max_;  // per-shard FIFO bound
+  mutable std::array<Shard, kMaxShards> shards_;
 };
 
 class VizServer {
@@ -114,6 +127,13 @@ class VizServer {
     /// nullptr disables premeasured replies: every reply is really
     /// compressed and really decompressed (used by fidelity tests).
     CompressedSizeCache* size_cache = &CompressedSizeCache::global();
+    /// Shared tile-serialization reuse across sessions; nullptr = every
+    /// request serializes its region from the pyramid.  Hits are
+    /// byte-identical to the uncached path by construction.
+    RegionEncodeCache* region_cache = &RegionEncodeCache::global();
+    /// Shared real-compression reuse (only exercised when size_cache is
+    /// null and replies must carry genuine compressed bytes).
+    CompressedChunkCache* chunk_cache = &CompressedChunkCache::global();
   };
 
   VizServer(sandbox::Sandbox& box, sim::Endpoint& endpoint);
@@ -125,12 +145,21 @@ class VizServer {
   void add_image(std::uint32_t id,
                  std::shared_ptr<const wavelet::Pyramid> pyramid);
 
-  /// Serve loop; returns when a kShutdown message arrives.
-  sim::Task<> run();
+  /// Serve loop for one endpoint; returns when a kShutdown message arrives
+  /// on it.  Multiple serve() loops may run concurrently (one per client
+  /// channel) against the shared session map and caches.
+  sim::Task<> serve(sim::Endpoint& endpoint);
+
+  /// Serve loop on the primary endpoint (single-client compatibility).
+  sim::Task<> run() { return serve(endpoint_); }
 
   std::uint64_t requests_served() const { return requests_served_; }
   std::uint64_t raw_bytes_encoded() const { return raw_bytes_encoded_; }
   std::uint64_t wire_bytes_sent() const { return wire_bytes_sent_; }
+  /// Per-session protocol violations answered with kError (plus control
+  /// messages for unknown sessions, which are dropped with a log line).
+  std::uint64_t protocol_errors() const { return protocol_errors_; }
+  std::size_t open_sessions() const { return sessions_.size(); }
 
  private:
   struct StoredImage {
@@ -139,22 +168,26 @@ class VizServer {
   };
   struct Session {
     std::uint32_t image_id = 0;
+    std::shared_ptr<const wavelet::Pyramid> pyramid;
     std::unique_ptr<wavelet::ProgressiveEncoder> encoder;
     codec::CodecId codec = codec::CodecId::kNone;
     int level = 0;
   };
 
-  sim::Task<> handle_open(const OpenImage& open);
-  sim::Task<> handle_request(const Request& request);
+  sim::Task<> handle_open(sim::Endpoint& endpoint, const OpenImage& open);
+  sim::Task<> handle_request(sim::Endpoint& endpoint, const Request& request);
+  sim::Task<> send_error(sim::Endpoint& endpoint, std::uint32_t session_id,
+                         ErrorCode code);
 
   sandbox::Sandbox& box_;
   sim::Endpoint& endpoint_;
   Options options_;
   std::map<std::uint32_t, StoredImage> images_;
-  std::optional<Session> session_;
+  std::map<std::uint32_t, Session> sessions_;
   std::uint64_t requests_served_ = 0;
   std::uint64_t raw_bytes_encoded_ = 0;
   std::uint64_t wire_bytes_sent_ = 0;
+  std::uint64_t protocol_errors_ = 0;
 };
 
 }  // namespace avf::viz

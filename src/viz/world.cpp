@@ -1,5 +1,6 @@
 #include "viz/world.hpp"
 
+#include <bit>
 #include <fstream>
 #include <map>
 #include <mutex>
@@ -84,6 +85,9 @@ std::shared_ptr<const wavelet::Pyramid> cached_pyramid(int size,
 }
 
 VizWorld::VizWorld(const WorldSetup& setup) : setup_(setup) {
+  if (setup.client_count < 1) {
+    throw std::invalid_argument("viz world: client_count must be >= 1");
+  }
   net_ = std::make_unique<sim::Network>(sim_);
   sim::Host& client_host =
       net_->add_host("client", setup.client_speed, setup.memory_bytes);
@@ -91,7 +95,6 @@ VizWorld::VizWorld(const WorldSetup& setup) : setup_(setup) {
       net_->add_host("server", setup.server_speed, setup.memory_bytes);
   link_ = &net_->connect(client_host, server_host, setup.link_bandwidth_bps,
                          setup.link_latency_s);
-  channel_ = &net_->open_channel(*link_);
 
   sandbox::Sandbox::Options client_opts;
   client_opts.cpu_share = setup.client_cpu_share;
@@ -99,9 +102,6 @@ VizWorld::VizWorld(const WorldSetup& setup) : setup_(setup) {
   client_opts.cpu_enforcement = setup.enforcement;
   client_opts.net_enforcement = setup.net_enforcement;
   client_opts.quantum = setup.quantum;
-  client_box_ = std::make_unique<sandbox::Sandbox>(client_host, "viz-client",
-                                                   client_opts);
-  client_box_->attach_endpoint(channel_->a());
 
   sandbox::Sandbox::Options server_opts;
   server_opts.cpu_share = setup.server_cpu_share;
@@ -111,9 +111,25 @@ VizWorld::VizWorld(const WorldSetup& setup) : setup_(setup) {
   server_opts.quantum = setup.quantum;
   server_box_ = std::make_unique<sandbox::Sandbox>(server_host, "viz-server",
                                                    server_opts);
-  server_box_->attach_endpoint(channel_->b());
 
-  server_ = std::make_unique<VizServer>(*server_box_, channel_->b(),
+  // One channel over the shared link per client; every channel's b() side
+  // belongs to the server sandbox.  Client 0 keeps the historical sandbox
+  // name so single-client logs and traces are unchanged.
+  channels_.reserve(static_cast<std::size_t>(setup.client_count));
+  client_boxes_.reserve(static_cast<std::size_t>(setup.client_count));
+  clients_.resize(static_cast<std::size_t>(setup.client_count));
+  for (int i = 0; i < setup.client_count; ++i) {
+    sim::Channel& channel = net_->open_channel(*link_);
+    channels_.push_back(&channel);
+    std::string name =
+        i == 0 ? "viz-client" : util::format("viz-client-{}", i);
+    client_boxes_.push_back(std::make_unique<sandbox::Sandbox>(
+        client_host, name, client_opts));
+    client_boxes_.back()->attach_endpoint(channel.a());
+    server_box_->attach_endpoint(channel.b());
+  }
+
+  server_ = std::make_unique<VizServer>(*server_box_, channels_[0]->b(),
                                         setup.server_options);
   for (int i = 0; i < setup.image_count; ++i) {
     // add_image would redo the wavelet decomposition per world; reuse the
@@ -124,19 +140,30 @@ VizWorld::VizWorld(const WorldSetup& setup) : setup_(setup) {
   }
 }
 
-VizClient& VizWorld::make_client(const ConfigPoint& fixed_config) {
-  client_ = std::make_unique<VizClient>(*client_box_, channel_->a(), nullptr,
-                                        nullptr, setup_.client_options);
-  client_->set_fixed_config(fixed_config);
-  return *client_;
+void VizWorld::spawn_server_loops() {
+  for (sim::Channel* channel : channels_) {
+    sim_.spawn(server_->serve(channel->b()));
+  }
 }
 
-VizClient& VizWorld::make_client(adapt::SteeringAgent& steering,
-                                 adapt::MonitoringAgent& monitor) {
-  client_ = std::make_unique<VizClient>(*client_box_, channel_->a(),
-                                        &steering, &monitor,
-                                        setup_.client_options);
-  return *client_;
+VizClient& VizWorld::make_client_at(std::size_t i,
+                                    const ConfigPoint& fixed_config) {
+  VizClient::Options options = setup_.client_options;
+  options.session_id = static_cast<std::uint32_t>(i) + 1;
+  clients_[i] = std::make_unique<VizClient>(
+      *client_boxes_[i], channels_[i]->a(), nullptr, nullptr, options);
+  clients_[i]->set_fixed_config(fixed_config);
+  return *clients_[i];
+}
+
+VizClient& VizWorld::make_client_at(std::size_t i,
+                                    adapt::SteeringAgent& steering,
+                                    adapt::MonitoringAgent& monitor) {
+  VizClient::Options options = setup_.client_options;
+  options.session_id = static_cast<std::uint32_t>(i) + 1;
+  clients_[i] = std::make_unique<VizClient>(
+      *client_boxes_[i], channels_[i]->a(), &steering, &monitor, options);
+  return *clients_[i];
 }
 
 namespace {
@@ -238,6 +265,150 @@ SessionResult run_adaptive_session(const WorldSetup& setup,
   result.adaptations = controller.adaptations();
   result.initial_config = decision->config;
   result.total_time = sim.now();
+  return result;
+}
+
+
+std::uint64_t result_fingerprint(const MultiSessionResult& result) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix_u64 = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= static_cast<std::uint8_t>(v >> (8 * i));
+      h *= 0x100000001b3ULL;
+    }
+  };
+  auto mix_double = [&mix_u64](double v) {
+    mix_u64(std::bit_cast<std::uint64_t>(v));
+  };
+  for (const SessionResult& session : result.clients) {
+    mix_u64(session.images.size());
+    for (const VizClient::ImageStats& s : session.images) {
+      mix_u64(s.image_id);
+      mix_u64(static_cast<std::uint64_t>(s.rounds));
+      mix_u64(static_cast<std::uint64_t>(s.resolution));
+      mix_u64(s.wire_bytes);
+      mix_u64(s.payload_hash);
+      mix_double(s.start_time);
+      mix_double(s.end_time);
+      mix_double(s.transmit_time);
+      mix_double(s.avg_response);
+      mix_double(s.max_response);
+    }
+  }
+  mix_double(result.total_time);
+  return h;
+}
+
+MultiSessionResult run_multi_fixed_session(const WorldSetup& setup,
+                                           const ConfigPoint& config,
+                                           const ResourceSchedule& schedule) {
+  if (!viz_app_spec().space().valid(config)) {
+    throw std::invalid_argument("invalid viz configuration: " + config.key());
+  }
+  VizWorld world(setup);
+  sim::Simulator& sim = world.simulator();
+  for (int i = 0; i < setup.client_count; ++i) {
+    world.make_client_at(static_cast<std::size_t>(i), config);
+  }
+  world.spawn_server_loops();
+  // Each client downloads its images then shuts down its own serve loop;
+  // the simulation drains once the last loop has exited.
+  auto driver = [](VizClient* client, int images) -> sim::Task<> {
+    co_await client->fetch_images(0, images);
+    co_await client->shutdown_server();
+  };
+  for (int i = 0; i < setup.client_count; ++i) {
+    sim.spawn(driver(&world.client(static_cast<std::size_t>(i)),
+                     setup.image_count));
+  }
+  apply_resource_schedule(world, schedule);
+  sim.run();
+
+  MultiSessionResult result;
+  result.total_time = sim.now();
+  for (int i = 0; i < setup.client_count; ++i) {
+    SessionResult session;
+    session.images = world.client(static_cast<std::size_t>(i)).history();
+    session.initial_config = config;
+    session.total_time = sim.now();
+    result.clients.push_back(std::move(session));
+  }
+  return result;
+}
+
+MultiSessionResult run_multi_adaptive_session(
+    const WorldSetup& setup, const perfdb::PerfDatabase& db,
+    const adapt::PreferenceList& preferences,
+    const ResourceSchedule& schedule, const AdaptiveOptions& options) {
+  VizWorld world(setup);
+  sim::Simulator& sim = world.simulator();
+
+  std::vector<double> initial{
+      setup.client_cpu_share,
+      std::min(setup.link_bandwidth_bps,
+               setup.client_net_bps.value_or(setup.link_bandwidth_bps))};
+
+  // One full adaptation stack per client: scheduler + monitor + steering +
+  // controller.  They share the database and preferences but nothing else,
+  // so each session adapts on its own observations.
+  struct Stack {
+    tunable::ConfigPoint initial_config;
+    std::unique_ptr<adapt::ResourceScheduler> scheduler;
+    std::unique_ptr<adapt::MonitoringAgent> monitor;
+    std::unique_ptr<adapt::SteeringAgent> steering;
+    std::unique_ptr<adapt::AdaptationController> controller;
+  };
+  std::vector<Stack> stacks;
+  stacks.reserve(static_cast<std::size_t>(setup.client_count));
+  for (int i = 0; i < setup.client_count; ++i) {
+    Stack stack;
+    stack.scheduler = std::make_unique<adapt::ResourceScheduler>(
+        db, preferences, options.scheduler);
+    stack.monitor = std::make_unique<adapt::MonitoringAgent>(
+        sim, viz_app_spec().resource_axes(), options.monitor);
+    auto decision = stack.scheduler->select(initial);
+    if (!decision) {
+      throw std::runtime_error(
+          "adaptive session: empty performance database");
+    }
+    stack.initial_config = decision->config;
+    stack.steering = std::make_unique<adapt::SteeringAgent>(
+        viz_app_spec(), decision->config);
+    stack.controller = std::make_unique<adapt::AdaptationController>(
+        sim, *stack.scheduler, *stack.monitor, *stack.steering,
+        options.controller);
+    stack.controller->configure(initial);
+    stack.controller->start();
+    world.make_client_at(static_cast<std::size_t>(i), *stack.steering,
+                         *stack.monitor);
+    stacks.push_back(std::move(stack));
+  }
+  world.spawn_server_loops();
+  auto driver = [](VizClient* client, adapt::AdaptationController* controller,
+                   int images) -> sim::Task<> {
+    co_await client->fetch_images(0, images);
+    co_await client->shutdown_server();
+    controller->stop();
+  };
+  for (int i = 0; i < setup.client_count; ++i) {
+    sim.spawn(driver(&world.client(static_cast<std::size_t>(i)),
+                     stacks[static_cast<std::size_t>(i)].controller.get(),
+                     setup.image_count));
+  }
+  apply_resource_schedule(world, schedule);
+  sim.run();
+
+  MultiSessionResult result;
+  result.total_time = sim.now();
+  for (int i = 0; i < setup.client_count; ++i) {
+    const Stack& stack = stacks[static_cast<std::size_t>(i)];
+    SessionResult session;
+    session.images = world.client(static_cast<std::size_t>(i)).history();
+    session.adaptations = stack.controller->adaptations();
+    session.initial_config = stack.initial_config;
+    session.total_time = sim.now();
+    result.clients.push_back(std::move(session));
+  }
   return result;
 }
 

@@ -43,6 +43,10 @@ std::shared_ptr<const wavelet::Pyramid> cached_pyramid(int size,
                                                        int levels);
 
 struct WorldSetup {
+  /// Concurrent viz clients, each with its own channel over the one shared
+  /// link, its own sandbox on the client host, and session id i+1.
+  int client_count = 1;
+
   // Hosts (speeds in ops/s; the 450 Mops default = the paper's PII-450).
   double client_speed = 450e6;
   double server_speed = 450e6;
@@ -72,37 +76,60 @@ struct WorldSetup {
   VizClient::Options client_options{};
 };
 
-/// One fully wired simulation universe.
+/// One fully wired simulation universe: N client sandboxes, one server,
+/// one shared link with one channel per client.  The single-argument
+/// accessors address client 0 and keep the historical single-client API.
 class VizWorld {
  public:
   explicit VizWorld(const WorldSetup& setup);
 
   sim::Simulator& simulator() { return sim_; }
   sim::Link& link() { return *link_; }
+  int client_count() const { return setup_.client_count; }
+
   /// The client-side channel endpoint (tests inject protocol traffic here).
-  sim::Endpoint& client_endpoint() { return channel_->a(); }
-  sandbox::Sandbox& client_box() { return *client_box_; }
+  sim::Endpoint& client_endpoint(std::size_t i = 0) {
+    return channels_[i]->a();
+  }
+  /// The server-side endpoint of client i's channel (one serve loop each).
+  sim::Endpoint& server_endpoint(std::size_t i = 0) {
+    return channels_[i]->b();
+  }
+  sandbox::Sandbox& client_box(std::size_t i = 0) { return *client_boxes_[i]; }
   sandbox::Sandbox& server_box() { return *server_box_; }
   VizServer& server() { return *server_; }
 
-  /// Build the client in fixed-configuration mode.
-  VizClient& make_client(const tunable::ConfigPoint& fixed_config);
-  /// Build the client in adaptive mode (steering + monitoring attached).
-  VizClient& make_client(adapt::SteeringAgent& steering,
-                         adapt::MonitoringAgent& monitor);
+  /// Spawn one server serve() loop per client channel.
+  void spawn_server_loops();
 
-  VizClient& client() { return *client_; }
+  /// Build client i in fixed-configuration mode (session id i+1).
+  VizClient& make_client_at(std::size_t i,
+                            const tunable::ConfigPoint& fixed_config);
+  /// Build client i in adaptive mode (steering + monitoring attached).
+  VizClient& make_client_at(std::size_t i, adapt::SteeringAgent& steering,
+                            adapt::MonitoringAgent& monitor);
+
+  /// Single-client compatibility: build/get client 0.
+  VizClient& make_client(const tunable::ConfigPoint& fixed_config) {
+    return make_client_at(0, fixed_config);
+  }
+  VizClient& make_client(adapt::SteeringAgent& steering,
+                         adapt::MonitoringAgent& monitor) {
+    return make_client_at(0, steering, monitor);
+  }
+
+  VizClient& client(std::size_t i = 0) { return *clients_[i]; }
 
  private:
   WorldSetup setup_;
   sim::Simulator sim_;
   std::unique_ptr<sim::Network> net_;
   sim::Link* link_ = nullptr;
-  sim::Channel* channel_ = nullptr;
-  std::unique_ptr<sandbox::Sandbox> client_box_;
+  std::vector<sim::Channel*> channels_;
+  std::vector<std::unique_ptr<sandbox::Sandbox>> client_boxes_;
   std::unique_ptr<sandbox::Sandbox> server_box_;
   std::unique_ptr<VizServer> server_;
-  std::unique_ptr<VizClient> client_;
+  std::vector<std::unique_ptr<VizClient>> clients_;
 };
 
 /// Timed resource variations applied during a session.
@@ -126,6 +153,24 @@ SessionResult run_fixed_session(const WorldSetup& setup,
                                 const tunable::ConfigPoint& config,
                                 const ResourceSchedule& schedule = {});
 
+/// Aggregate result of a multi-client run: one SessionResult per client
+/// (client i at index i), plus the simulated makespan.
+struct MultiSessionResult {
+  std::vector<SessionResult> clients;
+  double total_time = 0.0;
+};
+
+/// Bit-exact digest of a multi-client result: FNV-1a over the IEEE-754
+/// patterns of every per-image stat in client order.  Two runs of the same
+/// seeded world must produce equal fingerprints at any client count.
+std::uint64_t result_fingerprint(const MultiSessionResult& result);
+
+/// Run `setup.client_count` non-adaptive clients concurrently, all under
+/// `config`, each downloading `setup.image_count` images.
+MultiSessionResult run_multi_fixed_session(
+    const WorldSetup& setup, const tunable::ConfigPoint& config,
+    const ResourceSchedule& schedule = {});
+
 struct AdaptiveOptions {
   adapt::MonitoringAgent::Options monitor{};
   adapt::ResourceScheduler::Options scheduler{};
@@ -139,6 +184,15 @@ SessionResult run_adaptive_session(const WorldSetup& setup,
                                    const adapt::PreferenceList& preferences,
                                    const ResourceSchedule& schedule = {},
                                    const AdaptiveOptions& options = {});
+
+/// Run `setup.client_count` adaptive clients concurrently, each with its
+/// own monitoring/steering/controller stack against the shared database —
+/// per-client adaptation under genuine multi-session contention.
+MultiSessionResult run_multi_adaptive_session(
+    const WorldSetup& setup, const perfdb::PerfDatabase& db,
+    const adapt::PreferenceList& preferences,
+    const ResourceSchedule& schedule = {},
+    const AdaptiveOptions& options = {});
 
 /// RunFn for perfdb::ProfilingDriver: resource point = {cpu_share, net_bps};
 /// each run builds a fresh world (one image download) and reports QoS.

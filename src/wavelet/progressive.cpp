@@ -91,14 +91,12 @@ void ProgressiveEncoder::reset() {
   tiles_sent_ = 0;
 }
 
-Bytes ProgressiveEncoder::encode_region(const Region& region, int level) {
+std::vector<TileRef> ProgressiveEncoder::take_region_tiles(
+    const Region& region, int level) {
   if (level < 0 || level > pyramid_.levels()) {
     throw std::out_of_range(util::format("level {} out of range", level));
   }
-  Bytes out;
-  append_u16(out, 0);  // tile count placeholder
-  std::uint32_t count = 0;
-
+  std::vector<TileRef> out;
   for (int b = 0; b < band_count(pyramid_.levels()); ++b) {
     if (!band_in_level(b, level)) continue;
     const Band& band = band_by_id(pyramid_, b);
@@ -111,30 +109,46 @@ Bytes ProgressiveEncoder::encode_region(const Region& region, int level) {
         if (sent_[b][idx]) continue;
         sent_[b][idx] = true;
         ++tiles_sent_;
-        ++count;
-        int x0 = tx * tile_, y0 = ty * tile_;
-        int w = std::min(tile_, band.width - x0);
-        int h = std::min(tile_, band.height - y0);
-        out.push_back(static_cast<std::uint8_t>(b));
-        append_u16(out, static_cast<std::uint32_t>(tx));
-        append_u16(out, static_cast<std::uint32_t>(ty));
-        out.push_back(static_cast<std::uint8_t>(w));
-        out.push_back(static_cast<std::uint8_t>(h));
-        for (int y = y0; y < y0 + h; ++y) {
-          for (int x = x0; x < x0 + w; ++x) {
-            std::uint16_t v = static_cast<std::uint16_t>(band.at(x, y));
-            out.push_back(static_cast<std::uint8_t>(v));
-            out.push_back(static_cast<std::uint8_t>(v >> 8));
-          }
-        }
+        out.push_back(TileRef{static_cast<std::uint8_t>(b),
+                              static_cast<std::uint16_t>(tx),
+                              static_cast<std::uint16_t>(ty)});
       }
     }
   }
-  if (count == 0) return {};
-  out[0] = static_cast<std::uint8_t>(count);
-  out[1] = static_cast<std::uint8_t>(count >> 8);
-  if (count > 0xFFFF) throw std::runtime_error("too many tiles in one reply");
   return out;
+}
+
+Bytes ProgressiveEncoder::serialize_tiles(
+    std::span<const TileRef> tiles) const {
+  if (tiles.empty()) return {};
+  if (tiles.size() > 0xFFFF) {
+    throw std::runtime_error("too many tiles in one reply");
+  }
+  Bytes out;
+  append_u16(out, static_cast<std::uint32_t>(tiles.size()));
+  for (const TileRef& t : tiles) {
+    const Band& band = band_by_id(pyramid_, t.band);
+    int x0 = t.tx * tile_, y0 = t.ty * tile_;
+    int w = std::min(tile_, band.width - x0);
+    int h = std::min(tile_, band.height - y0);
+    out.push_back(t.band);
+    append_u16(out, t.tx);
+    append_u16(out, t.ty);
+    out.push_back(static_cast<std::uint8_t>(w));
+    out.push_back(static_cast<std::uint8_t>(h));
+    for (int y = y0; y < y0 + h; ++y) {
+      for (int x = x0; x < x0 + w; ++x) {
+        std::uint16_t v = static_cast<std::uint16_t>(band.at(x, y));
+        out.push_back(static_cast<std::uint8_t>(v));
+        out.push_back(static_cast<std::uint8_t>(v >> 8));
+      }
+    }
+  }
+  return out;
+}
+
+Bytes ProgressiveEncoder::encode_region(const Region& region, int level) {
+  return serialize_tiles(take_region_tiles(region, level));
 }
 
 std::size_t ProgressiveEncoder::total_tiles(int level) const {

@@ -33,13 +33,36 @@ struct Region {
   int half = 0;  // half-size: the square spans [cx-half, cx+half)
 };
 
+/// Identity of one coefficient tile inside a pyramid: band id + tile grid
+/// coordinates.  A sorted TileRef list fully determines the serialized
+/// payload for a given (pyramid, tile_size), which is what makes region
+/// encodes cacheable across sessions.
+struct TileRef {
+  std::uint8_t band = 0;
+  std::uint16_t tx = 0;
+  std::uint16_t ty = 0;
+
+  friend bool operator==(const TileRef&, const TileRef&) = default;
+};
+
 class ProgressiveEncoder {
  public:
   explicit ProgressiveEncoder(const Pyramid& pyramid, int tile_size = 16);
 
   /// Serialize all not-yet-sent tiles needed to show `region` at
   /// resolution `level`, marking them sent.  Empty result = nothing new.
+  /// Equivalent to serialize_tiles(take_region_tiles(region, level)).
   Bytes encode_region(const Region& region, int level);
+
+  /// Sent-state half of encode_region: mark all not-yet-sent tiles
+  /// intersecting `region` at `level` as sent and return them in
+  /// serialization order.  Empty result = nothing new.
+  std::vector<TileRef> take_region_tiles(const Region& region, int level);
+
+  /// Pure serialization half of encode_region: payload bytes for `tiles`
+  /// against this encoder's pyramid.  Does not touch sent-state, so the
+  /// same tile list always yields the same bytes — cache-safe.
+  Bytes serialize_tiles(std::span<const TileRef> tiles) const;
 
   /// True once every tile of every band used by `level` has been sent.
   bool fully_sent(int level) const;

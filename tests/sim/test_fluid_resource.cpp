@@ -241,5 +241,91 @@ INSTANTIATE_TEST_SUITE_P(CapGrid, FluidCapSweep,
                          ::testing::Values(0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7,
                                            0.8, 0.9, 1.0));
 
+
+// -- incremental reallocation counters -----------------------------------
+
+TEST(FluidResource, CappedArrivalsAndDeparturesUseFastPath) {
+  Simulator sim;
+  FluidResource res(sim, "cpu", 100.0);
+  // Four capped flows summing to 0.8 of capacity: every arrival and every
+  // departure stays in the under-loaded regime, so no full water-filling
+  // pass ever runs.
+  std::vector<double> done(4, -1.0);
+  auto proc = [&](int i) -> Task<> {
+    co_await res.consume(20.0, make_share_slot(0.2));
+    done[i] = sim.now();
+  };
+  for (int i = 0; i < 4; ++i) sim.spawn(proc(i));
+  sim.run();
+  for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(done[i], 1.0);
+  EXPECT_EQ(res.full_reallocs(), 0u);
+  EXPECT_EQ(res.fast_reallocs(), 8u);  // 4 arrivals + 4 departures
+  // Only each flow's own initial rate assignment scheduled an event.
+  EXPECT_EQ(res.rate_rescales(), 4u);
+  EXPECT_GT(res.flows_skipped(), 0u);
+}
+
+TEST(FluidResource, CappedChurnDoesNotRescaleOtherFlows) {
+  Simulator sim;
+  FluidResource res(sim, "cpu", 100.0);
+  double a_done = -1.0, b_done = -1.0;
+  auto a = [&]() -> Task<> {
+    co_await res.consume(60.0, make_share_slot(0.3));  // 30/s -> t=2
+    a_done = sim.now();
+  };
+  auto b = [&]() -> Task<> {
+    co_await res.consume(15.0, make_share_slot(0.3));  // 30/s -> 0.5 s
+    b_done = sim.now();
+  };
+  sim.spawn(a());
+  sim.schedule(0.5, [&] { sim.spawn(b()); });
+  sim.run();
+  // B's arrival and departure left A's rate (and completion event) alone.
+  EXPECT_DOUBLE_EQ(a_done, 2.0);
+  EXPECT_DOUBLE_EQ(b_done, 1.0);
+  EXPECT_EQ(res.full_reallocs(), 0u);
+  EXPECT_EQ(res.fast_reallocs(), 4u);
+  EXPECT_EQ(res.rate_rescales(), 2u);  // one initial assignment per flow
+  EXPECT_EQ(res.flows_skipped(), 2u);  // A skipped at B's arrival and at
+                                       // B's departure
+}
+
+TEST(FluidResource, FullPassKeepsBitIdenticalRates) {
+  Simulator sim;
+  FluidResource res(sim, "cpu", 100.0);
+  std::vector<double> done(2, -1.0);
+  auto proc = [&](int i) -> Task<> {
+    co_await res.consume(100.0, make_share_slot());  // uncapped: 50/s each
+    done[i] = sim.now();
+  };
+  sim.spawn(proc(0));
+  sim.spawn(proc(1));
+  // A gratuitous reallocate() mid-flight recomputes the same 50/50 split;
+  // both flows must keep their pending completion events untouched.
+  sim.schedule(1.0, [&] { res.reallocate(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(done[0], 2.0);
+  EXPECT_DOUBLE_EQ(done[1], 2.0);
+  EXPECT_GE(res.rate_keeps(), 2u);
+}
+
+TEST(FluidResource, OversubscribedFlowsTakeFullPass) {
+  Simulator sim;
+  FluidResource res(sim, "cpu", 100.0);
+  std::vector<double> done(2, -1.0);
+  auto proc = [&](int i) -> Task<> {
+    co_await res.consume(100.0, make_share_slot(0.8));
+    done[i] = sim.now();
+  };
+  sim.spawn(proc(0));
+  sim.spawn(proc(1));
+  sim.run();
+  // Cap rates sum to 1.6x capacity: the second arrival cannot take the
+  // fast path, and the shared 50/50 regime is not "all at cap".
+  EXPECT_DOUBLE_EQ(done[0], 2.0);
+  EXPECT_DOUBLE_EQ(done[1], 2.0);
+  EXPECT_GE(res.full_reallocs(), 1u);
+}
+
 }  // namespace
 }  // namespace avf::sim

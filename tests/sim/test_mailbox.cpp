@@ -131,5 +131,36 @@ TEST(Mailbox, StressManyItemsManyWaiters) {
   for (int i = 0; i < kItems; ++i) EXPECT_EQ(got[i], i);
 }
 
+TEST(Mailbox, AvailableExcludesReservedItems) {
+  Simulator sim;
+  Mailbox<int> box(sim);
+  int got = -1;
+  auto waiter = [&]() -> Task<> { got = co_await box.recv(); };
+  sim.spawn(waiter());
+  sim.run();  // waiter parks
+  box.push(7);
+  // The item is physically queued but already reserved for the waiter:
+  // size() counts it, available() must not.
+  EXPECT_EQ(box.size(), 1u);
+  EXPECT_FALSE(box.empty());
+  EXPECT_EQ(box.available(), 0u);
+  EXPECT_EQ(box.try_recv(), std::nullopt);
+  sim.run();
+  EXPECT_EQ(got, 7);
+  EXPECT_EQ(box.size(), 0u);
+  EXPECT_EQ(box.available(), 0u);
+}
+
+TEST(Mailbox, AvailableMatchesSizeWithoutWaiters) {
+  Simulator sim;
+  Mailbox<int> box(sim);
+  box.push(1);
+  box.push(2);
+  EXPECT_EQ(box.size(), 2u);
+  EXPECT_EQ(box.available(), 2u);
+  ASSERT_TRUE(box.try_recv().has_value());
+  EXPECT_EQ(box.available(), 1u);
+}
+
 }  // namespace
 }  // namespace avf::sim

@@ -3,6 +3,7 @@
 // corruption.
 #include <gtest/gtest.h>
 
+#include "testkit/fault_injector.hpp"
 #include "viz/world.hpp"
 
 namespace avf::viz {
@@ -32,18 +33,103 @@ TEST(Failure, UnknownImageIdSurfaces) {
   EXPECT_THROW(world.simulator().run(), std::runtime_error);
 }
 
-TEST(Failure, RequestWithoutSessionSurfaces) {
-  // Protocol violation: a foveal request before any image was opened.
+TEST(Failure, RequestWithoutSessionGetsErrorReply) {
+  // Protocol violation: a foveal request for a session that was never
+  // opened.  With many clients this must NOT kill the server coroutine —
+  // the offender gets a kError reply and every other session keeps going.
   WorldSetup setup;
   setup.image_size = 256;
+  setup.image_count = 1;
+  setup.client_count = 2;
   VizWorld world(setup);
-  world.simulator().spawn(world.server().run());
+  world.spawn_server_loops();
+
+  VizClient& good = world.make_client_at(0, cfg(80, 1, 4));
+  auto good_driver = [&]() -> sim::Task<> {
+    co_await good.fetch_images(0, 1);
+    co_await good.shutdown_server();
+  };
+  world.simulator().spawn(good_driver());
+
+  // Channel 1 carries a rogue request with a session id nobody opened.
+  bool error_seen = false;
   auto rogue = [&]() -> sim::Task<> {
-    co_await world.client_endpoint().send(
-        encode(Request{.cx = 10, .cy = 10, .half = 10, .level = 4}));
+    co_await world.client_endpoint(1).send(encode(Request{
+        .session_id = 99, .cx = 10, .cy = 10, .half = 10, .level = 4}));
+    sim::Message reply = co_await world.client_endpoint(1).recv();
+    EXPECT_EQ(reply.kind, kError);
+    ErrorReply err = decode_error(reply);
+    EXPECT_EQ(err.session_id, 99u);
+    EXPECT_EQ(err.code, ErrorCode::kNoSession);
+    error_seen = true;
+    co_await world.client_endpoint(1).send(encode_shutdown());
   };
   world.simulator().spawn(rogue());
-  EXPECT_THROW(world.simulator().run(), std::runtime_error);
+  world.simulator().run();
+
+  EXPECT_TRUE(error_seen);
+  EXPECT_EQ(world.server().protocol_errors(), 1u);
+  // The well-behaved session was not disturbed.
+  ASSERT_EQ(good.history().size(), 1u);
+  EXPECT_GT(good.history()[0].rounds, 0);
+}
+
+TEST(Failure, ErrorRepliesSurviveMailboxFaults) {
+  // Testkit fault schedule over the error path: the rogue channel's
+  // inbound (server-side) deliveries are delayed/reordered and sometimes
+  // dropped while it spams session-less requests.  The server must answer
+  // every request that gets through with kError and keep serving the
+  // legitimate session; nothing may throw or hang.
+  WorldSetup setup;
+  setup.image_size = 256;
+  setup.image_count = 1;
+  setup.client_count = 2;
+  VizWorld world(setup);
+  world.spawn_server_loops();
+
+  testkit::FaultInjector::Targets targets;
+  targets.sim = &world.simulator();
+  targets.inbound = &world.server_endpoint(1);
+  testkit::FaultInjector injector(targets, /*seed=*/0xF00DULL);
+  testkit::FaultSchedule schedule;
+  schedule.faults.push_back({testkit::FaultKind::kMailboxDelay, 0.0, 30.0,
+                             /*value=*/0.05, 0.0});
+  schedule.faults.push_back({testkit::FaultKind::kMailboxDrop, 0.0, 30.0,
+                             /*value=*/0.3, 0.0});
+  injector.arm(schedule);
+
+  VizClient& good = world.make_client_at(0, cfg(80, 1, 4));
+  auto good_driver = [&]() -> sim::Task<> {
+    co_await good.fetch_images(0, 1);
+    co_await good.shutdown_server();
+  };
+  world.simulator().spawn(good_driver());
+
+  constexpr int kRogueRequests = 8;
+  auto rogue = [&]() -> sim::Task<> {
+    for (int i = 0; i < kRogueRequests; ++i) {
+      co_await world.client_endpoint(1).send(encode(Request{
+          .session_id = 99, .cx = 10, .cy = 10, .half = 10, .level = 4}));
+    }
+  };
+  world.simulator().spawn(rogue());
+  // Out-of-band shutdown for the rogue's serve loop after the fault window
+  // (drops may eat rogue requests but the injector never touches this late
+  // message: kMailboxDrop ends at t=30).
+  world.simulator().schedule_at(40.0, [&world] {
+    auto kill = [](VizWorld* w) -> sim::Task<> {
+      co_await w->client_endpoint(1).send(encode_shutdown());
+    };
+    world.simulator().spawn(kill(&world));
+  });
+  world.simulator().run();
+
+  // Every delivered rogue request produced exactly one kError.
+  auto delivered = static_cast<std::uint64_t>(kRogueRequests) -
+                   world.server_endpoint(1).deliveries_dropped();
+  EXPECT_EQ(world.server().protocol_errors(), delivered);
+  EXPECT_GT(delivered, 0u);
+  ASSERT_EQ(good.history().size(), 1u);
 }
 
 TEST(Failure, MalformedMessageKindSurfaces) {

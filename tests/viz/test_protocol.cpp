@@ -6,24 +6,28 @@ namespace avf::viz {
 namespace {
 
 TEST(Protocol, OpenImageRoundTrip) {
-  OpenImage m{.image_id = 12345, .level = 4, .codec = 2};
+  OpenImage m{.session_id = 7, .image_id = 12345, .level = 4, .codec = 2};
   OpenImage back = decode_open_image(encode(m));
+  EXPECT_EQ(back.session_id, 7u);
   EXPECT_EQ(back.image_id, 12345u);
   EXPECT_EQ(back.level, 4);
   EXPECT_EQ(back.codec, 2);
 }
 
 TEST(Protocol, OpenAckRoundTrip) {
-  OpenAck m{.width = 1024, .height = 768, .levels = 4};
+  OpenAck m{.session_id = 3, .width = 1024, .height = 768, .levels = 4};
   OpenAck back = decode_open_ack(encode(m));
+  EXPECT_EQ(back.session_id, 3u);
   EXPECT_EQ(back.width, 1024);
   EXPECT_EQ(back.height, 768);
   EXPECT_EQ(back.levels, 4);
 }
 
 TEST(Protocol, RequestRoundTrip) {
-  Request m{.cx = 512, .cy = 600, .half = 320, .level = 3};
+  Request m{
+      .session_id = 42, .cx = 512, .cy = 600, .half = 320, .level = 3};
   Request back = decode_request(encode(m));
+  EXPECT_EQ(back.session_id, 42u);
   EXPECT_EQ(back.cx, 512);
   EXPECT_EQ(back.cy, 600);
   EXPECT_EQ(back.half, 320);
@@ -32,6 +36,7 @@ TEST(Protocol, RequestRoundTrip) {
 
 TEST(Protocol, ReplyRoundTrip) {
   Reply m;
+  m.session_id = 9;
   m.complete = true;
   m.codec = 1;
   m.premeasured = false;
@@ -41,6 +46,7 @@ TEST(Protocol, ReplyRoundTrip) {
   sim::Message wire = encode(m);
   EXPECT_EQ(wire.wire_size_override, 0u);  // real payload: no override
   Reply back = decode_reply(std::move(wire));
+  EXPECT_EQ(back.session_id, 9u);
   EXPECT_TRUE(back.complete);
   EXPECT_EQ(back.codec, 1);
   EXPECT_EQ(back.raw_len, 100000u);
@@ -55,9 +61,10 @@ TEST(Protocol, PremeasuredReplyOverridesWireSize) {
   m.wire_len = 400;
   m.payload.assign(1000, 7);  // raw bytes shipped
   sim::Message wire = encode(m);
-  // Charged as compressed size + protocol header + frame header.
+  // Charged as compressed size + protocol header (session_id + flags +
+  // lengths = 15 bytes) + frame header.
   EXPECT_EQ(wire.wire_size_override,
-            400u + 11u + sim::kMessageHeaderBytes);
+            400u + 15u + sim::kMessageHeaderBytes);
   EXPECT_EQ(wire.wire_size(), wire.wire_size_override);
   Reply back = decode_reply(std::move(wire));
   EXPECT_TRUE(back.premeasured);
@@ -65,8 +72,26 @@ TEST(Protocol, PremeasuredReplyOverridesWireSize) {
 }
 
 TEST(Protocol, SetCodecRoundTrip) {
-  SetCodec back = decode_set_codec(encode(SetCodec{.codec = 2}));
+  SetCodec back =
+      decode_set_codec(encode(SetCodec{.session_id = 5, .codec = 2}));
+  EXPECT_EQ(back.session_id, 5u);
   EXPECT_EQ(back.codec, 2);
+}
+
+TEST(Protocol, ErrorReplyRoundTrip) {
+  ErrorReply m{.session_id = 17, .code = ErrorCode::kNoSession};
+  sim::Message wire = encode(m);
+  EXPECT_EQ(wire.kind, kError);
+  ErrorReply back = decode_error(wire);
+  EXPECT_EQ(back.session_id, 17u);
+  EXPECT_EQ(back.code, ErrorCode::kNoSession);
+}
+
+TEST(Protocol, ErrorReplyTruncatedThrows) {
+  sim::Message wire =
+      encode(ErrorReply{.session_id = 1, .code = ErrorCode::kBadMessage});
+  wire.payload.pop_back();
+  EXPECT_THROW(decode_error(wire), std::runtime_error);
 }
 
 TEST(Protocol, KindMismatchThrows) {

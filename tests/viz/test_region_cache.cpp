@@ -1,0 +1,157 @@
+// Shared server-side caches: a hit must be byte-identical to the uncached
+// path, counters must track hits/misses/evictions, and FIFO bounds must
+// hold.  These are the caches every serve() loop shares in a multi-client
+// world, so byte-equality here is what guarantees cached and uncached runs
+// produce identical golden traces.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "codec/codec.hpp"
+#include "viz/caches.hpp"
+#include "wavelet/progressive.hpp"
+
+namespace avf::viz {
+namespace {
+
+using wavelet::Bytes;
+using wavelet::Image;
+using wavelet::ProgressiveEncoder;
+using wavelet::Pyramid;
+using wavelet::Region;
+using wavelet::TileRef;
+
+std::shared_ptr<const Pyramid> test_pyramid() {
+  Image img = Image::synthetic(128, 128, 17);
+  return std::make_shared<const Pyramid>(img, 3);
+}
+
+TEST(RegionEncodeCache, HitIsByteIdenticalAcrossSessions) {
+  auto pyr = test_pyramid();
+  ProgressiveEncoder first(*pyr, 8);
+  ProgressiveEncoder second(*pyr, 8);  // a different session, same pyramid
+  RegionEncodeCache cache;
+
+  Region region{64, 64, 32};
+  std::vector<TileRef> tiles = first.take_region_tiles(region, 2);
+  ASSERT_FALSE(tiles.empty());
+  Bytes direct = first.serialize_tiles(tiles);
+
+  auto miss = cache.encode(pyr, first, tiles);
+  ASSERT_NE(miss, nullptr);
+  EXPECT_EQ(*miss, direct);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+
+  // Session two needs the same tiles: served from cache, byte-identical.
+  std::vector<TileRef> again = second.take_region_tiles(region, 2);
+  ASSERT_EQ(again, tiles);
+  auto hit = cache.encode(pyr, second, again);
+  EXPECT_EQ(*hit, direct);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(RegionEncodeCache, DistinctTileListsAreDistinctEntries) {
+  auto pyr = test_pyramid();
+  ProgressiveEncoder enc(*pyr, 8);
+  RegionEncodeCache cache;
+
+  std::vector<TileRef> coarse = enc.take_region_tiles({64, 64, 16}, 1);
+  std::vector<TileRef> fine = enc.take_region_tiles({64, 64, 48}, 3);
+  ASSERT_FALSE(coarse.empty());
+  ASSERT_FALSE(fine.empty());
+  ASSERT_NE(coarse, fine);
+
+  auto a = cache.encode(pyr, enc, coarse);
+  auto b = cache.encode(pyr, enc, fine);
+  EXPECT_NE(*a, *b);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(a->size(), enc.serialize_tiles(coarse).size());
+}
+
+TEST(RegionEncodeCache, FifoEvictionRespectsBound) {
+  auto pyr = test_pyramid();
+  ProgressiveEncoder enc(*pyr, 8);
+  RegionEncodeCache cache(2);
+
+  std::vector<TileRef> lists[3] = {
+      enc.take_region_tiles({32, 32, 16}, 1),
+      enc.take_region_tiles({96, 96, 16}, 2),
+      enc.take_region_tiles({64, 64, 60}, 3),
+  };
+  for (const auto& tiles : lists) {
+    ASSERT_FALSE(tiles.empty());
+    (void)cache.encode(pyr, enc, tiles);
+  }
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+
+  // The oldest entry was evicted: re-encoding it is a fresh miss, and the
+  // payload still matches the pure serialization.
+  auto re = cache.encode(pyr, enc, lists[0]);
+  EXPECT_EQ(*re, enc.serialize_tiles(lists[0]));
+  EXPECT_EQ(cache.misses(), 4u);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(RegionEncodeCache, EntryPinsPayloadPastEviction) {
+  auto pyr = test_pyramid();
+  ProgressiveEncoder enc(*pyr, 8);
+  RegionEncodeCache cache(1);
+
+  std::vector<TileRef> first = enc.take_region_tiles({32, 32, 16}, 1);
+  std::vector<TileRef> second = enc.take_region_tiles({96, 96, 16}, 2);
+  auto held = cache.encode(pyr, enc, first);
+  Bytes snapshot = *held;
+  (void)cache.encode(pyr, enc, second);  // evicts `first`'s entry
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(*held, snapshot);  // shared ownership keeps the payload alive
+}
+
+TEST(CompressedChunkCache, HitMatchesRealCodecOutput) {
+  Bytes raw;
+  for (int i = 0; i < 4096; ++i) {
+    raw.push_back(static_cast<std::uint8_t>((i * 31) & 0x7F));
+  }
+  CompressedChunkCache cache;
+
+  auto miss = cache.compress(codec::CodecId::kLzw, raw);
+  ASSERT_NE(miss, nullptr);
+  EXPECT_EQ(*miss, codec::codec_for(codec::CodecId::kLzw).compress(raw));
+  EXPECT_EQ(cache.misses(), 1u);
+
+  auto hit = cache.compress(codec::CodecId::kLzw, raw);
+  EXPECT_EQ(*hit, *miss);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+
+  // Same bytes, different codec: a distinct entry with distinct output.
+  auto bwt = cache.compress(codec::CodecId::kBwt, raw);
+  EXPECT_EQ(*bwt, codec::codec_for(codec::CodecId::kBwt).compress(raw));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(CompressedChunkCache, FifoEvictionRespectsBound) {
+  CompressedChunkCache cache(2);
+  Bytes chunks[3];
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 256; ++i) {
+      chunks[c].push_back(static_cast<std::uint8_t>((i + c * 7) & 0xFF));
+    }
+    (void)cache.compress(codec::CodecId::kLzw, chunks[c]);
+  }
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  // Evicted chunk recompresses to the same bytes (pure codec).
+  auto re = cache.compress(codec::CodecId::kLzw, chunks[0]);
+  EXPECT_EQ(*re, codec::codec_for(codec::CodecId::kLzw).compress(chunks[0]));
+  EXPECT_EQ(cache.misses(), 4u);
+}
+
+}  // namespace
+}  // namespace avf::viz

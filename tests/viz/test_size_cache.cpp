@@ -87,5 +87,44 @@ TEST(SizeCache, CountsHitsAndMisses) {
   EXPECT_EQ(cache.misses(), 1u);
 }
 
+TEST(SizeCache, ProductionSizeIsSharded) {
+  CompressedSizeCache cache;  // default 1<<16 entries
+  EXPECT_EQ(cache.shard_count(), 16u);
+  // Counters and size() aggregate across shards.
+  for (std::uint64_t fp = 0; fp < 64; ++fp) {
+    std::uint64_t spread = fp << 58;  // hit different shards via high bits
+    cache.store(codec::CodecId::kLzw, spread, 100 + fp);
+  }
+  EXPECT_EQ(cache.size(), 64u);
+  for (std::uint64_t fp = 0; fp < 64; ++fp) {
+    auto got = cache.lookup(codec::CodecId::kLzw, fp << 58);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, 100 + fp);
+  }
+  EXPECT_EQ(cache.hits(), 64u);
+  EXPECT_EQ(cache.evictions(), 0u);
+}
+
+TEST(SizeCache, SmallCacheCollapsesToOneShard) {
+  // Tight bounds keep the exact single-FIFO semantics the eviction tests
+  // above pin down.
+  CompressedSizeCache cache(8);
+  EXPECT_EQ(cache.shard_count(), 1u);
+}
+
+TEST(SizeCache, ShardedAggregateBoundHolds) {
+  CompressedSizeCache cache(256);  // 16 shards x 16 entries
+  EXPECT_EQ(cache.shard_count(), 16u);
+  for (std::uint64_t fp = 0; fp < 1024; ++fp) {
+    // Mix the low bits into the shard-selecting high bits so every shard
+    // sees traffic.
+    std::uint64_t key = fp | (fp << 55);
+    cache.store(codec::CodecId::kLzw, key, fp);
+  }
+  EXPECT_LE(cache.size(), 256u);
+  EXPECT_GT(cache.evictions(), 0u);
+  EXPECT_EQ(cache.size() + cache.evictions(), 1024u);
+}
+
 }  // namespace
 }  // namespace avf::viz

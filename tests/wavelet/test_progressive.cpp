@@ -143,5 +143,45 @@ TEST_P(ProgressiveTileSizes, LosslessAtAnyTileSize) {
 INSTANTIATE_TEST_SUITE_P(TileSizes, ProgressiveTileSizes,
                          ::testing::Values(1, 3, 8, 16, 17, 64, 255));
 
+// -- take/serialize split (the cacheable decomposition) ------------------
+
+TEST(Progressive, TakeThenSerializeMatchesEncodeRegion) {
+  // encode_region must equal serialize_tiles(take_region_tiles(...)) byte
+  // for byte across a growing fovea — the identity the region cache rests
+  // on.
+  Rig via_split, via_encode;
+  for (int half = 16; half <= 128; half += 24) {
+    Region r{64, 64, half};
+    std::vector<TileRef> tiles = via_split.enc.take_region_tiles(r, 3);
+    Bytes split_bytes = via_split.enc.serialize_tiles(tiles);
+    Bytes direct = via_encode.enc.encode_region(r, 3);
+    EXPECT_EQ(split_bytes, direct);
+    EXPECT_EQ(tiles.empty(), direct.empty());
+  }
+  EXPECT_EQ(via_split.enc.tiles_sent(), via_encode.enc.tiles_sent());
+}
+
+TEST(Progressive, SerializeTilesIsPure) {
+  Rig rig;
+  std::vector<TileRef> tiles = rig.enc.take_region_tiles({64, 64, 32}, 2);
+  ASSERT_FALSE(tiles.empty());
+  std::size_t sent = rig.enc.tiles_sent();
+  Bytes first = rig.enc.serialize_tiles(tiles);
+  Bytes second = rig.enc.serialize_tiles(tiles);
+  EXPECT_EQ(first, second);              // same bytes every time
+  EXPECT_EQ(rig.enc.tiles_sent(), sent);  // no sent-state mutation
+}
+
+TEST(Progressive, TakeRegionTilesMarksSent) {
+  Rig rig;
+  Region r{64, 64, 32};
+  std::vector<TileRef> first = rig.enc.take_region_tiles(r, 2);
+  ASSERT_FALSE(first.empty());
+  // Taking the same region again yields nothing: the tiles are spoken for
+  // even though serialize_tiles never ran.
+  EXPECT_TRUE(rig.enc.take_region_tiles(r, 2).empty());
+  EXPECT_TRUE(rig.enc.encode_region(r, 2).empty());
+}
+
 }  // namespace
 }  // namespace avf::wavelet
