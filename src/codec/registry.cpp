@@ -22,8 +22,22 @@ const Codec& codec_for(CodecId id) {
 }
 
 const Codec& codec_by_name(std::string_view name) {
-  for (CodecId id : all_codec_ids()) {
-    if (codec_for(id).name() == name) return codec_for(id);
+  // One table built on first use; lookups after that are a scan of three
+  // pre-resolved entries instead of re-entering codec_for per candidate.
+  struct Entry {
+    std::string_view name;
+    const Codec* codec;
+  };
+  static const std::vector<Entry> table = [] {
+    std::vector<Entry> entries;
+    for (CodecId id : all_codec_ids()) {
+      const Codec& codec = codec_for(id);
+      entries.push_back({codec.name(), &codec});
+    }
+    return entries;
+  }();
+  for (const Entry& entry : table) {
+    if (entry.name == name) return *entry.codec;
   }
   throw std::invalid_argument(
       util::format("unknown codec name: {}", std::string(name)));

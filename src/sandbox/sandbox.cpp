@@ -52,7 +52,7 @@ void Sandbox::ensure_quantum_running() {
   // Fresh activation: start at full speed with zero banked credit.
   entitled_cum_ = cpu_served();
   cpu_slot_->cap = 1.0;
-  host_.cpu().reallocate();
+  host_.cpu().slot_changed(cpu_slot_);
   schedule_quantum();
 }
 
@@ -81,7 +81,7 @@ void Sandbox::apply_cpu_cap() {
     // competition among quantized sandboxes still splits by share.
     cpu_slot_->weight = cpu_share_;
   }
-  host_.cpu().reallocate();
+  host_.cpu().slot_changed(cpu_slot_);
 }
 
 void Sandbox::schedule_quantum() {
@@ -103,7 +103,7 @@ void Sandbox::quantum_tick() {
   double new_cap = served >= entitled_cum_ ? 0.0 : 1.0;
   if (new_cap != cpu_slot_->cap) {
     cpu_slot_->cap = new_cap;
-    host_.cpu().reallocate();
+    host_.cpu().slot_changed(cpu_slot_);
   }
   // Bound banked credit to a few quanta so a brief dip cannot be repaid
   // with a long full-speed burst (the paper's sandbox bounds *average*
@@ -116,7 +116,10 @@ void Sandbox::quantum_tick() {
 void Sandbox::attach_endpoint(sim::Endpoint& endpoint) {
   endpoint.set_owner(owner_);
   endpoints_.push_back(&endpoint);
-  apply_net_caps();
+  // Only the new endpoint's cap can have changed; re-deriving the cap of
+  // every already-attached endpoint (the previous behavior) made attaching
+  // N endpoints O(N^2) water-filling passes at world setup.
+  apply_net_cap(endpoint);
 }
 
 void Sandbox::set_net_bandwidth(std::optional<double> bps) {
@@ -129,16 +132,20 @@ void Sandbox::set_net_bandwidth(std::optional<double> bps) {
 }
 
 void Sandbox::apply_net_caps() {
-  for (sim::Endpoint* ep : endpoints_) {
-    auto slot = ep->share_slot();
-    double cap = 1.0;
-    // In delayed mode the pacing happens in send(); the link stays open.
-    if (net_bps_ && net_mode_ == NetEnforcement::kFluid) {
-      cap = std::min(1.0, *net_bps_ / ep->out().capacity());
-    }
-    slot->cap = cap;
-    ep->out().reallocate();
+  for (sim::Endpoint* ep : endpoints_) apply_net_cap(*ep);
+}
+
+void Sandbox::apply_net_cap(sim::Endpoint& endpoint) {
+  auto slot = endpoint.share_slot();
+  double cap = 1.0;
+  // In delayed mode the pacing happens in send(); the link stays open.
+  if (net_bps_ && net_mode_ == NetEnforcement::kFluid) {
+    cap = std::min(1.0, *net_bps_ / endpoint.out().capacity());
   }
+  if (slot->cap == cap) return;  // unchanged cap cannot move any allocation
+  slot->cap = cap;
+  // Narrow notification: an O(1) no-op unless the slot has flows in flight.
+  endpoint.out().slot_changed(slot);
 }
 
 sim::Task<> Sandbox::send(sim::Endpoint& endpoint, sim::Message msg) {

@@ -115,6 +115,7 @@ class Sandbox {
  private:
   void apply_cpu_cap();
   void apply_net_caps();
+  void apply_net_cap(sim::Endpoint& endpoint);
   void ensure_quantum_running();
   void schedule_quantum();
   void quantum_tick();

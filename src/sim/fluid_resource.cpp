@@ -32,11 +32,31 @@ void FluidResource::set_capacity(double capacity) {
         avf::util::format("resource {}: capacity must be > 0, got {}", name_,
                     capacity));
   }
+  if (mode_ == Mode::kSparse) {
+    sparse_set_capacity(capacity);
+    return;
+  }
   capacity_ = capacity;
   full_reallocate();
 }
 
-void FluidResource::reallocate() { full_reallocate(); }
+void FluidResource::reallocate() {
+  if (mode_ == Mode::kSparse) {
+    sparse_rebuild();
+    return;
+  }
+  full_reallocate();
+}
+
+void FluidResource::slot_changed(const ShareSlotPtr& slot) {
+  if (slot_uses_.find(slot.get()) == slot_uses_.end()) {
+    // No in-flight request holds this slot: nothing the water-filling pass
+    // could change.  (Future requests pick up the new cap on arrival.)
+    ++noop_slot_reallocs_;
+    return;
+  }
+  reallocate();
+}
 
 void FluidResource::add_request(double amount, ShareSlotPtr slot,
                                 OwnerId owner, std::coroutine_handle<> h) {
@@ -49,10 +69,18 @@ void FluidResource::add_request(double amount, ShareSlotPtr slot,
         avf::util::format("resource {}: non-positive weight {}", name_,
                     slot->weight));
   }
+  if (mode_ == Mode::kDense && requests_.size() >= sparse_threshold_) {
+    migrate_to_sparse();
+  }
+  if (mode_ == Mode::kSparse) {
+    sparse_add(amount, std::move(slot), owner, h);
+    return;
+  }
   SimTime now = sim_.now();
   requests_.push_back(Request{amount, 0.0, now, 0.0, std::move(slot), owner,
                               h, EventHandle{}});
   RequestIt it = std::prev(requests_.end());
+  register_request(it);
   double cr = cap_rate_of(*it->slot, capacity_);
   if (all_at_cap_ && cap_rate_sum_ + cr <= capacity_) {
     // Under-loaded arrival: the newcomer runs at exactly its cap and no
@@ -72,14 +100,38 @@ void FluidResource::add_request(double amount, ShareSlotPtr slot,
   full_reallocate();
 }
 
+void FluidResource::register_request(RequestIt it) {
+  it->id = next_request_id_++;
+  by_id_.emplace(it->id, it);
+  owner_index_[it->owner].push_back(&*it);
+  ++slot_uses_[it->slot.get()];
+}
+
+FluidResource::RequestIt FluidResource::erase_request(RequestIt it) {
+  const Request& r = *it;
+  by_id_.erase(r.id);
+  if (auto oi = owner_index_.find(r.owner); oi != owner_index_.end()) {
+    std::erase(oi->second, &r);
+    if (oi->second.empty()) owner_index_.erase(oi);
+  }
+  if (auto su = slot_uses_.find(r.slot.get()); su != slot_uses_.end()) {
+    if (--su->second == 0) slot_uses_.erase(su);
+  }
+  return requests_.erase(it);
+}
+
 void FluidResource::credit(Request& r, SimTime now) {
   double dt = now - r.credited_at;
   r.credited_at = now;
   if (dt <= 0.0 || r.rate <= 0.0) return;
   double delta = std::min(r.rate * dt, r.remaining);
   r.remaining -= delta;
-  if (r.owner != kNoOwner) served_[r.owner] += delta;
-  total_served_ += delta;
+  add_served(r.owner, delta);
+}
+
+void FluidResource::add_served(OwnerId owner, double delta) {
+  if (owner != kNoOwner) served_[owner].add(delta);
+  total_served_.add(delta);
 }
 
 bool FluidResource::finished(const Request& r, SimTime now) const {
@@ -98,6 +150,16 @@ void FluidResource::schedule_completion(RequestIt it) {
 
 void FluidResource::on_completion(RequestIt it) {
   SimTime now = sim_.now();
+  if (mode_ == Mode::kSparse) {
+    advance_virtual(now);
+    credit(*it, now);
+    if (!finished(*it, now)) {
+      schedule_completion(it);
+      return;
+    }
+    sparse_remove_capped(it);
+    return;
+  }
   credit(*it, now);
   if (!finished(*it, now)) {
     // Floating-point leftover big enough to matter: keep serving it.
@@ -111,7 +173,7 @@ void FluidResource::remove_request(RequestIt it) {
   it->completion.cancel();
   sim_.resume_soon(it->waiter);
   cap_rate_sum_ -= it->cap_rate;
-  requests_.erase(it);
+  erase_request(it);
   if (requests_.empty()) cap_rate_sum_ = 0.0;  // kill accumulated drift
   if (all_at_cap_) {
     // Every surviving flow already runs at its cap; freeing capacity cannot
@@ -133,7 +195,7 @@ void FluidResource::full_reallocate() {
     if (finished(*it, now)) {
       it->completion.cancel();
       sim_.resume_soon(it->waiter);
-      it = requests_.erase(it);
+      it = erase_request(it);
     } else {
       ++it;
     }
@@ -205,40 +267,414 @@ void FluidResource::full_reallocate() {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Sparse engine.
+// ---------------------------------------------------------------------------
+
+void FluidResource::advance_virtual(SimTime now) {
+  double dt = now - v_updated_at_;
+  if (dt > 0.0) vtime_ += mu_ * capacity_ * dt;
+  v_updated_at_ = now;
+}
+
+double FluidResource::level() const {
+  if (fair_count_ == 0) return 0.0;
+  return std::max(0.0, (1.0 - s_ncap_.value()) / w_fair_.value());
+}
+
+void FluidResource::credit_fair(Request& r) {
+  double delta = r.weight * (vtime_ - r.vcredit);
+  r.vcredit = vtime_;
+  r.credited_at = sim_.now();
+  if (delta <= 0.0) return;
+  delta = std::min(delta, r.remaining);
+  r.remaining -= delta;
+  add_served(r.owner, delta);
+}
+
+void FluidResource::demote_to_capped(RequestIt it) {
+  Request& r = *it;
+  credit_fair(r);  // no-op when the flow was (re)inserted at vtime_
+  fair_by_ratio_.erase({r.ratio, r.id});
+  fair_by_finish_.erase({r.vfinish, r.id});
+  w_fair_.sub(r.weight);
+  if (--fair_count_ == 0) w_fair_.reset();
+  capped_by_ratio_.insert({r.ratio, r.id});
+  s_ncap_.add(r.ncap);
+  ++capped_count_;
+  ++boundary_crossings_;
+  double rate = r.ncap * capacity_;
+  // A flow that was continuously capped at this same rate (rebuilds pass
+  // through here with r.fair still naming the previous side) keeps its
+  // pending completion event — its absolute fire time is already right.
+  bool keep = !r.fair && rate == r.rate &&
+              (rate <= 0.0 || r.completion.pending());
+  r.fair = false;
+  if (keep) {
+    if (rate > 0.0) ++rate_keeps_;
+    return;
+  }
+  r.rate = rate;
+  ++rate_rescales_;
+  if (rate > 0.0) {
+    schedule_completion(it);
+  } else {
+    r.completion.cancel();
+  }
+}
+
+void FluidResource::promote_to_fair(RequestIt it) {
+  Request& r = *it;
+  credit(r, sim_.now());
+  r.completion.cancel();
+  capped_by_ratio_.erase({r.ratio, r.id});
+  s_ncap_.sub(r.ncap);
+  if (--capped_count_ == 0) s_ncap_.reset();
+  r.fair = true;
+  r.rate = 0.0;
+  r.vcredit = vtime_;
+  r.vfinish = vtime_ + r.remaining / r.weight;
+  fair_by_ratio_.insert({r.ratio, r.id});
+  fair_by_finish_.insert({r.vfinish, r.id});
+  w_fair_.add(r.weight);
+  ++fair_count_;
+  ++boundary_crossings_;
+}
+
+void FluidResource::sparse_rebalance() {
+  // Every move strictly raises the level: demoting a fair flow with
+  // ratio <= mu removes weight faster than spare capacity, promoting a
+  // capped flow with ratio > mu' frees more cap than the weight it adds.
+  // A monotonically rising level cannot revisit a configuration, so the
+  // loop terminates; the guard below is pure paranoia against FP edge
+  // cases at exact-equality boundaries.
+  std::size_t guard = 4 * requests_.size() + 8;
+  bool moved = true;
+  while (moved) {
+    moved = false;
+    while (fair_count_ > 0) {
+      double mu = level();
+      FlowKey head = *fair_by_ratio_.begin();
+      if (!(head.first <= mu)) break;
+      demote_to_capped(by_id_.at(head.second));
+      moved = true;
+      if (guard-- == 0) return;
+    }
+    while (capped_count_ > 0) {
+      FlowKey tail = *std::prev(capped_by_ratio_.end());
+      Request& r = *by_id_.at(tail.second);
+      // Level this flow would see as a fair flow; strictly-greater keeps
+      // exact cap==share ties capped (either side gives the same rate).
+      double mu_if = (1.0 - (s_ncap_.value() - r.ncap)) /
+                     (w_fair_.value() + r.weight);
+      if (!(r.ratio > std::max(0.0, mu_if))) break;
+      promote_to_fair(by_id_.at(tail.second));
+      moved = true;
+      if (guard-- == 0) return;
+    }
+  }
+}
+
+void FluidResource::sparse_finalize() {
+  double mu = level();
+  if (mu != mu_) {
+    mu_ = mu;
+    ++level_updates_;
+  }
+  fair_head_.cancel();
+  if (fair_count_ == 0) return;
+  double speed = mu_ * capacity_;
+  if (speed <= 0.0) return;  // capped flows saturate the capacity: starved
+  double vf = fair_by_finish_.begin()->first;
+  double delay = std::max(0.0, (vf - vtime_) / speed);
+  fair_head_ = sim_.schedule(delay, [this] { on_fair_head(); });
+}
+
+void FluidResource::on_fair_head() {
+  SimTime now = sim_.now();
+  advance_virtual(now);
+  bool removed = false;
+  while (fair_count_ > 0) {
+    FlowKey head = *fair_by_finish_.begin();
+    RequestIt it = by_id_.at(head.second);
+    Request& r = *it;
+    credit_fair(r);
+    bool done = r.remaining <= kRemainingEpsilon;
+    if (!done) {
+      // Mirror finished(): a residual whose completion delay cannot
+      // advance the clock would respin this event forever.
+      double frate = mu_ * capacity_ * r.weight;
+      done = frate > 0.0 && now + r.remaining / frate <= now;
+    }
+    if (!done) break;
+    fair_by_ratio_.erase({r.ratio, r.id});
+    fair_by_finish_.erase({r.vfinish, r.id});
+    w_fair_.sub(r.weight);
+    if (--fair_count_ == 0) w_fair_.reset();
+    sim_.resume_soon(r.waiter);
+    erase_request(it);
+    removed = true;
+  }
+  if (requests_.empty()) {
+    reset_sparse_to_dense();
+    return;
+  }
+  if (removed) {
+    ++sparse_events_;
+    sparse_rebalance();
+  }
+  sparse_finalize();
+}
+
+void FluidResource::sparse_add(double amount, ShareSlotPtr slot,
+                               OwnerId owner, std::coroutine_handle<> h) {
+  SimTime now = sim_.now();
+  advance_virtual(now);
+  requests_.push_back(Request{amount, 0.0, now, 0.0, std::move(slot), owner,
+                              h, EventHandle{}});
+  RequestIt it = std::prev(requests_.end());
+  register_request(it);
+  Request& r = *it;
+  r.ncap = std::clamp(r.slot->cap, 0.0, 1.0);
+  r.weight = r.slot->weight;
+  r.ratio = r.ncap / r.weight;
+  r.cap_rate = r.ncap * capacity_;
+  r.fair = true;
+  r.vcredit = vtime_;
+  r.vfinish = vtime_ + r.remaining / r.weight;
+  fair_by_ratio_.insert({r.ratio, r.id});
+  fair_by_finish_.insert({r.vfinish, r.id});
+  w_fair_.add(r.weight);
+  ++fair_count_;
+  ++sparse_events_;
+  sparse_rebalance();
+  sparse_finalize();
+}
+
+void FluidResource::sparse_remove_capped(RequestIt it) {
+  Request& r = *it;
+  r.completion.cancel();
+  capped_by_ratio_.erase({r.ratio, r.id});
+  s_ncap_.sub(r.ncap);
+  if (--capped_count_ == 0) s_ncap_.reset();
+  sim_.resume_soon(r.waiter);
+  erase_request(it);
+  ++sparse_events_;
+  if (requests_.empty()) {
+    reset_sparse_to_dense();
+    return;
+  }
+  sparse_rebalance();
+  sparse_finalize();
+}
+
+void FluidResource::sparse_set_capacity(double capacity) {
+  ++full_reallocs_;
+  SimTime now = sim_.now();
+  advance_virtual(now);
+  capacity_ = capacity;
+  // The level and the capped/fair boundary are normalized (capacity
+  // cancels out of both), so only capped flows — whose absolute rates
+  // scale with the capacity — need touching.  Fair flows keep their fixed
+  // virtual finish; the virtual clock simply runs at the new speed.
+  std::vector<std::uint64_t> done;
+  for (const FlowKey& key : capped_by_ratio_) {
+    Request& r = *by_id_.at(key.second);
+    credit(r, now);
+    double rate = r.ncap * capacity_;
+    r.cap_rate = rate;
+    if (finished(r, now)) {
+      done.push_back(key.second);
+      continue;
+    }
+    if (rate == r.rate && (rate <= 0.0 || r.completion.pending())) {
+      if (rate > 0.0) ++rate_keeps_;
+      continue;
+    }
+    r.rate = rate;
+    ++rate_rescales_;
+    if (rate > 0.0) {
+      schedule_completion(by_id_.at(key.second));
+    } else {
+      r.completion.cancel();
+    }
+  }
+  for (std::uint64_t id : done) {
+    RequestIt it = by_id_.at(id);
+    it->completion.cancel();
+    capped_by_ratio_.erase({it->ratio, it->id});
+    s_ncap_.sub(it->ncap);
+    if (--capped_count_ == 0) s_ncap_.reset();
+    sim_.resume_soon(it->waiter);
+    erase_request(it);
+  }
+  if (requests_.empty()) {
+    reset_sparse_to_dense();
+    return;
+  }
+  sparse_rebalance();
+  sparse_finalize();
+}
+
+void FluidResource::sparse_rebuild() {
+  ++full_reallocs_;
+  SimTime now = sim_.now();
+  advance_virtual(now);
+  // Set membership is re-derived below; clear first so the sweep can erase
+  // requests without set bookkeeping.
+  capped_by_ratio_.clear();
+  fair_by_ratio_.clear();
+  fair_by_finish_.clear();
+  s_ncap_.reset();
+  w_fair_.reset();
+  capped_count_ = 0;
+  fair_count_ = 0;
+  for (auto it = requests_.begin(); it != requests_.end();) {
+    Request& r = *it;
+    if (r.fair) {
+      credit_fair(r);
+    } else {
+      credit(r, now);
+    }
+    bool done = r.fair ? r.remaining <= kRemainingEpsilon : finished(r, now);
+    if (done) {
+      r.completion.cancel();
+      sim_.resume_soon(r.waiter);
+      it = erase_request(it);
+    } else {
+      ++it;
+    }
+  }
+  if (requests_.empty()) {
+    reset_sparse_to_dense();
+    return;
+  }
+  rebuild_sparse_partition();
+}
+
+void FluidResource::rebuild_sparse_partition() {
+  for (auto it = requests_.begin(); it != requests_.end(); ++it) {
+    Request& r = *it;
+    r.ncap = std::clamp(r.slot->cap, 0.0, 1.0);
+    r.weight = r.slot->weight;
+    r.ratio = r.ncap / r.weight;
+    r.cap_rate = r.ncap * capacity_;
+    r.vcredit = vtime_;
+    r.vfinish = vtime_ + r.remaining / r.weight;
+    // r.fair keeps naming the *previous* side until the partition settles;
+    // demote_to_capped() uses it to keep still-valid completion events.
+    fair_by_ratio_.insert({r.ratio, r.id});
+    fair_by_finish_.insert({r.vfinish, r.id});
+    w_fair_.add(r.weight);
+    ++fair_count_;
+  }
+  sparse_rebalance();
+  // Flows that settled on the fair side: drop any per-flow completion
+  // event left over from their capped/dense past.
+  for (const FlowKey& key : fair_by_finish_) {
+    Request& r = *by_id_.at(key.second);
+    if (!r.fair) {
+      r.completion.cancel();
+      r.rate = 0.0;
+      r.fair = true;
+    }
+  }
+  sparse_finalize();
+}
+
+void FluidResource::migrate_to_sparse() {
+  ++full_reallocs_;
+  ++sparse_activations_;
+  SimTime now = sim_.now();
+  // Dense-style credit + sweep, exactly like full_reallocate() step 1.
+  for (Request& r : requests_) credit(r, now);
+  for (auto it = requests_.begin(); it != requests_.end();) {
+    if (finished(*it, now)) {
+      it->completion.cancel();
+      sim_.resume_soon(it->waiter);
+      it = erase_request(it);
+    } else {
+      ++it;
+    }
+  }
+  mode_ = Mode::kSparse;
+  vtime_ = 0.0;
+  v_updated_at_ = now;
+  mu_ = 0.0;
+  if (requests_.empty()) {
+    reset_sparse_to_dense();
+    return;
+  }
+  rebuild_sparse_partition();
+}
+
+void FluidResource::reset_sparse_to_dense() {
+  mode_ = Mode::kDense;
+  capped_by_ratio_.clear();
+  fair_by_ratio_.clear();
+  fair_by_finish_.clear();
+  s_ncap_.reset();
+  w_fair_.reset();
+  capped_count_ = 0;
+  fair_count_ = 0;
+  fair_head_.cancel();
+  vtime_ = 0.0;
+  mu_ = 0.0;
+  cap_rate_sum_ = 0.0;
+  all_at_cap_ = true;
+}
+
+// ---------------------------------------------------------------------------
+// Accounting queries.
+// ---------------------------------------------------------------------------
+
+double FluidResource::inflight_progress(const Request& r, SimTime now) const {
+  if (mode_ == Mode::kSparse && r.fair) {
+    double vnow = vtime_ + mu_ * capacity_ * std::max(0.0, now - v_updated_at_);
+    double delta = r.weight * (vnow - r.vcredit);
+    if (delta <= 0.0) return 0.0;
+    return std::min(delta, r.remaining);
+  }
+  double dt = now - r.credited_at;
+  if (dt <= 0.0) return 0.0;
+  return std::min(r.rate * dt, r.remaining);
+}
+
 double FluidResource::served(OwnerId owner) const {
   // Account the in-flight progress since each request's credit point
-  // without mutating.
+  // without mutating.  The owner index iterates in arrival order — the
+  // same order (and the same float operations) as a full-list scan.
   double base = 0.0;
-  if (auto it = served_.find(owner); it != served_.end()) base = it->second;
+  if (auto it = served_.find(owner); it != served_.end()) {
+    base = it->second.value();
+  }
   SimTime now = sim_.now();
-  for (const Request& r : requests_) {
-    if (r.owner != owner) continue;
-    double dt = now - r.credited_at;
-    if (dt > 0.0) base += std::min(r.rate * dt, r.remaining);
+  if (auto oi = owner_index_.find(owner); oi != owner_index_.end()) {
+    for (const Request* r : oi->second) base += inflight_progress(*r, now);
   }
   return base;
 }
 
 double FluidResource::total_served() const {
-  double base = total_served_;
+  double base = total_served_.value();
   SimTime now = sim_.now();
-  for (const Request& r : requests_) {
-    double dt = now - r.credited_at;
-    if (dt > 0.0) base += std::min(r.rate * dt, r.remaining);
-  }
+  for (const Request& r : requests_) base += inflight_progress(r, now);
   return base;
 }
 
 bool FluidResource::has_request(OwnerId owner) const {
-  for (const Request& r : requests_) {
-    if (r.owner == owner) return true;
-  }
-  return false;
+  return owner_index_.find(owner) != owner_index_.end();
 }
 
 double FluidResource::allocated_rate() const {
   double sum = 0.0;
-  for (const Request& r : requests_) sum += r.rate;
+  for (const Request& r : requests_) {
+    if (mode_ == Mode::kSparse && r.fair) {
+      sum += mu_ * capacity_ * r.weight;
+    } else {
+      sum += r.rate;
+    }
+  }
   return sum;
 }
 

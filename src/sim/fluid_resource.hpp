@@ -9,25 +9,48 @@
 // guarantee, §5.1); when over-subscribed, capacity is split proportionally to
 // weights below the caps.
 //
-// Requests progress as fluid flows.  Reallocation is *incremental*: each
-// in-flight request carries its own completion event and a lazily-updated
-// progress credit, so a flow start/finish only touches the flows whose rate
-// actually changes.  In the under-loaded regime (every active flow capped,
-// cap-rates summing below capacity) an arrival or departure is O(1): the
-// other flows' rates are provably unchanged, so their events and credits are
-// left alone.  Only when the allocation genuinely shifts (over-subscription,
-// capacity change, slot mutation) does a full water-filling pass run — and
-// even then, flows whose recomputed rate is bit-identical keep their
-// scheduled completion event.  With N clients contending on one link this
-// turns the O(N) per-event / O(N^2) per-wave reallocation of the previous
-// implementation into O(1) per event for capped workloads.
+// Requests progress as fluid flows and the engine is *hybrid*:
+//
+//  - Below `sparse_threshold()` concurrent flows it runs the dense engine:
+//    incremental O(1) fast paths for the under-loaded capped regime and an
+//    explicit water-filling pass otherwise, bit-for-bit identical to the
+//    original implementation (existing traces at <= 128 clients are
+//    preserved byte-for-byte).
+//
+//  - At or above the threshold it migrates to the sparse engine, which keeps
+//    the water-filling solution *incrementally*.  Flows are bucketed by
+//    which constraint binds them: cap-limited flows sit in an ordered set
+//    keyed by ratio = ncap/weight (ncap = clamp(cap,0,1)); fair-share
+//    flows progress in GPS virtual time V with dV/dt = level * capacity, so
+//    a fair flow's finish point F = V_entry + remaining/weight is fixed on
+//    entry and only the *earliest* F needs a real simulator event.  The
+//    normalized water level mu = (1 - sum ncap_capped) / sum w_fair is
+//    maintained across arrivals, departures and capacity changes by moving
+//    only the flows that cross the capped/fair boundary (each move strictly
+//    raises mu, so rebalancing terminates); everything else is untouched.
+//    An arrival or departure is O(log N + crossings) instead of O(N), and
+//    a capacity change is O(capped flows) with no boundary motion at all
+//    (the level is capacity-invariant by construction).  Sparse-mode rate
+//    assignments are the same max-min solution, equal to the dense pass up
+//    to floating-point association; the engine never switches modes
+//    mid-population (sparse resets to dense only when the last flow
+//    leaves), so every run remains exactly deterministic.
+//
+// Served-unit accounting uses Neumaier-compensated accumulation so the
+// per-reschedule credit deltas of long churny runs (10k+ flows) do not
+// drift: total_served() stays within ulp-scale error of the sum of
+// served(owner) over all owners.
 #pragma once
 
+#include <cmath>
 #include <coroutine>
 #include <cstdint>
 #include <list>
+#include <set>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "sim/simulator.hpp"
 #include "sim/types.hpp"
@@ -36,6 +59,10 @@ namespace avf::sim {
 
 class FluidResource {
  public:
+  /// Flow count at which the engine migrates dense -> sparse.  High enough
+  /// that every existing workload (and trace) below it is untouched.
+  static constexpr std::size_t kDefaultSparseThreshold = 384;
+
   /// `capacity` in units/second (> 0).
   FluidResource(Simulator& sim, std::string name, double capacity);
 
@@ -52,6 +79,13 @@ class FluidResource {
   /// request (the resource cannot observe the change on its own).  Always a
   /// full water-filling pass — slot mutations can change any flow's rate.
   void reallocate();
+
+  /// Narrow variant of reallocate() for when exactly one slot was mutated:
+  /// if no in-flight request uses `slot` this is an O(1) no-op (counted in
+  /// noop_slot_reallocs()), otherwise it falls back to a full pass.  The
+  /// sandbox cap plumbing calls this per endpoint, which turns the
+  /// attach-time cap storm from O(endpoints^2) passes into O(endpoints).
+  void slot_changed(const ShareSlotPtr& slot);
 
   /// Awaitable: consume `amount` units under the entitlement in `slot`.
   /// Completes when the full amount has been served.  `owner` attributes the
@@ -88,12 +122,19 @@ class FluidResource {
   /// Current aggregate allocated rate (units/s); <= capacity.
   double allocated_rate() const;
 
+  /// Whether the sparse incremental engine is currently driving allocation.
+  bool sparse_active() const { return mode_ == Mode::kSparse; }
+  std::size_t sparse_threshold() const { return sparse_threshold_; }
+  /// Tests only: takes effect on the next arrival (an active sparse engine
+  /// stays sparse until its population drains).
+  void set_sparse_threshold(std::size_t n) { sparse_threshold_ = n; }
+
   // -- reallocation statistics (micro_viz_scale gates on these) -----------
-  /// Full water-filling passes (arrival/departure outside the capped fast
-  /// path, capacity changes, explicit reallocate() calls).
+  /// Full water-filling passes / rebuilds (arrival/departure outside every
+  /// incremental path, capacity changes, explicit reallocate() calls).
   std::uint64_t full_reallocs() const { return full_reallocs_; }
   /// O(1) arrivals/departures that provably left every other flow's rate
-  /// unchanged (the under-loaded capped regime).
+  /// unchanged (the under-loaded capped regime, dense engine).
   std::uint64_t fast_reallocs() const { return fast_reallocs_; }
   /// Per-flow rate assignments where the rate actually changed (each one
   /// reschedules that flow's completion event).
@@ -106,24 +147,79 @@ class FluidResource {
   /// previous O(N)-per-event implementation would have re-credited and
   /// rescheduled.
   std::uint64_t flows_skipped() const { return flows_skipped_; }
+  /// Dense -> sparse engine migrations.
+  std::uint64_t sparse_activations() const { return sparse_activations_; }
+  /// Arrivals/departures the sparse engine absorbed incrementally (no full
+  /// pass over the population).
+  std::uint64_t sparse_events() const { return sparse_events_; }
+  /// Flows moved across the capped/fair boundary by sparse rebalancing —
+  /// the only flows an incremental event touches.
+  std::uint64_t boundary_crossings() const { return boundary_crossings_; }
+  /// Water-level (mu) recomputations that produced a new level.
+  std::uint64_t level_updates() const { return level_updates_; }
+  /// slot_changed() calls that were O(1) no-ops (slot had no active flows).
+  std::uint64_t noop_slot_reallocs() const { return noop_slot_reallocs_; }
 
  private:
+  /// Neumaier-compensated accumulator: add() folds the rounding error of
+  /// each += into a running compensation term, value() returns sum + comp.
+  struct CompensatedSum {
+    double sum = 0.0;
+    double comp = 0.0;
+    void add(double x) {
+      double t = sum + x;
+      if (std::abs(sum) >= std::abs(x)) {
+        comp += (sum - t) + x;
+      } else {
+        comp += (x - t) + sum;
+      }
+      sum = t;
+    }
+    void sub(double x) { add(-x); }
+    double value() const { return sum + comp; }
+    void reset() {
+      sum = 0.0;
+      comp = 0.0;
+    }
+  };
+
+  enum class Mode { kDense, kSparse };
+
   struct Request {
     double remaining;
-    double rate = 0.0;        // current allocation, units/s
+    double rate = 0.0;        // current allocation, units/s (0 while fair)
     SimTime credited_at;      // progress has been credited up to here
     double cap_rate = 0.0;    // clamp(slot->cap, 0, 1) * capacity at last alloc
     ShareSlotPtr slot;
     OwnerId owner;
     std::coroutine_handle<> waiter;
     EventHandle completion;
+    // -- sparse-engine state --------------------------------------------
+    std::uint64_t id = 0;    // arrival order; deterministic set tie-break
+    double ncap = 0.0;       // clamp(slot->cap, 0, 1) snapshot
+    double weight = 0.0;     // slot->weight snapshot (sum consistency)
+    double ratio = 0.0;      // ncap / weight
+    double vfinish = 0.0;    // virtual time at which a fair flow completes
+    double vcredit = 0.0;    // virtual time progress was credited up to
+    bool fair = false;       // fair-share-limited (else cap-limited/dense)
   };
   using RequestIt = std::list<Request>::iterator;
+  /// (ratio|vfinish, id) — id breaks ties deterministically.
+  using FlowKey = std::pair<double, std::uint64_t>;
 
   void add_request(double amount, ShareSlotPtr slot, OwnerId owner,
                    std::coroutine_handle<> h);
+  /// Assign id and register in the lookup indexes.
+  void register_request(RequestIt it);
+  /// Remove from the lookup indexes and the request list (not from the
+  /// sparse boundary sets — callers own those).
+  RequestIt erase_request(RequestIt it);
   /// Credit progress since `credited_at` at the request's current rate.
   void credit(Request& r, SimTime now);
+  /// Per-owner + total served accumulation (Neumaier-compensated).
+  void add_served(OwnerId owner, double delta);
+  /// In-flight progress since the request's credit point, non-mutating.
+  double inflight_progress(const Request& r, SimTime now) const;
   /// Completion criterion shared by the event path and full passes: either
   /// the residual is below epsilon or so small that the completion delay
   /// would not advance the clock (then the event would respin forever).
@@ -131,31 +227,97 @@ class FluidResource {
   /// (Re)schedule the request's own completion event from its current
   /// remaining/rate; cancels any previous event.
   void schedule_completion(RequestIt it);
-  /// A request's own completion event fired.
+  /// A request's own completion event fired (capped flows, both modes).
   void on_completion(RequestIt it);
   /// Resume the waiter and drop the request; O(1) when every remaining flow
   /// is at its cap (nobody's rate can rise above it), full pass otherwise.
   void remove_request(RequestIt it);
-  /// Credit everyone, sweep finished requests, rerun water-filling, and
-  /// reschedule exactly the flows whose rate changed.
+  /// Dense engine: credit everyone, sweep finished requests, rerun
+  /// water-filling, and reschedule exactly the flows whose rate changed.
   void full_reallocate();
+
+  // -- sparse engine ------------------------------------------------------
+  /// Advance GPS virtual time to `now` at the current level.  Must run
+  /// before any event mutates the level, the capacity, or the population.
+  void advance_virtual(SimTime now);
+  /// Normalized water level mu = (1 - S_ncap) / W_fair, clamped >= 0.
+  double level() const;
+  /// Credit a fair flow up to the (already advanced) virtual time.
+  void credit_fair(Request& r);
+  void demote_to_capped(RequestIt it);
+  void promote_to_fair(RequestIt it);
+  /// Move flows across the capped/fair boundary until the partition is
+  /// consistent with its own level.  Each move strictly raises mu, so this
+  /// terminates; the iteration guard is pure paranoia.
+  void sparse_rebalance();
+  /// Recompute mu and (re)schedule the single fair-head completion event.
+  void sparse_finalize();
+  /// The fair-head event fired: complete every fair flow whose virtual
+  /// finish has been reached.
+  void on_fair_head();
+  void sparse_add(double amount, ShareSlotPtr slot, OwnerId owner,
+                  std::coroutine_handle<> h);
+  /// A capped flow's own completion event fired in sparse mode.
+  void sparse_remove_capped(RequestIt it);
+  void sparse_set_capacity(double capacity);
+  /// Credit + sweep + re-derive the whole partition (slot mutations).
+  void sparse_rebuild();
+  /// Re-snapshot every flow, place all fair, rebalance, finalize.  Callers
+  /// have already credited and swept.
+  void rebuild_sparse_partition();
+  /// Dense-engine full pass, then adopt the sparse representation.
+  void migrate_to_sparse();
+  /// Population drained: drop sparse state, next wave starts dense.
+  void reset_sparse_to_dense();
 
   Simulator& sim_;
   std::string name_;
   double capacity_;
   std::list<Request> requests_;
+  Mode mode_ = Mode::kDense;
+  std::size_t sparse_threshold_ = kDefaultSparseThreshold;
+
+  // -- dense-engine state ---------------------------------------------------
   /// Sum of the active requests' cap_rate values, maintained incrementally.
   double cap_rate_sum_ = 0.0;
   /// True iff every active flow's rate equals its cap rate (the under-loaded
   /// guarantee regime): arrivals and departures cannot change anyone else.
   bool all_at_cap_ = true;
-  mutable std::unordered_map<OwnerId, double> served_;
-  double total_served_ = 0.0;
+
+  // -- sparse-engine state --------------------------------------------------
+  double vtime_ = 0.0;          // GPS virtual time, dV/dt = mu * capacity
+  SimTime v_updated_at_ = 0.0;  // real time vtime_ was advanced to
+  double mu_ = 0.0;             // current normalized water level
+  CompensatedSum s_ncap_;       // sum of ncap over capped flows
+  CompensatedSum w_fair_;       // sum of weight over fair flows
+  std::size_t capped_count_ = 0;
+  std::size_t fair_count_ = 0;
+  std::set<FlowKey> capped_by_ratio_;
+  std::set<FlowKey> fair_by_ratio_;
+  std::set<FlowKey> fair_by_finish_;
+  EventHandle fair_head_;
+
+  // -- lookup indexes (both modes) -------------------------------------------
+  std::uint64_t next_request_id_ = 0;
+  std::unordered_map<std::uint64_t, RequestIt> by_id_;
+  /// Per-owner requests in arrival order — served(owner) accumulates
+  /// in-flight progress in exactly the order the old full-list scan did.
+  std::unordered_map<OwnerId, std::vector<const Request*>> owner_index_;
+  std::unordered_map<const ShareSlot*, std::size_t> slot_uses_;
+
+  mutable std::unordered_map<OwnerId, CompensatedSum> served_;
+  CompensatedSum total_served_;
+
   std::uint64_t full_reallocs_ = 0;
   std::uint64_t fast_reallocs_ = 0;
   std::uint64_t rate_rescales_ = 0;
   std::uint64_t rate_keeps_ = 0;
   std::uint64_t flows_skipped_ = 0;
+  std::uint64_t sparse_activations_ = 0;
+  std::uint64_t sparse_events_ = 0;
+  std::uint64_t boundary_crossings_ = 0;
+  std::uint64_t level_updates_ = 0;
+  std::uint64_t noop_slot_reallocs_ = 0;
 };
 
 }  // namespace avf::sim

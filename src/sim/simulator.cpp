@@ -1,9 +1,18 @@
 #include "sim/simulator.hpp"
 
-#include "util/fmt.hpp"
+#include <algorithm>
+#include <limits>
 #include <stdexcept>
 
+#include "util/fmt.hpp"
+
 namespace avf::sim {
+
+namespace {
+/// Smallest far-tier chunk a migration splits off.  Keeps tiny workloads in
+/// pure-heap behavior while letting big waves amortize the selection scan.
+constexpr std::size_t kMinMigration = 64;
+}  // namespace
 
 namespace detail {
 void report_detached_exception(Simulator& sim, std::exception_ptr e) {
@@ -25,15 +34,46 @@ Simulator::~Simulator() {
 }
 
 void EventHandle::cancel() {
-  if (auto rec = rec_.lock()) {
-    rec->cancelled = true;
-    rec->fn = nullptr;  // release captured state eagerly
-  }
+  auto rec = rec_.lock();
+  if (!rec || rec->cancelled || rec->fired) return;
+  rec->cancelled = true;
+  rec->fn = nullptr;  // release captured state eagerly
+  if (rec->sim != nullptr) rec->sim->on_cancelled(*rec);
 }
 
 bool EventHandle::pending() const {
   auto rec = rec_.lock();
-  return rec != nullptr && !rec->cancelled;
+  return rec != nullptr && !rec->cancelled && !rec->fired;
+}
+
+void Simulator::on_cancelled(EventHandle::Record& rec) {
+  if (rec.far_index >= 0) {
+    remove_far(rec);
+    return;
+  }
+  // In the near heap: leave a tombstone, reclaim in bulk when they
+  // outnumber live entries.
+  ++near_cancelled_;
+  maybe_compact_near();
+}
+
+void Simulator::remove_far(EventHandle::Record& rec) {
+  std::size_t i = static_cast<std::size_t>(rec.far_index);
+  rec.far_index = -1;
+  if (i + 1 != far_.size()) {
+    far_[i] = std::move(far_.back());
+    far_[i]->far_index = static_cast<std::int64_t>(i);
+  }
+  far_.pop_back();
+  ++far_removals_;
+}
+
+void Simulator::maybe_compact_near() {
+  if (near_cancelled_ * 2 <= near_.size()) return;
+  std::erase_if(near_, [](const NearEntry& e) { return e.rec->cancelled; });
+  std::make_heap(near_.begin(), near_.end(), FiresAfter{});
+  near_cancelled_ = 0;
+  ++compactions_;
 }
 
 EventHandle Simulator::schedule(SimTime delay, std::function<void()> fn) {
@@ -51,8 +91,71 @@ EventHandle Simulator::schedule_at(SimTime when, std::function<void()> fn) {
   }
   auto rec = std::make_shared<EventHandle::Record>();
   rec->fn = std::move(fn);
-  queue_.push(QueueEntry{when, next_seq_++, rec});
+  rec->time = when;
+  rec->seq = next_seq_++;
+  rec->sim = this;
+  if (when > max_event_time_) max_event_time_ = when;
+  // New events carry a larger seq than any horizon pivot, so the key
+  // comparison against the horizon reduces to the time alone.
+  if (!far_is_everything_ && when < horizon_time_) {
+    near_.push_back(NearEntry{when, rec->seq, rec});
+    std::push_heap(near_.begin(), near_.end(), FiresAfter{});
+  } else {
+    rec->far_index = static_cast<std::int64_t>(far_.size());
+    far_.push_back(rec);
+  }
   return EventHandle(rec);
+}
+
+void Simulator::prune_near_top() {
+  while (!near_.empty() && near_.front().rec->cancelled) {
+    std::pop_heap(near_.begin(), near_.end(), FiresAfter{});
+    near_.pop_back();
+    --near_cancelled_;
+  }
+}
+
+bool Simulator::ensure_next_live() {
+  for (;;) {
+    prune_near_top();
+    if (!near_.empty()) return true;
+    if (far_.empty()) return false;
+    migrate_from_far();  // far entries are never tombstones
+  }
+}
+
+void Simulator::migrate_from_far() {
+  auto key_less = [](const std::shared_ptr<EventHandle::Record>& a,
+                     const std::shared_ptr<EventHandle::Record>& b) {
+    if (a->time != b->time) return a->time < b->time;
+    return a->seq < b->seq;
+  };
+  std::size_t k =
+      std::min(far_.size(), std::max(kMinMigration, far_.size() / 4));
+  if (k < far_.size()) {
+    std::nth_element(far_.begin(),
+                     far_.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                     far_.end(), key_less);
+    horizon_time_ = far_[k - 1]->time;
+    horizon_seq_ = far_[k - 1]->seq;
+  } else {
+    auto max_it = std::max_element(far_.begin(), far_.end(), key_less);
+    horizon_time_ = (*max_it)->time;
+    horizon_seq_ = (*max_it)->seq;
+  }
+  far_is_everything_ = false;
+  near_.reserve(near_.size() + k);
+  for (std::size_t i = 0; i < k; ++i) {
+    far_[i]->far_index = -1;
+    SimTime t = far_[i]->time;
+    std::uint64_t s = far_[i]->seq;
+    near_.push_back(NearEntry{t, s, std::move(far_[i])});
+  }
+  far_.erase(far_.begin(), far_.begin() + static_cast<std::ptrdiff_t>(k));
+  for (std::size_t i = 0; i < far_.size(); ++i) {
+    far_[i]->far_index = static_cast<std::int64_t>(i);
+  }
+  std::make_heap(near_.begin(), near_.end(), FiresAfter{});
 }
 
 void Simulator::spawn(Task<> task) {
@@ -66,11 +169,12 @@ void Simulator::record_exception(std::exception_ptr e) {
 }
 
 void Simulator::fire_next() {
-  QueueEntry entry = queue_.top();
-  queue_.pop();
+  std::pop_heap(near_.begin(), near_.end(), FiresAfter{});
+  NearEntry entry = std::move(near_.back());
+  near_.pop_back();
   now_ = entry.time;
-  if (entry.rec->cancelled) return;
   ++events_processed_;
+  entry.rec->fired = true;  // cancel() during the callback is a no-op
   // Move the callback out so state captured by it dies with this scope even
   // if the record lingers in an EventHandle.
   std::function<void()> fn = std::move(entry.rec->fn);
@@ -86,17 +190,22 @@ void Simulator::rethrow_if_failed() {
 }
 
 bool Simulator::step() {
-  if (queue_.empty()) return false;
+  if (!ensure_next_live()) return false;
   fire_next();
   rethrow_if_failed();
   return true;
 }
 
 void Simulator::run() {
-  while (!queue_.empty()) {
+  while (ensure_next_live()) {
     fire_next();
     rethrow_if_failed();
   }
+  // The old single-queue implementation popped every cancelled entry in
+  // time order, so a drained run left now() at the largest time ever
+  // scheduled — tombstones included.  Real removal skips those pops;
+  // restore the identical final clock explicitly.
+  if (max_event_time_ > now_) now_ = max_event_time_;
 }
 
 void Simulator::run_until(SimTime t) {
@@ -104,7 +213,7 @@ void Simulator::run_until(SimTime t) {
     throw std::invalid_argument(
         avf::util::format("run_until into the past: {} < now {}", t, now_));
   }
-  while (!queue_.empty() && queue_.top().time <= t) {
+  while (ensure_next_live() && near_.front().time <= t) {
     fire_next();
     rethrow_if_failed();
   }

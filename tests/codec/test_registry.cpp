@@ -13,7 +13,18 @@ TEST(Registry, LooksUpById) {
 
 TEST(Registry, LooksUpByName) {
   EXPECT_EQ(&codec_by_name("lzw"), &codec_for(CodecId::kLzw));
+  EXPECT_EQ(&codec_by_name("none"), &codec_for(CodecId::kNone));
+  EXPECT_EQ(&codec_by_name("bwt"), &codec_for(CodecId::kBwt));
   EXPECT_THROW(codec_by_name("gzip"), std::invalid_argument);
+}
+
+TEST(Registry, UnknownNameErrorNamesTheCodec) {
+  try {
+    codec_by_name("gzip");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_EQ(std::string(e.what()), "unknown codec name: gzip");
+  }
 }
 
 TEST(Registry, AllIdsCoverAllCodecs) {

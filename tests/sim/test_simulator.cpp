@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <stdexcept>
 #include <vector>
@@ -179,6 +180,57 @@ TEST(Simulator, AbandonedSpawnedProcessesAreReclaimed) {
     EXPECT_EQ(*cleaned, 0);
   }
   EXPECT_EQ(*cleaned, 3);  // parent + its child + the directly spawned child
+}
+
+TEST(Simulator, MassCancellationKeepsQueueBoundedAndOrdered) {
+  // Regression for the ladder queue's tombstone handling: 100k
+  // schedule/cancel cycles must not accumulate dead entries (the seed
+  // implementation kept every cancelled event until its timestamp
+  // drained), and the survivors must still fire in exact (time, seq)
+  // order.
+  Simulator sim;
+  std::vector<double> fired;
+  std::vector<EventHandle> survivors;
+  std::size_t worst_overhead = 0;
+  constexpr int kRounds = 100;
+  constexpr int kPerRound = 1000;
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<EventHandle> handles;
+    handles.reserve(kPerRound);
+    for (int i = 0; i < kPerRound; ++i) {
+      // Mixed horizons so both the near heap and the far tier see
+      // cancellations.
+      double delay = (i % 97 + 1) * (i % 2 ? 0.001 : 1.0);
+      double at = sim.now() + delay;
+      handles.push_back(sim.schedule(delay, [&fired, at] {
+        fired.push_back(at);
+      }));
+    }
+    for (std::size_t i = 0; i < handles.size(); ++i) {
+      if (i % 100 != 0) {
+        handles[i].cancel();
+      } else {
+        survivors.push_back(handles[i]);
+      }
+    }
+    // Tombstones may never dominate: compaction keeps physical entries
+    // within 2x the live count (+1 for the in-flight rounding).
+    ASSERT_LE(sim.queue_entries(), 2 * sim.queued_events() + 1);
+    worst_overhead = std::max(worst_overhead, sim.queue_entries());
+    sim.run_until(sim.now() + 0.005);
+  }
+  EXPECT_GT(sim.compactions(), 0u);   // near-heap tombstone reclamation ran
+  EXPECT_GT(sim.far_removals(), 0u);  // far-tier O(1) removals ran
+  // 100k scheduled, 99k cancelled: the queue never held anywhere near the
+  // cancelled volume — only ~2x the 1000 surviving events.
+  EXPECT_LE(worst_overhead, 2u * kRounds * (kPerRound / 100) + 16u);
+  sim.run();
+  EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+  std::size_t still_pending = 0;
+  for (EventHandle& h : survivors) still_pending += h.pending() ? 1 : 0;
+  EXPECT_EQ(still_pending, 0u);
+  EXPECT_EQ(fired.size(), survivors.size());
+  EXPECT_EQ(sim.queue_entries(), 0u);
 }
 
 TEST(Simulator, CompletedSpawnedProcessesAreNotDoubleDestroyed) {

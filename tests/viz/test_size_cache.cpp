@@ -112,6 +112,41 @@ TEST(SizeCache, SmallCacheCollapsesToOneShard) {
   EXPECT_EQ(cache.shard_count(), 1u);
 }
 
+TEST(SizeCache, ShardThresholdBoundaryAt256Entries) {
+  // The split happens at exactly kMaxShards^2 = 256 entries: 255 stays a
+  // single exact FIFO, 256 shards 16 ways with a per-shard bound of 16.
+  CompressedSizeCache below(255);
+  EXPECT_EQ(below.shard_count(), 1u);
+  CompressedSizeCache at(256);
+  EXPECT_EQ(at.shard_count(), 16u);
+
+  // Below the boundary: global FIFO, exact capacity 255.  Entry 0 is the
+  // first victim no matter which shard its fingerprint would map to.
+  for (std::uint64_t fp = 0; fp < 255; ++fp) {
+    below.store(CodecId::kLzw, fp << 40, static_cast<std::size_t>(fp));
+  }
+  EXPECT_EQ(below.size(), 255u);
+  EXPECT_EQ(below.evictions(), 0u);
+  below.store(CodecId::kLzw, std::uint64_t{255} << 40, 255);
+  EXPECT_EQ(below.size(), 255u);
+  EXPECT_EQ(below.evictions(), 1u);
+  EXPECT_FALSE(below.lookup(CodecId::kLzw, std::uint64_t{0}).has_value());
+
+  // At the boundary: the bound is per shard (256 / 16 = 16).  Seventeen
+  // keys that all select shard 0 (high bits zero) evict within that shard
+  // even though the cache as a whole is nearly empty.
+  for (std::uint64_t fp = 1; fp <= 16; ++fp) {
+    at.store(CodecId::kLzw, fp, static_cast<std::size_t>(fp));
+  }
+  EXPECT_EQ(at.size(), 16u);
+  EXPECT_EQ(at.evictions(), 0u);
+  at.store(CodecId::kLzw, std::uint64_t{17}, 17);
+  EXPECT_EQ(at.size(), 16u);
+  EXPECT_EQ(at.evictions(), 1u);
+  EXPECT_FALSE(at.lookup(CodecId::kLzw, std::uint64_t{1}).has_value());
+  EXPECT_EQ(at.lookup(CodecId::kLzw, std::uint64_t{17}), 17u);
+}
+
 TEST(SizeCache, ShardedAggregateBoundHolds) {
   CompressedSizeCache cache(256);  // 16 shards x 16 entries
   EXPECT_EQ(cache.shard_count(), 16u);
