@@ -525,8 +525,24 @@ Report lint_database(const AppSpec& spec, const perfdb::PerfDatabase& db,
     return report;
   }
   std::size_t missing = 0;
+  std::size_t predicted_only = 0;
   for (const ConfigPoint& config : spec.space().enumerate()) {
-    if (db.has_config(config)) continue;
+    if (db.has_config(config)) {
+      // Adaptive profiling covers some configurations purely with
+      // regression-tree predictions: the scheduler can select them, so they
+      // are covered — but only to the model's error bound, which is worth a
+      // note rather than an unprofiled warning.
+      if (db.all_predicted(config)) {
+        ++predicted_only;
+        if (predicted_only <= options.max_unprofiled_listed) {
+          report.note(rid(rules::kDbPredictedConfig),
+                      util::format("config '{}'", config.key()),
+                      "covered only by tree-predicted samples (adaptive "
+                      "profiling); no cell was measured in the sandbox");
+        }
+      }
+      continue;
+    }
     ++missing;
     if (missing <= options.max_unprofiled_listed) {
       report.warning(rid(rules::kDbUnprofiledConfig),
@@ -534,6 +550,13 @@ Report lint_database(const AppSpec& spec, const perfdb::PerfDatabase& db,
                      "valid configuration has no profiled samples; the "
                      "scheduler can never select it");
     }
+  }
+  if (predicted_only > options.max_unprofiled_listed) {
+    report.note(
+        rid(rules::kDbPredictedConfig), "database",
+        util::format("...and {} more configurations covered only by "
+                     "tree-predicted samples",
+                     predicted_only - options.max_unprofiled_listed));
   }
   if (missing > options.max_unprofiled_listed) {
     report.warning(

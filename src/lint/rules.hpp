@@ -50,6 +50,7 @@ inline constexpr std::string_view kDbAxisMismatch = "db.axis-mismatch";
 inline constexpr std::string_view kDbMetricMismatch = "db.metric-mismatch";
 inline constexpr std::string_view kDbInvalidConfig = "db.invalid-config";
 inline constexpr std::string_view kDbUnprofiledConfig = "db.unprofiled-config";
+inline constexpr std::string_view kDbPredictedConfig = "db.predicted-config";
 inline constexpr std::string_view kDbEmpty = "db.empty";
 
 // -- meta --------------------------------------------------------------

@@ -30,6 +30,7 @@ PerfDatabase::PerfDatabase(const PerfDatabase& other)
       schema_(other.schema_),
       by_config_(other.by_config_),
       total_records_(other.total_records_),
+      predicted_records_(other.predicted_records_),
       cache_(other.cache_),
       index_rebuilds_(other.index_rebuilds_.load()) {
   // The copied indexes hold pointers into `other`'s sample nodes; drop
@@ -50,6 +51,7 @@ PerfDatabase::PerfDatabase(PerfDatabase&& other) noexcept
       schema_(std::move(other.schema_)),
       by_config_(std::move(other.by_config_)),
       total_records_(other.total_records_),
+      predicted_records_(other.predicted_records_),
       cache_(std::move(other.cache_)),
       index_rebuilds_(other.index_rebuilds_.load()) {}
 
@@ -59,6 +61,7 @@ PerfDatabase& PerfDatabase::operator=(PerfDatabase&& other) noexcept {
     schema_ = std::move(other.schema_);
     by_config_ = std::move(other.by_config_);
     total_records_ = other.total_records_;
+    predicted_records_ = other.predicted_records_;
     cache_ = std::move(other.cache_);
     index_rebuilds_.store(other.index_rebuilds_.load());
   }
@@ -67,7 +70,8 @@ PerfDatabase& PerfDatabase::operator=(PerfDatabase&& other) noexcept {
 
 PerfDatabase::ConfigData& PerfDatabase::insert_raw(const ConfigPoint& config,
                                                    const ResourcePoint& at,
-                                                   const QosVector& quality) {
+                                                   const QosVector& quality,
+                                                   Provenance provenance) {
   if (at.size() != axes_.size()) {
     throw std::invalid_argument(
         util::format("resource point has {} axes, database has {}", at.size(),
@@ -84,13 +88,18 @@ PerfDatabase::ConfigData& PerfDatabase::insert_raw(const ConfigPoint& config,
   auto [it, inserted] = data.samples.insert_or_assign(at, quality);
   (void)it;
   if (inserted) ++total_records_;
+  if (provenance == Provenance::kPredicted) {
+    if (data.predicted.insert(at).second) ++predicted_records_;
+  } else if (data.predicted.erase(at) > 0) {
+    --predicted_records_;
+  }
   data.index.note_insert(inserted);
   return data;
 }
 
 void PerfDatabase::insert(const ConfigPoint& config, const ResourcePoint& at,
-                          const QosVector& quality) {
-  ConfigData& data = insert_raw(config, at, quality);
+                          const QosVector& quality, Provenance provenance) {
+  ConfigData& data = insert_raw(config, at, quality, provenance);
   cache_.invalidate_config(data.config.key());
 }
 
@@ -100,10 +109,25 @@ void PerfDatabase::insert_batch(const std::vector<PerfRecord>& records) {
   // the first query after the batch.
   std::set<std::string> touched;
   for (const PerfRecord& r : records) {
-    ConfigData& data = insert_raw(r.config, r.resources, r.quality);
+    ConfigData& data =
+        insert_raw(r.config, r.resources, r.quality, r.provenance);
     touched.insert(data.config.key());
   }
   for (const std::string& key : touched) cache_.invalidate_config(key);
+}
+
+std::optional<Provenance> PerfDatabase::provenance(
+    const ConfigPoint& config, const ResourcePoint& at) const {
+  const ConfigData* data = find(config);
+  if (data == nullptr || !data->samples.contains(at)) return std::nullopt;
+  return data->predicted.contains(at) ? Provenance::kPredicted
+                                      : Provenance::kMeasured;
+}
+
+bool PerfDatabase::all_predicted(const ConfigPoint& config) const {
+  const ConfigData* data = find(config);
+  return data != nullptr && !data->samples.empty() &&
+         data->predicted.size() == data->samples.size();
 }
 
 std::vector<ConfigPoint> PerfDatabase::configs() const {
@@ -127,7 +151,10 @@ std::vector<PerfRecord> PerfDatabase::records(const ConfigPoint& config) const {
   const ConfigData* data = find(config);
   if (data == nullptr) return out;
   for (const auto& [point, quality] : data->samples) {
-    out.push_back(PerfRecord{data->config, point, quality});
+    out.push_back(PerfRecord{data->config, point, quality,
+                             data->predicted.contains(point)
+                                 ? Provenance::kPredicted
+                                 : Provenance::kMeasured});
   }
   return out;
 }
@@ -162,6 +189,7 @@ void PerfDatabase::erase_config(const ConfigPoint& config) {
   auto it = by_config_.find(config.key());
   if (it != by_config_.end()) {
     total_records_ -= it->second.samples.size();
+    predicted_records_ -= it->second.predicted.size();
     cache_.invalidate_config(it->first);
     by_config_.erase(it);
   }
@@ -367,6 +395,11 @@ void PerfDatabase::reset_prediction_stats() {
 // Persistence.
 
 void PerfDatabase::save(std::ostream& out) const {
+  // The `origin` column only appears when there is something to flag: an
+  // all-measured database keeps the historic column set, so adaptive
+  // profiling at full budget stays byte-identical to exhaustive profiling
+  // and old CSV files remain valid round-trip fixtures.
+  const bool with_origin = predicted_records_ > 0;
   std::vector<std::string> header{"config"};
   for (const auto& axis : axes_) header.push_back("res:" + axis);
   for (const auto& m : schema_.metrics()) {
@@ -374,6 +407,7 @@ void PerfDatabase::save(std::ostream& out) const {
         "metric:{}:{}", m.name,
         m.direction == tunable::Direction::kLowerBetter ? "lower" : "higher"));
   }
+  if (with_origin) header.push_back("origin");
   util::CsvWriter writer(out, header);
   for (const auto& [key, data] : by_config_) {
     for (const auto& [point, quality] : data.samples) {
@@ -381,6 +415,10 @@ void PerfDatabase::save(std::ostream& out) const {
       for (double v : point) row.push_back(util::CsvWriter::field(v));
       for (const auto& m : schema_.metrics()) {
         row.push_back(util::CsvWriter::field(quality.get(m.name)));
+      }
+      if (with_origin) {
+        row.push_back(data.predicted.contains(point) ? "predicted"
+                                                     : "measured");
       }
       writer.row(row);
     }
@@ -416,9 +454,12 @@ PerfDatabase PerfDatabase::load(std::istream& in) {
   tunable::MetricSchema schema;
   std::vector<std::size_t> axis_cols, metric_cols;
   std::vector<std::string> metric_names;
+  std::optional<std::size_t> origin_col;
   for (std::size_t c = 0; c < doc.header.size(); ++c) {
     const std::string& h = doc.header[c];
-    if (h.starts_with("res:")) {
+    if (h == "origin") {
+      origin_col = c;
+    } else if (h.starts_with("res:")) {
       axes.push_back(h.substr(4));
       axis_cols.push_back(c);
     } else if (h.starts_with("metric:")) {
@@ -457,7 +498,18 @@ PerfDatabase PerfDatabase::load(std::istream& in) {
                                                       r + 1,
                                                       doc.header[metric_cols[i]]));
     }
-    db.insert(config, point, quality);
+    Provenance provenance = Provenance::kMeasured;
+    if (origin_col) {
+      const std::string& cell = row[*origin_col];
+      if (cell == "predicted") {
+        provenance = Provenance::kPredicted;
+      } else if (cell != "measured") {
+        throw std::runtime_error(util::format(
+            "perfdb load: unknown origin '{}' (row {}, column origin)", cell,
+            r + 1));
+      }
+    }
+    db.insert(config, point, quality, provenance);
   }
   return db;
 }

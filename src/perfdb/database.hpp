@@ -25,6 +25,7 @@
 #include <iosfwd>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -35,10 +36,21 @@
 
 namespace avf::perfdb {
 
+/// Where a stored sample came from.  Exhaustive profiling produces only
+/// kMeasured cells; adaptive profiling (ProfilingDriver::profile_adaptive)
+/// fills the unsampled remainder of the grid with kPredicted cells from its
+/// regression trees.  The distinction survives save()/load() — predicted
+/// cells are flagged, never silently promoted to measurements.
+enum class Provenance {
+  kMeasured,   ///< ran in the sandbox
+  kPredicted,  ///< regression-tree estimate, bounded-error only
+};
+
 struct PerfRecord {
   tunable::ConfigPoint config;
   ResourcePoint resources;
   tunable::QosVector quality;
+  Provenance provenance = Provenance::kMeasured;
 };
 
 class PerfDatabase {
@@ -59,9 +71,11 @@ class PerfDatabase {
   const std::vector<std::string>& axes() const { return axes_; }
   const tunable::MetricSchema& schema() const { return schema_; }
 
-  /// Insert one sample; re-inserting the same (config, point) overwrites.
+  /// Insert one sample; re-inserting the same (config, point) overwrites
+  /// (value and provenance both).
   void insert(const tunable::ConfigPoint& config, const ResourcePoint& at,
-              const tunable::QosVector& quality);
+              const tunable::QosVector& quality,
+              Provenance provenance = Provenance::kMeasured);
 
   /// Insert a batch of samples in order.  Equivalent to calling insert()
   /// per record, but each touched configuration is invalidated (prediction
@@ -70,6 +84,14 @@ class PerfDatabase {
   void insert_batch(const std::vector<PerfRecord>& records);
 
   std::size_t size() const { return total_records_; }
+  /// Number of stored cells that are tree-predicted rather than measured.
+  std::size_t predicted_count() const { return predicted_records_; }
+  /// Provenance of the sample at (config, at); nullopt when absent.
+  std::optional<Provenance> provenance(const tunable::ConfigPoint& config,
+                                       const ResourcePoint& at) const;
+  /// All of `config`'s stored samples are predictions (false when the
+  /// config is absent or has at least one measured cell).
+  bool all_predicted(const tunable::ConfigPoint& config) const;
   std::vector<tunable::ConfigPoint> configs() const;
   /// Visit every stored configuration without copying the points.
   void for_each_config(
@@ -116,6 +138,10 @@ class PerfDatabase {
   void reset_prediction_stats();
 
   // -- persistence (CSV: axes..., then metrics..., keyed by config) -----
+  /// A database with predicted cells additionally emits an `origin` column
+  /// ("measured" / "predicted").  All-measured databases keep the historic
+  /// column set, so exhaustive profiles round-trip byte-identically against
+  /// pre-provenance files.
   void save(std::ostream& out) const;
   /// Parse a database saved by save().  Throws std::runtime_error naming
   /// the offending row/column on malformed numeric cells and on unknown
@@ -127,6 +153,8 @@ class PerfDatabase {
     tunable::ConfigPoint config;
     // Keyed by resource point for exact-corner lookup.
     std::map<ResourcePoint, tunable::QosVector> samples;
+    // Points whose sample is a tree prediction (absent = measured).
+    std::set<ResourcePoint> predicted;
     // Lazily (re)built prediction index over `samples`.
     mutable GridIndex index;
   };
@@ -151,10 +179,12 @@ class PerfDatabase {
   /// invalidation to the caller (per-sample vs per-batch).
   ConfigData& insert_raw(const tunable::ConfigPoint& config,
                          const ResourcePoint& at,
-                         const tunable::QosVector& quality);
+                         const tunable::QosVector& quality,
+                         Provenance provenance);
 
   std::map<std::string, ConfigData> by_config_;  // key() -> data
   std::size_t total_records_ = 0;
+  std::size_t predicted_records_ = 0;
   mutable PredictionCache cache_;
   // Atomic: the parallel post-passes (prune/sensitivity) trigger lazy index
   // builds for *distinct* configurations from different workers; the

@@ -17,12 +17,22 @@
 // profile_serial().  Callers with per-run state supply a RunFactory; each
 // worker thread then gets its own RunFn, so testbed/sandbox state is never
 // shared across threads.
+// Adaptive profiling (after "A Decision Tree Based Approach Towards
+// Adaptive Profiling of Distributed Applications") caps the sandbox-run
+// count instead: profile_adaptive() measures a seeded space-filling sample,
+// fits one regression tree per metric, spends the remaining budget on the
+// highest-variance leaves, and emits a database where every unmeasured cell
+// is tree-predicted and flagged (Provenance::kPredicted).  profile_serial
+// stays the untouched ground-truth path; predictions are validated against
+// it by an error-bound test suite, not bit-exactness.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
 #include "perfdb/database.hpp"
+#include "perfdb/regression_tree.hpp"
 #include "perfdb/sensitivity.hpp"
 #include "tunable/app_spec.hpp"
 
@@ -82,6 +92,40 @@ class ProfilingDriver {
   /// suggestions are ranked (strength desc, config, point) and the
   /// per-round budget is allocated round-robin across configurations.
   std::size_t refine(PerfDatabase& db) const;
+
+  struct AdaptiveOptions {
+    /// Cap on sandbox runs (cells measured); every other cell of the
+    /// configs x grid product is tree-predicted.  Clamped to the cell
+    /// count; 0 is invalid.  budget >= |cells| degenerates to the
+    /// exhaustive sweep (byte-identical database, no `origin` column).
+    std::size_t budget = 0;
+    /// Seed of the deterministic space-filling sample (a SplitMix64
+    /// Fisher-Yates permutation of the cells).  Same seed + budget =>
+    /// byte-identical database at any thread count.
+    std::uint64_t seed = 1;
+    /// Share of the budget spent on the seeded sample before tree-guided
+    /// rounds (at least one cell, at most the whole budget).
+    double initial_fraction = 0.5;
+    /// Cells measured per tree-guided round.
+    std::size_t round_size = 16;
+    /// Regression-tree shape (see RegressionTree::Options).
+    std::size_t min_leaf = 2;
+    std::size_t max_depth = 16;
+  };
+
+  /// Budgeted profiling: measure `options.budget` cells (seeded sample +
+  /// leaf-variance-guided rounds), then fill the rest of the grid with
+  /// regression-tree predictions flagged Provenance::kPredicted.
+  /// Options::refinement_rounds is not applied — the tree, not the
+  /// sensitivity scan, decides where the budget goes.  Rounds shard across
+  /// Options::threads with the same canonical-order commit contract as
+  /// profile(): the database is byte-identical at any thread count.  The
+  /// fitted model is returned through `model_out` when non-null (leaf
+  /// variances give sensitivity_analysis a principled refinement order).
+  PerfDatabase profile_adaptive(const tunable::AppSpec& spec,
+                                const std::vector<std::vector<double>>& grid,
+                                const AdaptiveOptions& options,
+                                AdaptiveModel* model_out = nullptr) const;
 
  private:
   void validate_grid(const tunable::AppSpec& spec,

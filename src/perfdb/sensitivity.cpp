@@ -98,4 +98,30 @@ std::vector<RefinementSuggestion> sensitivity_analysis(
   return out;
 }
 
+std::vector<RefinementSuggestion> rank_by_leaf_variance(
+    std::vector<RefinementSuggestion> suggestions,
+    const AdaptiveModel& model) {
+  std::vector<double> scores;
+  scores.reserve(suggestions.size());
+  for (const RefinementSuggestion& s : suggestions) {
+    auto it = model.trees.find(s.metric);
+    if (it == model.trees.end() || !it->second.fitted()) {
+      scores.push_back(0.0);
+      continue;
+    }
+    scores.push_back(
+        it->second.leaf_variance(model.features_of(s.config, s.point)));
+  }
+  std::vector<std::size_t> order(suggestions.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return scores[a] > scores[b];
+                   });
+  std::vector<RefinementSuggestion> ranked;
+  ranked.reserve(suggestions.size());
+  for (std::size_t i : order) ranked.push_back(std::move(suggestions[i]));
+  return ranked;
+}
+
 }  // namespace avf::perfdb

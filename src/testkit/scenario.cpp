@@ -208,7 +208,7 @@ const tunable::AppSpec& testkit_app_spec() {
   static const tunable::AppSpec spec = [] {
     tunable::AppSpec s("testkit-pipeline");
     s.space().add_parameter("q", {1, 2, 3, 4});  // payload quality level
-    s.space().add_parameter("c", {0, 1});        // compression on/off
+    s.space().add_parameter("c", {0, 1, 2});     // codec: none/lzw/bwt
     s.metrics().add("response", tunable::Direction::kLowerBetter);
     s.metrics().add("quality", tunable::Direction::kHigherBetter);
     s.add_resource_axis("cpu_share");
@@ -231,17 +231,21 @@ const tunable::AppSpec& testkit_app_spec() {
 }
 
 double AppModel::ops(const tunable::ConfigPoint& config) const {
-  // Higher quality costs proportional client CPU; compression costs 1.75x.
-  // Sized so that CPU faults (share <= 0.5) push q=4 past the interactive
-  // response bound and force a quality downshift, while q=1 stays viable
-  // at the worst injected share (0.15).
-  return static_cast<double>(config.get("q")) * 36e6 *
-         (config.get("c") != 0 ? 1.75 : 1.0);
+  // Higher quality costs proportional client CPU; codecs cost extra compute
+  // (lzw 1.75x, bwt 2.75x — the block sort dominates).  Sized so that CPU
+  // faults (share <= 0.5) push q=4 past the interactive response bound and
+  // force a quality downshift, while q=1 stays viable at the worst injected
+  // share (0.15).
+  const int c = config.get("c");
+  const double codec_cost = c == 2 ? 2.75 : c == 1 ? 1.75 : 1.0;
+  return static_cast<double>(config.get("q")) * 36e6 * codec_cost;
 }
 
 double AppModel::reply_bytes(const tunable::ConfigPoint& config) const {
-  return static_cast<double>(config.get("q")) * 24e3 /
-         (config.get("c") != 0 ? 2.0 : 1.0);
+  // lzw halves the payload; bwt+mtf compresses markedly harder.
+  const int c = config.get("c");
+  const double ratio = c == 2 ? 2.8 : c == 1 ? 2.0 : 1.0;
+  return static_cast<double>(config.get("q")) * 24e3 / ratio;
 }
 
 double AppModel::response(const tunable::ConfigPoint& config, double cpu_share,

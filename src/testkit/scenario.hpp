@@ -9,7 +9,8 @@
 // suite) viable inside ASan/UBSan CI.
 //
 // Tunables: q in {1,2,3,4} (payload quality; more bytes, more client CPU)
-// and c in {0,1} (compression; halves bytes, costs 1.75x CPU).  Metrics:
+// and c in {0,1,2} (codec: none / lzw halves bytes at 1.75x CPU / bwt
+// compresses 2.8x at 2.75x CPU — same ladder as the codec library).  Metrics:
 // `response` (s per task, lower better) and `quality` (= q, higher better).
 // Resource axes: cpu_share, net_bps — the same two the paper's Active
 // Visualization experiments vary.

@@ -439,6 +439,25 @@ perfdb::PerfDatabase build_viz_database(const WorldSetup& base,
   return driver.profile(viz_app_spec(), {cpu_grid, bw_grid});
 }
 
+perfdb::PerfDatabase build_viz_database_adaptive(
+    const WorldSetup& base, const std::vector<double>& cpu_grid,
+    const std::vector<double>& bw_grid, std::size_t budget,
+    std::uint64_t seed, std::size_t threads,
+    perfdb::AdaptiveModel* model_out) {
+  perfdb::ProfilingDriver::Options options;
+  options.threads = threads;
+  perfdb::ProfilingDriver driver(make_viz_run_fn(base), options);
+  perfdb::ProfilingDriver::AdaptiveOptions adaptive;
+  adaptive.budget = budget;
+  adaptive.seed = seed;
+  // Smaller rounds refit the trees more often; on the steep viz response
+  // surface that roughly halves the worst-case prediction error at a 25%
+  // budget (see bench/micro_adaptive) for a negligible fitting cost.
+  adaptive.round_size = 8;
+  return driver.profile_adaptive(viz_app_spec(), {cpu_grid, bw_grid},
+                                 adaptive, model_out);
+}
+
 const perfdb::PerfDatabase& standard_viz_database(
     const std::string& cache_path) {
   static std::map<std::string, perfdb::PerfDatabase> memo;

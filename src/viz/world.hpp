@@ -207,6 +207,18 @@ perfdb::PerfDatabase build_viz_database(
     const std::vector<double>& bw_grid, int refinement_rounds = 0,
     std::size_t threads = 1);
 
+/// Budgeted profiling of viz_app_spec(): at most `budget` cells of the
+/// configs x grid product are simulated (seeded sample + tree-guided
+/// rounds), the rest are regression-tree predictions flagged
+/// Provenance::kPredicted.  Same seed + budget => byte-identical database
+/// at any thread count; budget >= the full product degenerates to
+/// build_viz_database(..., 0, threads) byte-for-byte.
+perfdb::PerfDatabase build_viz_database_adaptive(
+    const WorldSetup& base, const std::vector<double>& cpu_grid,
+    const std::vector<double>& bw_grid, std::size_t budget,
+    std::uint64_t seed = 1, std::size_t threads = 1,
+    perfdb::AdaptiveModel* model_out = nullptr);
+
 /// The database used by the figure benchmarks: built once per process on
 /// the standard grid, cached as CSV at `cache_path` across processes
 /// (pass "" to disable the file cache).

@@ -10,6 +10,7 @@
 
 #include "examples/specs.hpp"
 #include "perfdb/database.hpp"
+#include "testkit/scenario.hpp"
 #include "tunable/app_spec.hpp"
 #include "tunable/preferences.hpp"
 #include "viz/world.hpp"
@@ -322,6 +323,56 @@ TEST(LintDatabase, UnprofiledValidConfigIsAWarning) {
   EXPECT_EQ(count_rule(report, rules::kDbUnprofiledConfig), 1u);
 }
 
+TEST(LintDatabase, PredictedOnlyConfigIsANoteNotAWarning) {
+  AppSpec spec = clean_spec();
+  perfdb::PerfDatabase db = db_for(spec);
+  // a=2,b=1 is covered purely by tree predictions (adaptive profiling);
+  // everything else is sandbox-measured.
+  for (const ConfigPoint& config : spec.space().enumerate()) {
+    bool predicted = config.get("a") == 2 && config.get("b") == 1;
+    db.insert(config, {0.5}, sample_for(spec),
+              predicted ? perfdb::Provenance::kPredicted
+                        : perfdb::Provenance::kMeasured);
+  }
+  Report report = lint_database(spec, db);
+  EXPECT_FALSE(report.has_errors()) << report.str();
+  EXPECT_EQ(report.warning_count(), 0u) << report.str();
+  EXPECT_FALSE(report.has_rule(rules::kDbUnprofiledConfig)) << report.str();
+  ASSERT_EQ(count_rule(report, rules::kDbPredictedConfig), 1u) << report.str();
+  for (const Diagnostic& d : report.diagnostics()) {
+    if (d.rule == rules::kDbPredictedConfig) {
+      EXPECT_EQ(d.severity, Severity::kNote);
+    }
+  }
+}
+
+TEST(LintDatabase, MixedProvenanceConfigGetsNoNote) {
+  AppSpec spec = clean_spec();
+  perfdb::PerfDatabase db = db_for(spec);
+  for (const ConfigPoint& config : spec.space().enumerate()) {
+    db.insert(config, {0.5}, sample_for(spec));
+    db.insert(config, {1.0}, sample_for(spec), perfdb::Provenance::kPredicted);
+  }
+  Report report = lint_database(spec, db);
+  EXPECT_TRUE(report.empty()) << report.str();
+}
+
+TEST(LintDatabase, PredictedOnlyListIsCappedWithSummary) {
+  AppSpec spec("wide");
+  spec.space().add_parameter("p", {1, 2, 3, 4, 5, 6, 7, 8});
+  spec.metrics().add("m", Direction::kLowerBetter);
+  spec.add_resource_axis("cpu_share");
+  perfdb::PerfDatabase db = db_for(spec);
+  for (const ConfigPoint& config : spec.space().enumerate()) {
+    db.insert(config, {0.5}, sample_for(spec), perfdb::Provenance::kPredicted);
+  }
+  Options options;
+  options.max_unprofiled_listed = 3;
+  Report report = lint_database(spec, db, options);
+  EXPECT_EQ(count_rule(report, rules::kDbPredictedConfig), 4u)
+      << report.str();  // 3 listed + 1 "and N more" summary
+}
+
 TEST(LintDatabase, UnprofiledListIsCappedWithSummary) {
   AppSpec spec("wide");
   spec.space().add_parameter("p", {1, 2, 3, 4, 5, 6, 7, 8});
@@ -431,6 +482,21 @@ TEST(LintExamples, VizSpecAndPreferencesLintClean) {
   Report report = lint_spec(spec);
   report.merge(lint_preferences(spec, examples::viz_preferences()));
   EXPECT_TRUE(report.empty()) << report.str();
+}
+
+TEST(LintExamples, WidenedTestkitSpecCoversBwtAndLintsClean) {
+  // The testkit spec's c domain now includes bwt (c=2); the analytic
+  // database must profile its curves for every (q, c) pair, and the
+  // guard-feasibility / coverage analysis must stay clean.
+  const AppSpec& spec = testkit::testkit_app_spec();
+  perfdb::PerfDatabase db = testkit::build_testkit_database(testkit::AppModel{});
+  Report report = lint_app(spec, nullptr, &db);
+  EXPECT_TRUE(report.empty()) << report.str();
+  std::size_t bwt_configs = 0;
+  for (const ConfigPoint& config : db.configs()) {
+    if (config.get("c") == 2) ++bwt_configs;
+  }
+  EXPECT_EQ(bwt_configs, 4u);  // one per quality level q in {1,2,3,4}
 }
 
 }  // namespace

@@ -1,0 +1,154 @@
+// Provenance flags on stored samples: adaptive profiling marks
+// tree-predicted cells kPredicted, and the flag must survive save()/load()
+// without disturbing the historic CSV format of all-measured databases.
+#include "perfdb/database.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "tunable/config.hpp"
+#include "tunable/qos.hpp"
+
+namespace avf::perfdb {
+namespace {
+
+using tunable::ConfigPoint;
+using tunable::Direction;
+using tunable::MetricSchema;
+using tunable::QosVector;
+
+MetricSchema schema() {
+  MetricSchema s;
+  s.add("time", Direction::kLowerBetter);
+  s.add("quality", Direction::kHigherBetter);
+  return s;
+}
+
+ConfigPoint config_q(int q) {
+  ConfigPoint c;
+  c.set("q", q);
+  return c;
+}
+
+QosVector qos(double t, double quality) {
+  QosVector q;
+  q.set("time", t);
+  q.set("quality", quality);
+  return q;
+}
+
+std::string save_bytes(const PerfDatabase& db) {
+  std::ostringstream out;
+  db.save(out);
+  return out.str();
+}
+
+PerfDatabase roundtrip(const PerfDatabase& db) {
+  std::stringstream io;
+  db.save(io);
+  return PerfDatabase::load(io);
+}
+
+TEST(Provenance, InsertDefaultsToMeasured) {
+  PerfDatabase db({"cpu"}, schema());
+  db.insert(config_q(1), {0.5}, qos(1.0, 2.0));
+  EXPECT_EQ(db.predicted_count(), 0u);
+  ASSERT_TRUE(db.provenance(config_q(1), {0.5}).has_value());
+  EXPECT_EQ(*db.provenance(config_q(1), {0.5}), Provenance::kMeasured);
+  EXPECT_FALSE(db.provenance(config_q(1), {0.75}).has_value());
+  EXPECT_FALSE(db.provenance(config_q(9), {0.5}).has_value());
+}
+
+TEST(Provenance, AllMeasuredDatabaseKeepsHistoricColumns) {
+  PerfDatabase db({"cpu"}, schema());
+  db.insert(config_q(1), {0.5}, qos(1.0, 2.0));
+  db.insert(config_q(2), {0.5}, qos(2.0, 3.0));
+  EXPECT_EQ(save_bytes(db).find("origin"), std::string::npos);
+  // ...and the round-trip through the historic format stays byte-exact.
+  EXPECT_EQ(save_bytes(roundtrip(db)), save_bytes(db));
+}
+
+TEST(Provenance, PredictedCellsRoundTripThroughSaveLoad) {
+  PerfDatabase db({"cpu"}, schema());
+  db.insert(config_q(1), {0.5}, qos(1.0, 2.0));
+  db.insert(config_q(1), {1.0}, qos(0.5, 2.0), Provenance::kPredicted);
+  db.insert(config_q(2), {0.5}, qos(2.0, 3.0), Provenance::kPredicted);
+  EXPECT_EQ(db.predicted_count(), 2u);
+  EXPECT_NE(save_bytes(db).find("origin"), std::string::npos);
+
+  PerfDatabase loaded = roundtrip(db);
+  EXPECT_EQ(loaded.size(), 3u);
+  EXPECT_EQ(loaded.predicted_count(), 2u);
+  EXPECT_EQ(*loaded.provenance(config_q(1), {0.5}), Provenance::kMeasured);
+  EXPECT_EQ(*loaded.provenance(config_q(1), {1.0}), Provenance::kPredicted);
+  EXPECT_EQ(*loaded.provenance(config_q(2), {0.5}), Provenance::kPredicted);
+  EXPECT_EQ(save_bytes(loaded), save_bytes(db));
+}
+
+TEST(Provenance, ReinsertOverwritesProvenanceBothWays) {
+  PerfDatabase db({"cpu"}, schema());
+  db.insert(config_q(1), {0.5}, qos(1.0, 2.0), Provenance::kPredicted);
+  EXPECT_EQ(db.predicted_count(), 1u);
+  // A later sandbox measurement of the same cell promotes it...
+  db.insert(config_q(1), {0.5}, qos(1.1, 2.0));
+  EXPECT_EQ(db.predicted_count(), 0u);
+  EXPECT_EQ(*db.provenance(config_q(1), {0.5}), Provenance::kMeasured);
+  // ...and the origin column disappears with the last predicted cell.
+  EXPECT_EQ(save_bytes(db).find("origin"), std::string::npos);
+  // The reverse direction (demotion) also has to keep the counter honest.
+  db.insert(config_q(1), {0.5}, qos(1.2, 2.0), Provenance::kPredicted);
+  EXPECT_EQ(db.predicted_count(), 1u);
+}
+
+TEST(Provenance, AllPredictedDistinguishesConfigs) {
+  PerfDatabase db({"cpu"}, schema());
+  db.insert(config_q(1), {0.5}, qos(1.0, 2.0), Provenance::kPredicted);
+  db.insert(config_q(1), {1.0}, qos(0.5, 2.0), Provenance::kPredicted);
+  db.insert(config_q(2), {0.5}, qos(2.0, 3.0), Provenance::kPredicted);
+  db.insert(config_q(2), {1.0}, qos(1.5, 3.0));
+  EXPECT_TRUE(db.all_predicted(config_q(1)));
+  EXPECT_FALSE(db.all_predicted(config_q(2)));  // one measured cell
+  EXPECT_FALSE(db.all_predicted(config_q(9)));  // absent
+}
+
+TEST(Provenance, RecordsCarryProvenance) {
+  PerfDatabase db({"cpu"}, schema());
+  db.insert(config_q(1), {0.5}, qos(1.0, 2.0));
+  db.insert(config_q(1), {1.0}, qos(0.5, 2.0), Provenance::kPredicted);
+  std::size_t predicted = 0;
+  for (const PerfRecord& r : db.records(config_q(1))) {
+    if (r.provenance == Provenance::kPredicted) ++predicted;
+  }
+  EXPECT_EQ(predicted, 1u);
+}
+
+TEST(Provenance, EraseConfigAndCopiesKeepTheCounter) {
+  PerfDatabase db({"cpu"}, schema());
+  db.insert(config_q(1), {0.5}, qos(1.0, 2.0), Provenance::kPredicted);
+  db.insert(config_q(2), {0.5}, qos(2.0, 3.0), Provenance::kPredicted);
+  PerfDatabase copy = db;
+  EXPECT_EQ(copy.predicted_count(), 2u);
+  db.erase_config(config_q(1));
+  EXPECT_EQ(db.predicted_count(), 1u);
+  EXPECT_EQ(copy.predicted_count(), 2u);
+  PerfDatabase moved = std::move(copy);
+  EXPECT_EQ(moved.predicted_count(), 2u);
+}
+
+TEST(Provenance, UnknownOriginTokenIsALoadError) {
+  PerfDatabase db({"cpu"}, schema());
+  db.insert(config_q(1), {0.5}, qos(1.0, 2.0), Provenance::kPredicted);
+  std::string csv = save_bytes(db);
+  const std::string needle = "predicted";
+  const auto at = csv.rfind(needle);  // the data row, not the header
+  ASSERT_NE(at, std::string::npos);
+  csv.replace(at, needle.size(), "guessed");
+  std::istringstream in(csv);
+  EXPECT_THROW(PerfDatabase::load(in), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace avf::perfdb

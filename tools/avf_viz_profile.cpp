@@ -5,10 +5,20 @@
 //
 // Usage:
 //   avf_viz_profile [--size N] [--images SEED] [--cpu a,b,c] [--bw a,b,c]
-//                   [--refine R] [--threads T] [--out FILE]
+//                   [--refine R] [--budget B] [--seed S] [--threads T]
+//                   [--out FILE]
 // Defaults: 512x512 image, cpu 0.1,0.4,0.7,1.0, bw 25e3,50e3,250e3,500e3,
 // no refinement, 1 thread (0 = hardware concurrency; any thread count
 // produces a byte-identical database), stdout.
+//
+// --budget B caps the sandbox runs at B cells (adaptive profiling): the
+// driver measures a seeded space-filling sample, fits one regression tree
+// per metric, spends the rest of the budget on the highest-variance leaves,
+// and emits tree predictions (flagged in an `origin` column) for the
+// unmeasured cells.  --seed S picks the space-filling sample (default 1).
+// --budget excludes --refine; a budget covering the whole grid degenerates
+// to the exhaustive sweep byte-for-byte.
+#include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -34,7 +44,8 @@ std::vector<double> parse_list(const std::string& arg) {
 
 [[noreturn]] void usage() {
   std::cerr << "usage: avf_viz_profile [--size N] [--cpu a,b,..] "
-               "[--bw a,b,..] [--refine R] [--threads T] [--out FILE]\n";
+               "[--bw a,b,..] [--refine R] [--budget B] [--seed S] "
+               "[--threads T] [--out FILE]\n";
   std::exit(2);
 }
 
@@ -46,6 +57,8 @@ int main(int argc, char** argv) {
   std::vector<double> cpu_grid{0.1, 0.4, 0.7, 1.0};
   std::vector<double> bw_grid{25e3, 50e3, 250e3, 500e3};
   int refine = 0;
+  std::size_t budget = 0;  // 0 = exhaustive sweep
+  std::uint64_t seed = 1;
   std::size_t threads = 1;
   std::string out_path;
 
@@ -63,6 +76,12 @@ int main(int argc, char** argv) {
       bw_grid = parse_list(next());
     } else if (arg == "--refine") {
       refine = std::stoi(next());
+    } else if (arg == "--budget") {
+      long long b = std::stoll(next());
+      if (b <= 0) usage();
+      budget = static_cast<std::size_t>(b);
+    } else if (arg == "--seed") {
+      seed = std::stoull(next());
     } else if (arg == "--threads") {
       int t = std::stoi(next());
       if (t < 0) usage();
@@ -74,6 +93,7 @@ int main(int argc, char** argv) {
     }
   }
   if (cpu_grid.empty() || bw_grid.empty()) usage();
+  if (budget > 0 && refine > 0) usage();  // the tree owns the budget
 
   std::cerr << "profiling " << viz::viz_app_spec().space().enumerate().size()
             << " configurations over " << cpu_grid.size() << "x"
@@ -83,8 +103,16 @@ int main(int argc, char** argv) {
             << (threads == 0 ? std::string("hw") : std::to_string(threads))
             << " threads)...\n";
   perfdb::PerfDatabase db =
-      viz::build_viz_database(setup, cpu_grid, bw_grid, refine, threads);
-  std::cerr << db.size() << " samples collected\n";
+      budget > 0
+          ? viz::build_viz_database_adaptive(setup, cpu_grid, bw_grid, budget,
+                                             seed, threads)
+          : viz::build_viz_database(setup, cpu_grid, bw_grid, refine, threads);
+  std::cerr << db.size() << " samples collected";
+  if (db.predicted_count() > 0) {
+    std::cerr << " (" << db.size() - db.predicted_count() << " measured, "
+              << db.predicted_count() << " tree-predicted)";
+  }
+  std::cerr << "\n";
 
   if (out_path.empty()) {
     db.save(std::cout);
