@@ -15,6 +15,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -103,21 +104,26 @@ inline bool write_bench_json(const std::string& name,
     std::cerr << "warning: could not write BENCH_" << name << ".json\n";
     return false;
   }
-  out.precision(17);
-  out << "{\n  \"name\": \"" << json_escape(name) << "\",\n"
+  // Build the whole document first and write it in one shot: a result file
+  // is either complete or absent, never a torn prefix from a crash or an
+  // interleaved writer.
+  std::ostringstream doc;
+  doc.precision(17);
+  doc << "{\n  \"name\": \"" << json_escape(name) << "\",\n"
       << "  \"git_rev\": \"" << json_escape(AVF_GIT_REV) << "\",\n"
       << "  \"cases\": [";
   for (std::size_t i = 0; i < cases.size(); ++i) {
     const JsonBenchCase& c = cases[i];
-    out << (i ? ",\n" : "\n") << "    {\"label\": \"" << json_escape(c.label)
+    doc << (i ? ",\n" : "\n") << "    {\"label\": \"" << json_escape(c.label)
         << "\", \"wall_ns\": " << c.wall_ns
         << ", \"threads\": " << c.threads;
     for (const auto& [key, value] : c.extra) {
-      out << ", \"" << json_escape(key) << "\": " << value;
+      doc << ", \"" << json_escape(key) << "\": " << value;
     }
-    out << "}";
+    doc << "}";
   }
-  out << "\n  ]\n}\n";
+  doc << "\n  ]\n}\n";
+  out << doc.str();
   return static_cast<bool>(out);
 }
 

@@ -53,6 +53,17 @@ inline constexpr std::string_view kDbUnprofiledConfig = "db.unprofiled-config";
 inline constexpr std::string_view kDbPredictedConfig = "db.predicted-config";
 inline constexpr std::string_view kDbEmpty = "db.empty";
 
+// -- source determinism / concurrency (src.*, avf_srclint) -------------
+inline constexpr std::string_view kSrcUnorderedIter =
+    "src.unordered-iteration";
+inline constexpr std::string_view kSrcWallClock = "src.wall-clock";
+inline constexpr std::string_view kSrcNondetRandom = "src.nondet-random";
+inline constexpr std::string_view kSrcRawMutex = "src.raw-mutex";
+inline constexpr std::string_view kSrcFloatAccum = "src.float-accum";
+inline constexpr std::string_view kSrcUnknownRule = "src.unknown-rule";
+inline constexpr std::string_view kSrcBadSuppression =
+    "src.bad-suppression";
+
 // -- meta --------------------------------------------------------------
 inline constexpr std::string_view kSkipped = "lint.skipped";
 

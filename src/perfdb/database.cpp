@@ -381,7 +381,7 @@ std::optional<QosVector> PerfDatabase::predict_reference(
 }
 
 PerfDatabase::PredictionStats PerfDatabase::prediction_stats() const {
-  const PredictionCache::Stats& c = cache_.stats();
+  const PredictionCache::Stats c = cache_.stats();
   return PredictionStats{c.hits, c.misses, c.evictions, c.invalidations,
                          index_rebuilds_};
 }

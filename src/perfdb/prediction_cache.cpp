@@ -19,6 +19,47 @@ std::uint64_t fnv1a_bytes(std::uint64_t h, const void* data,
 }
 }  // namespace
 
+PredictionCache::PredictionCache(const PredictionCache& other) {
+  util::MutexLock lock(other.mutex_);
+  max_entries_ = other.max_entries_;
+  entries_ = other.entries_;
+  epochs_ = other.epochs_;
+  stats_ = other.stats_;
+}
+
+PredictionCache& PredictionCache::operator=(const PredictionCache& other) {
+  if (this != &other) {
+    PredictionCache tmp(other);
+    *this = std::move(tmp);
+  }
+  return *this;
+}
+
+PredictionCache::PredictionCache(PredictionCache&& other) noexcept {
+  util::MutexLock lock(other.mutex_);
+  max_entries_ = other.max_entries_;
+  entries_ = std::move(other.entries_);
+  epochs_ = std::move(other.epochs_);
+  stats_ = other.stats_;
+}
+
+PredictionCache& PredictionCache::operator=(
+    PredictionCache&& other) noexcept {
+  if (this != &other) {
+    // Lock order: source first, then destination — both sides of a move
+    // assignment are exclusively owned by the caller in every use in the
+    // tree (PerfDatabase assignment), so no concurrent opposite-order pair
+    // exists.
+    util::MutexLock source(other.mutex_);
+    util::MutexLock dest(mutex_);
+    max_entries_ = other.max_entries_;
+    entries_ = std::move(other.entries_);
+    epochs_ = std::move(other.epochs_);
+    stats_ = other.stats_;
+  }
+  return *this;
+}
+
 std::uint64_t PredictionCache::quantize(double x) {
   if (!std::isfinite(x)) return std::bit_cast<std::uint64_t>(x);
   if (x == 0.0) return 0;
@@ -51,6 +92,7 @@ const std::optional<tunable::QosVector>* PredictionCache::lookup(
     Lookup mode) const {
   std::vector<std::uint64_t> qpoint(at.size());
   for (std::size_t i = 0; i < at.size(); ++i) qpoint[i] = quantize(at[i]);
+  util::MutexLock lock(mutex_);
   auto it = entries_.find(hash_key(config_key, qpoint, mode));
   if (it == entries_.end() || it->second.mode != mode ||
       it->second.epoch != epoch_of(config_key) ||
@@ -66,6 +108,7 @@ void PredictionCache::store(const std::string& config_key,
                             const ResourcePoint& at, Lookup mode,
                             std::optional<tunable::QosVector> result) {
   if (max_entries_ == 0) return;
+  util::MutexLock lock(mutex_);
   Entry entry;
   entry.config_key = config_key;
   entry.epoch = epoch_of(config_key);
@@ -84,11 +127,13 @@ void PredictionCache::store(const std::string& config_key,
 }
 
 void PredictionCache::invalidate_config(const std::string& config_key) {
+  util::MutexLock lock(mutex_);
   ++epochs_[config_key];
   ++stats_.invalidations;
 }
 
 void PredictionCache::clear() {
+  util::MutexLock lock(mutex_);
   entries_.clear();
   epochs_.clear();
 }

@@ -27,6 +27,8 @@
 
 #include "perfdb/grid_index.hpp"
 #include "tunable/qos.hpp"
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
 
 namespace avf::perfdb {
 
@@ -39,6 +41,15 @@ class PredictionCache {
   explicit PredictionCache(std::size_t max_entries = kDefaultMaxEntries)
       : max_entries_(max_entries) {}
 
+  // PerfDatabase is copyable/movable; the cache follows.  Each instance
+  // owns a fresh mutex — copying/moving locks the *source* and transfers
+  // the tables, never the lock.
+  PredictionCache(const PredictionCache& other) AVF_EXCLUDES(mutex_);
+  PredictionCache& operator=(const PredictionCache& other)
+      AVF_EXCLUDES(mutex_);
+  PredictionCache(PredictionCache&& other) noexcept;
+  PredictionCache& operator=(PredictionCache&& other) noexcept;
+
   struct Stats {
     std::size_t hits = 0;
     std::size_t misses = 0;
@@ -48,23 +59,38 @@ class PredictionCache {
 
   /// Cached prediction for (config key, quantized `at`, mode); nullptr on
   /// miss.  The pointee is owned by the cache and valid until the next
-  /// store/clear.
+  /// store/clear — the caller (PerfDatabase::predict) copies it out before
+  /// any further cache call, which is what makes the unlocked dereference
+  /// sound.
   const std::optional<tunable::QosVector>* lookup(const std::string& config_key,
                                                   const ResourcePoint& at,
-                                                  Lookup mode) const;
+                                                  Lookup mode) const
+      AVF_EXCLUDES(mutex_);
 
   void store(const std::string& config_key, const ResourcePoint& at,
-             Lookup mode, std::optional<tunable::QosVector> result);
+             Lookup mode, std::optional<tunable::QosVector> result)
+      AVF_EXCLUDES(mutex_);
 
   /// Drop all entries for one configuration (O(1): epoch bump).
-  void invalidate_config(const std::string& config_key);
+  void invalidate_config(const std::string& config_key)
+      AVF_EXCLUDES(mutex_);
 
-  void clear();
+  void clear() AVF_EXCLUDES(mutex_);
 
-  std::size_t size() const { return entries_.size(); }
+  std::size_t size() const AVF_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
+    return entries_.size();
+  }
   std::size_t max_entries() const { return max_entries_; }
-  const Stats& stats() const { return stats_; }
-  void reset_stats() { stats_ = Stats{}; }
+  /// Counter snapshot (by value: the live counters are lock-guarded).
+  Stats stats() const AVF_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
+    return stats_;
+  }
+  void reset_stats() AVF_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
+    stats_ = Stats{};
+  }
 
   /// Quantized bucket of one coordinate (exposed for tests).
   static std::uint64_t quantize(double x);
@@ -81,14 +107,17 @@ class PredictionCache {
   static std::uint64_t hash_key(const std::string& config_key,
                                 const std::vector<std::uint64_t>& qpoint,
                                 Lookup mode);
-  std::uint64_t epoch_of(const std::string& config_key) const;
+  std::uint64_t epoch_of(const std::string& config_key) const
+      AVF_REQUIRES(mutex_);
 
   std::size_t max_entries_;
+  mutable util::Mutex mutex_;
   // Keyed by the mixed 64-bit hash; entries verify the full key on hit, so
   // a hash collision behaves as a miss and is overwritten on store.
-  std::unordered_map<std::uint64_t, Entry> entries_;
-  std::unordered_map<std::string, std::uint64_t> epochs_;
-  mutable Stats stats_;
+  std::unordered_map<std::uint64_t, Entry> entries_ AVF_GUARDED_BY(mutex_);
+  std::unordered_map<std::string, std::uint64_t> epochs_
+      AVF_GUARDED_BY(mutex_);
+  mutable Stats stats_ AVF_GUARDED_BY(mutex_);
 };
 
 }  // namespace avf::perfdb

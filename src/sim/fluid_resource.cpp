@@ -217,6 +217,7 @@ void FluidResource::full_reallocate() {
   double budget = capacity_;
   while (!unfixed.empty() && budget > 0.0) {
     double weight_sum = 0.0;
+    // avf-srclint: allow(src.float-accum unfixed is index-ordered, so the summation order is pinned and byte-identical across runs)
     for (std::size_t i : unfixed) weight_sum += all[i]->slot->weight;
     bool fixed_any = false;
     for (auto it = unfixed.begin(); it != unfixed.end();) {
@@ -225,6 +226,7 @@ void FluidResource::full_reallocate() {
       double fair = budget * r->slot->weight / weight_sum;
       if (fair >= cap_rate) {
         target[*it] = cap_rate;
+        // avf-srclint: allow(src.float-accum water-filling visits flows in arrival order; the subtraction order is pinned)
         budget -= cap_rate;
         it = unfixed.erase(it);
         fixed_any = true;
@@ -250,6 +252,7 @@ void FluidResource::full_reallocate() {
   all_at_cap_ = true;
   for (std::size_t i = 0; i < all.size(); ++i) {
     Request& r = *all[i];
+    // avf-srclint: allow(src.float-accum all is arrival-ordered, so the cap-rate sum order is pinned)
     cap_rate_sum_ += r.cap_rate;
     if (target[i] != r.cap_rate) all_at_cap_ = false;
     if (target[i] == r.rate && (r.rate <= 0.0 || r.completion.pending())) {
@@ -650,6 +653,7 @@ double FluidResource::served(OwnerId owner) const {
   }
   SimTime now = sim_.now();
   if (auto oi = owner_index_.find(owner); oi != owner_index_.end()) {
+    // avf-srclint: allow(src.float-accum the owner index lists requests in arrival order, matching the full-list scan it replaced)
     for (const Request* r : oi->second) base += inflight_progress(*r, now);
   }
   return base;
@@ -658,6 +662,7 @@ double FluidResource::served(OwnerId owner) const {
 double FluidResource::total_served() const {
   double base = total_served_.value();
   SimTime now = sim_.now();
+  // avf-srclint: allow(src.float-accum requests_ is arrival-ordered, so the summation order is pinned)
   for (const Request& r : requests_) base += inflight_progress(r, now);
   return base;
 }
@@ -670,8 +675,10 @@ double FluidResource::allocated_rate() const {
   double sum = 0.0;
   for (const Request& r : requests_) {
     if (mode_ == Mode::kSparse && r.fair) {
+      // avf-srclint: allow(src.float-accum requests_ is arrival-ordered, so the summation order is pinned)
       sum += mu_ * capacity_ * r.weight;
     } else {
+      // avf-srclint: allow(src.float-accum requests_ is arrival-ordered, so the summation order is pinned)
       sum += r.rate;
     }
   }

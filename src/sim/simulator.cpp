@@ -27,8 +27,17 @@ void deregister_detached(Simulator& sim, void* frame) noexcept {
 Simulator::~Simulator() {
   // Destroying a root frame runs the destructors of its locals, which in
   // turn destroy any awaited child Task frames — so only roots are tracked.
-  std::unordered_set<void*> frames = std::move(detached_);
-  for (void* frame : frames) {
+  // Destruction happens in spawn order: the tracking map is keyed on frame
+  // *addresses*, so iterating it directly would destroy frames in
+  // address-hash order — nondeterministic across runs (ASLR), and locals'
+  // destructors can produce observable effects (log lines).
+  std::vector<std::pair<std::uint64_t, void*>> frames;
+  frames.reserve(detached_.size());
+  // avf-srclint: allow(src.unordered-iteration the hash order is erased by the sort below; destruction runs in spawn order)
+  for (const auto& [frame, seq] : detached_) frames.emplace_back(seq, frame);
+  detached_.clear();
+  std::sort(frames.begin(), frames.end());
+  for (const auto& [seq, frame] : frames) {
     std::coroutine_handle<>::from_address(frame).destroy();
   }
 }
@@ -160,7 +169,7 @@ void Simulator::migrate_from_far() {
 
 void Simulator::spawn(Task<> task) {
   std::coroutine_handle<> h = task.release(*this);
-  detached_.insert(h.address());
+  detached_.emplace(h.address(), next_spawn_seq_++);
   schedule(0.0, [h] { h.resume(); });
 }
 

@@ -23,7 +23,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <unordered_set>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/task.hpp"
@@ -194,7 +194,13 @@ class Simulator {
   std::uint64_t far_removals_ = 0;
 
   std::exception_ptr pending_exception_;
-  std::unordered_set<void*> detached_;  // live spawned frames (see ~Simulator)
+  // Live spawned frames (see ~Simulator), each tagged with its spawn
+  // sequence number so teardown destroys them in spawn order.  Iterating
+  // the hash map directly would walk pointer-valued keys in address order —
+  // nondeterministic across runs, and frame destruction runs coroutine
+  // locals' destructors, which may log or touch shared state.
+  std::unordered_map<void*, std::uint64_t> detached_;
+  std::uint64_t next_spawn_seq_ = 0;
 };
 
 }  // namespace avf::sim

@@ -21,12 +21,22 @@ std::string_view level_name(LogLevel level) {
   return "?";
 }
 
+void Logger::set_sink(std::ostream* sink) {
+  MutexLock lock(write_mutex_);
+  sink_ = sink;
+}
+
 void Logger::write(LogLevel level, std::string_view component, double sim_time,
                    std::string_view message) {
-  std::scoped_lock lock(write_mutex_);
+  // Format outside the lock; the critical section is the single insert, so
+  // lines from concurrent workers still interleave whole (byte-identical
+  // output, just a shorter hold).
+  std::string line = avf::util::format("[{:>5}] t={:.6f} {}: {}\n",
+                                       level_name(level), sim_time, component,
+                                       message);
+  MutexLock lock(write_mutex_);
   std::ostream& out = sink_ != nullptr ? *sink_ : std::cerr;
-  out << avf::util::format("[{:>5}] t={:.6f} {}: {}\n", level_name(level), sim_time,
-                     component, message);
+  out << line;
 }
 
 }  // namespace avf::util

@@ -6,9 +6,10 @@
 // level costs one branch.
 #pragma once
 
+#include "util/annotations.hpp"
 #include "util/fmt.hpp"
+#include "util/mutex.hpp"
 #include <iosfwd>
-#include <mutex>
 #include <string>
 #include <string_view>
 
@@ -19,8 +20,10 @@ enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 /// Global log configuration.  Each simulator stays single-threaded, but the
 /// parallel profiling driver runs many simulators at once, so write() takes
 /// a mutex (lines from concurrent workers interleave whole, never mixed).
-/// Level and sink are still expected to be configured once up front, before
-/// any worker threads exist.
+/// The line is formatted *before* the lock — the critical section is just
+/// the final stream insert, so concurrent workers serialize on the write,
+/// not on each other's formatting.  Level is still expected to be
+/// configured once up front, before any worker threads exist.
 class Logger {
  public:
   static Logger& instance();
@@ -31,16 +34,16 @@ class Logger {
 
   /// Redirect output (used by tests to capture log lines). Pass nullptr to
   /// restore stderr.
-  void set_sink(std::ostream* sink) { sink_ = sink; }
+  void set_sink(std::ostream* sink) AVF_EXCLUDES(write_mutex_);
 
   void write(LogLevel level, std::string_view component, double sim_time,
-             std::string_view message);
+             std::string_view message) AVF_EXCLUDES(write_mutex_);
 
  private:
   Logger() = default;
   LogLevel level_ = LogLevel::kWarn;
-  std::ostream* sink_ = nullptr;
-  std::mutex write_mutex_;
+  std::ostream* sink_ AVF_GUARDED_BY(write_mutex_) = nullptr;
+  Mutex write_mutex_;
 };
 
 /// Human-readable level tag ("TRACE", "INFO", ...).

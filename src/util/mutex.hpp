@@ -1,0 +1,64 @@
+// Annotated mutex wrappers: the only place in the tree that may name the
+// raw std:: locking primitives (enforced by avf_srclint rule
+// src.raw-mutex).
+//
+// util::Mutex is std::mutex carrying the Clang Thread Safety
+// AVF_CAPABILITY attribute, and util::MutexLock is the scoped lock that
+// TSA tracks.  Everything mutex-guarded in the tree (thread pool, logger,
+// viz caches, memos, prediction cache) declares its fields
+// AVF_GUARDED_BY(<mutex member>) and locks through these wrappers, so a
+// clang build with -Werror=thread-safety rejects any access that bypasses
+// the lock.
+//
+// MutexLock also satisfies BasicLockable (lock()/unlock()), which is what
+// lets std::condition_variable_any wait on it directly: TSA models the
+// capability as held across the wait — exactly the invariant a predicate
+// loop relies on.
+#pragma once
+
+#include <mutex>  // exempt from src.raw-mutex: this file is the wrapper
+
+#include "util/annotations.hpp"
+
+namespace avf::util {
+
+/// std::mutex as a TSA capability.  Non-recursive, non-timed — the only
+/// locking vocabulary the codebase needs.
+class AVF_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() AVF_ACQUIRE() { mutex_.lock(); }
+  void unlock() AVF_RELEASE() { mutex_.unlock(); }
+  bool try_lock() AVF_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// Scoped lock over one util::Mutex; the capability is held from
+/// construction to destruction.  lock()/unlock() exist for
+/// std::condition_variable_any::wait, which releases and re-acquires
+/// around the sleep — callers must leave the lock held (balanced), which
+/// is what wait() guarantees.
+class AVF_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) AVF_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() AVF_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  // BasicLockable, for std::condition_variable_any.
+  void lock() AVF_ACQUIRE() { mutex_.lock(); }
+  void unlock() AVF_RELEASE() { mutex_.unlock(); }
+
+ private:
+  Mutex& mutex_;
+};
+
+}  // namespace avf::util

@@ -43,7 +43,7 @@ void ThreadPool::submit(std::function<void()> task) {
   std::size_t target = 0;
   bool run_inline = false;
   {
-    std::scoped_lock lock(wake_mutex_);
+    MutexLock lock(wake_mutex_);
     if (stopping_) {
       // Workers may already have drained and exited; run inline so blocked
       // parallel_for callers still see every wrapper complete.
@@ -63,7 +63,7 @@ void ThreadPool::submit(std::function<void()> task) {
   }
   {
     Worker& w = *workers_[target];
-    std::scoped_lock lock(w.mutex);
+    MutexLock lock(w.mutex);
     w.queue.push_back(std::move(task));
   }
   wake_.notify_one();
@@ -74,7 +74,7 @@ bool ThreadPool::try_pop(std::size_t self, std::function<void()>& task) {
   {
     // Own deque, newest first.
     Worker& w = *workers_[self];
-    std::scoped_lock lock(w.mutex);
+    MutexLock lock(w.mutex);
     if (!w.queue.empty()) {
       task = std::move(w.queue.back());
       w.queue.pop_back();
@@ -84,7 +84,7 @@ bool ThreadPool::try_pop(std::size_t self, std::function<void()>& task) {
   for (std::size_t k = 1; !found && k < workers_.size(); ++k) {
     // Steal oldest-first from the other deques.
     Worker& w = *workers_[(self + k) % workers_.size()];
-    std::scoped_lock lock(w.mutex);
+    MutexLock lock(w.mutex);
     if (!w.queue.empty()) {
       task = std::move(w.queue.front());
       w.queue.pop_front();
@@ -92,7 +92,7 @@ bool ThreadPool::try_pop(std::size_t self, std::function<void()>& task) {
     }
   }
   if (found) {
-    std::scoped_lock lock(wake_mutex_);
+    MutexLock lock(wake_mutex_);
     --unclaimed_;
   }
   return found;
@@ -108,10 +108,15 @@ void ThreadPool::worker_loop(std::stop_token token, std::size_t self) {
       task = nullptr;
       continue;
     }
-    std::unique_lock lock(wake_mutex_);
+    MutexLock lock(wake_mutex_);
     if (unclaimed_ > 0) continue;  // raced with a submit; retry the deques
     if (token.stop_requested()) break;
-    wake_.wait(lock, token, [this] { return unclaimed_ > 0; });
+    // Plain wait loop (no predicate lambda) so the guarded `unclaimed_`
+    // reads stay visible to thread-safety analysis: the capability is held
+    // across wait() by construction of MutexLock.  A stop cannot be missed:
+    // request_stop() flips stopping_ under wake_mutex_ and requests every
+    // token *before* its notify_all, so a woken waiter always observes it.
+    while (unclaimed_ == 0 && !token.stop_requested()) wake_.wait(lock);
     if (token.stop_requested() && unclaimed_ == 0) break;
   }
   // Stop requested: drain leftover tasks (payloads skip themselves when
@@ -124,7 +129,7 @@ void ThreadPool::worker_loop(std::stop_token token, std::size_t self) {
 
 void ThreadPool::request_stop() {
   {
-    std::scoped_lock lock(wake_mutex_);
+    MutexLock lock(wake_mutex_);
     stopping_ = true;
   }
   for (std::jthread& t : threads_) t.request_stop();
@@ -153,15 +158,19 @@ void ThreadPool::parallel_for(std::size_t count,
   // destruction on the calling thread also keeps the buffered
   // exception_ptr's release thread-deterministic.
   struct State {
-    std::mutex mutex;
-    std::condition_variable cv;
-    std::size_t completed = 0;  // wrappers finished (payload run or skipped)
-    std::size_t executed = 0;   // payloads actually run
-    std::size_t err_index;
-    std::exception_ptr err;
+    Mutex mutex;
+    std::condition_variable_any cv;
+    // wrappers finished (payload run or skipped) / payloads actually run
+    std::size_t completed AVF_GUARDED_BY(mutex) = 0;
+    std::size_t executed AVF_GUARDED_BY(mutex) = 0;
+    std::size_t err_index AVF_GUARDED_BY(mutex);
+    std::exception_ptr err AVF_GUARDED_BY(mutex);
   };
   State state;
-  state.err_index = count;
+  {
+    MutexLock lock(state.mutex);
+    state.err_index = count;
+  }
 
   for (std::size_t i = 0; i < count; ++i) {
     submit([this, &state, &fn, count, i] {
@@ -175,7 +184,7 @@ void ThreadPool::parallel_for(std::size_t count,
           err = std::current_exception();
         }
       }
-      std::scoped_lock lock(state.mutex);
+      MutexLock lock(state.mutex);
       if (ran) ++state.executed;
       if (err && i < state.err_index) {
         state.err_index = i;
@@ -185,8 +194,8 @@ void ThreadPool::parallel_for(std::size_t count,
     });
   }
 
-  std::unique_lock lock(state.mutex);
-  state.cv.wait(lock, [&] { return state.completed == count; });
+  MutexLock lock(state.mutex);
+  while (state.completed != count) state.cv.wait(lock);
   if (state.err) std::rethrow_exception(state.err);
   if (state.executed != count) throw ThreadPoolStopped();
 }

@@ -17,9 +17,12 @@
 //
 // The pool is intended for coarse tasks (a profiling run, an O(n) pair
 // scan); it makes no attempt at lock-free deques, which keeps it trivially
-// ThreadSanitizer-clean.  parallel_for must not be called from inside a
-// pool task (the caller blocks without helping, so nested calls on a
-// saturated pool can deadlock).
+// ThreadSanitizer-clean — and the lock discipline itself is statically
+// checked: every shared field carries AVF_GUARDED_BY, so a clang
+// -Werror=thread-safety build rejects any access outside the right lock.
+// parallel_for must not be called from inside a pool task (the caller
+// blocks without helping, so nested calls on a saturated pool can
+// deadlock).
 #pragma once
 
 #include <atomic>
@@ -28,10 +31,12 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <vector>
+
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
 
 namespace avf::util {
 
@@ -57,7 +62,7 @@ class ThreadPool {
 
   /// Enqueue one fire-and-forget task (round-robin across worker deques).
   /// Tasks must not throw; use parallel_for for exception propagation.
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) AVF_EXCLUDES(wake_mutex_);
 
   /// Run fn(i) for every i in [0, count); blocks until all indices
   /// completed.  Rethrows the exception of the lowest failing index; throws
@@ -71,26 +76,27 @@ class ThreadPool {
   std::size_t current_worker() const;
 
   /// Ask workers to stop; queued tasks are drained (payloads skipped).
-  void request_stop();
+  void request_stop() AVF_EXCLUDES(wake_mutex_);
   bool stop_requested() const;
 
  private:
   struct Worker {
-    std::mutex mutex;
-    std::deque<std::function<void()>> queue;
+    Mutex mutex;
+    std::deque<std::function<void()>> queue AVF_GUARDED_BY(mutex);
   };
 
   void worker_loop(std::stop_token token, std::size_t self);
   /// Pop own back, else steal another queue's front.
-  bool try_pop(std::size_t self, std::function<void()>& task);
+  bool try_pop(std::size_t self, std::function<void()>& task)
+      AVF_EXCLUDES(wake_mutex_);
 
   std::vector<std::unique_ptr<Worker>> workers_;
   // Guards `unclaimed_` and the sleep/wake handshake (a task enqueued
   // between a worker's empty check and its wait must not be lost).
-  std::mutex wake_mutex_;
+  Mutex wake_mutex_;
   std::condition_variable_any wake_;
-  std::size_t unclaimed_ = 0;  // tasks sitting in some deque
-  std::size_t next_queue_ = 0;
+  std::size_t unclaimed_ AVF_GUARDED_BY(wake_mutex_) = 0;
+  std::size_t next_queue_ AVF_GUARDED_BY(wake_mutex_) = 0;
   std::atomic<bool> stopping_{false};
   std::vector<std::jthread> threads_;  // last member: joins before teardown
 };

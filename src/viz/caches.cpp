@@ -32,7 +32,7 @@ std::shared_ptr<const wavelet::Bytes> RegionEncodeCache::encode(
     std::span<const wavelet::TileRef> tiles) {
   std::string key = region_key(pyramid.get(), encoder.tile_size(), tiles);
   {
-    std::scoped_lock lock(mutex_);
+    util::MutexLock lock(mutex_);
     auto it = entries_.find(key);
     if (it != entries_.end()) {
       ++hits_;
@@ -46,7 +46,7 @@ std::shared_ptr<const wavelet::Bytes> RegionEncodeCache::encode(
   auto payload = std::make_shared<const wavelet::Bytes>(
       encoder.serialize_tiles(tiles));
   if (max_entries_ == 0) return payload;
-  std::scoped_lock lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto [it, inserted] = entries_.emplace(key, Entry{payload, pyramid});
   if (!inserted) return it->second.payload;
   insertion_order_.push_back(std::move(key));
@@ -59,27 +59,27 @@ std::shared_ptr<const wavelet::Bytes> RegionEncodeCache::encode(
 }
 
 std::size_t RegionEncodeCache::size() const {
-  std::scoped_lock lock(mutex_);
+  util::MutexLock lock(mutex_);
   return entries_.size();
 }
 
 std::uint64_t RegionEncodeCache::hits() const {
-  std::scoped_lock lock(mutex_);
+  util::MutexLock lock(mutex_);
   return hits_;
 }
 
 std::uint64_t RegionEncodeCache::misses() const {
-  std::scoped_lock lock(mutex_);
+  util::MutexLock lock(mutex_);
   return misses_;
 }
 
 std::uint64_t RegionEncodeCache::evictions() const {
-  std::scoped_lock lock(mutex_);
+  util::MutexLock lock(mutex_);
   return evictions_;
 }
 
 void RegionEncodeCache::clear() {
-  std::scoped_lock lock(mutex_);
+  util::MutexLock lock(mutex_);
   entries_.clear();
   insertion_order_.clear();
   hits_ = misses_ = evictions_ = 0;
@@ -97,7 +97,7 @@ std::shared_ptr<const codec::Bytes> CompressedChunkCache::compress(
   key.push_back(static_cast<char>(id));
   append_bytes(key, raw.data(), raw.size());
   {
-    std::scoped_lock lock(mutex_);
+    util::MutexLock lock(mutex_);
     auto it = chunks_.find(key);
     if (it != chunks_.end()) {
       ++hits_;
@@ -108,7 +108,7 @@ std::shared_ptr<const codec::Bytes> CompressedChunkCache::compress(
   auto compressed = std::make_shared<const codec::Bytes>(
       codec::codec_for(id).compress(raw));
   if (max_entries_ == 0) return compressed;
-  std::scoped_lock lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto [it, inserted] = chunks_.emplace(key, compressed);
   if (!inserted) return it->second;
   insertion_order_.push_back(std::move(key));
@@ -121,27 +121,27 @@ std::shared_ptr<const codec::Bytes> CompressedChunkCache::compress(
 }
 
 std::size_t CompressedChunkCache::size() const {
-  std::scoped_lock lock(mutex_);
+  util::MutexLock lock(mutex_);
   return chunks_.size();
 }
 
 std::uint64_t CompressedChunkCache::hits() const {
-  std::scoped_lock lock(mutex_);
+  util::MutexLock lock(mutex_);
   return hits_;
 }
 
 std::uint64_t CompressedChunkCache::misses() const {
-  std::scoped_lock lock(mutex_);
+  util::MutexLock lock(mutex_);
   return misses_;
 }
 
 std::uint64_t CompressedChunkCache::evictions() const {
-  std::scoped_lock lock(mutex_);
+  util::MutexLock lock(mutex_);
   return evictions_;
 }
 
 void CompressedChunkCache::clear() {
-  std::scoped_lock lock(mutex_);
+  util::MutexLock lock(mutex_);
   chunks_.clear();
   insertion_order_.clear();
   hits_ = misses_ = evictions_ = 0;

@@ -27,12 +27,13 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
 
 #include "codec/codec.hpp"
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
 #include "wavelet/progressive.hpp"
 
 namespace avf::viz {
@@ -53,14 +54,14 @@ class RegionEncodeCache {
   std::shared_ptr<const wavelet::Bytes> encode(
       const std::shared_ptr<const wavelet::Pyramid>& pyramid,
       const wavelet::ProgressiveEncoder& encoder,
-      std::span<const wavelet::TileRef> tiles);
+      std::span<const wavelet::TileRef> tiles) AVF_EXCLUDES(mutex_);
 
-  std::size_t size() const;
+  std::size_t size() const AVF_EXCLUDES(mutex_);
   std::size_t max_entries() const { return max_entries_; }
-  std::uint64_t hits() const;
-  std::uint64_t misses() const;
-  std::uint64_t evictions() const;
-  void clear();
+  std::uint64_t hits() const AVF_EXCLUDES(mutex_);
+  std::uint64_t misses() const AVF_EXCLUDES(mutex_);
+  std::uint64_t evictions() const AVF_EXCLUDES(mutex_);
+  void clear() AVF_EXCLUDES(mutex_);
 
   /// Shared instance used by default; individual servers may use their own.
   static RegionEncodeCache& global();
@@ -72,12 +73,13 @@ class RegionEncodeCache {
   };
 
   std::size_t max_entries_;
-  mutable std::mutex mutex_;
-  std::unordered_map<std::string, Entry> entries_;
-  std::deque<std::string> insertion_order_;  // FIFO eviction
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t evictions_ = 0;
+  mutable util::Mutex mutex_;
+  std::unordered_map<std::string, Entry> entries_ AVF_GUARDED_BY(mutex_);
+  // FIFO eviction order.
+  std::deque<std::string> insertion_order_ AVF_GUARDED_BY(mutex_);
+  std::uint64_t hits_ AVF_GUARDED_BY(mutex_) = 0;
+  std::uint64_t misses_ AVF_GUARDED_BY(mutex_) = 0;
+  std::uint64_t evictions_ AVF_GUARDED_BY(mutex_) = 0;
 };
 
 /// (codec id, exact raw bytes) -> compressed bytes.
@@ -92,27 +94,29 @@ class CompressedChunkCache {
   /// Compress `raw` with `id`, reusing a previous byte-identical
   /// compression of the same chunk when available.
   std::shared_ptr<const codec::Bytes> compress(codec::CodecId id,
-                                               codec::BytesView raw);
+                                               codec::BytesView raw)
+      AVF_EXCLUDES(mutex_);
 
-  std::size_t size() const;
+  std::size_t size() const AVF_EXCLUDES(mutex_);
   std::size_t max_entries() const { return max_entries_; }
-  std::uint64_t hits() const;
-  std::uint64_t misses() const;
-  std::uint64_t evictions() const;
-  void clear();
+  std::uint64_t hits() const AVF_EXCLUDES(mutex_);
+  std::uint64_t misses() const AVF_EXCLUDES(mutex_);
+  std::uint64_t evictions() const AVF_EXCLUDES(mutex_);
+  void clear() AVF_EXCLUDES(mutex_);
 
   /// Shared instance used by default; individual servers may use their own.
   static CompressedChunkCache& global();
 
  private:
   std::size_t max_entries_;
-  mutable std::mutex mutex_;
+  mutable util::Mutex mutex_;
   std::unordered_map<std::string, std::shared_ptr<const codec::Bytes>>
-      chunks_;
-  std::deque<std::string> insertion_order_;  // FIFO eviction
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t evictions_ = 0;
+      chunks_ AVF_GUARDED_BY(mutex_);
+  // FIFO eviction order.
+  std::deque<std::string> insertion_order_ AVF_GUARDED_BY(mutex_);
+  std::uint64_t hits_ AVF_GUARDED_BY(mutex_) = 0;
+  std::uint64_t misses_ AVF_GUARDED_BY(mutex_) = 0;
+  std::uint64_t evictions_ AVF_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace avf::viz

@@ -41,7 +41,7 @@ std::optional<std::size_t> CompressedSizeCache::lookup(
 std::optional<std::size_t> CompressedSizeCache::lookup(
     codec::CodecId id, std::uint64_t fp) const {
   Shard& shard = shard_for(fp);
-  std::scoped_lock lock(shard.mutex);
+  util::MutexLock lock(shard.mutex);
   auto it = shard.sizes.find(Key{fp, id});
   if (it == shard.sizes.end()) {
     ++shard.misses;
@@ -60,7 +60,7 @@ void CompressedSizeCache::store(codec::CodecId id, std::uint64_t fp,
                                 std::size_t size) {
   if (max_entries_ == 0) return;
   Shard& shard = shard_for(fp);
-  std::scoped_lock lock(shard.mutex);
+  util::MutexLock lock(shard.mutex);
   Key key{fp, id};
   auto [it, inserted] = shard.sizes.insert_or_assign(key, size);
   (void)it;
@@ -73,11 +73,21 @@ void CompressedSizeCache::store(codec::CodecId id, std::uint64_t fp,
   }
 }
 
+CompressedSizeCache::ShardCounters CompressedSizeCache::Shard::counters()
+    const {
+  util::MutexLock lock(mutex);
+  ShardCounters c;
+  c.entries = sizes.size();
+  c.hits = hits;
+  c.misses = misses;
+  c.evictions = evictions;
+  return c;
+}
+
 std::size_t CompressedSizeCache::size() const {
   std::size_t total = 0;
   for (std::size_t s = 0; s < shard_count_; ++s) {
-    std::scoped_lock lock(shards_[s].mutex);
-    total += shards_[s].sizes.size();
+    total += shards_[s].counters().entries;
   }
   return total;
 }
@@ -85,8 +95,7 @@ std::size_t CompressedSizeCache::size() const {
 std::size_t CompressedSizeCache::hits() const {
   std::size_t total = 0;
   for (std::size_t s = 0; s < shard_count_; ++s) {
-    std::scoped_lock lock(shards_[s].mutex);
-    total += shards_[s].hits;
+    total += shards_[s].counters().hits;
   }
   return total;
 }
@@ -94,8 +103,7 @@ std::size_t CompressedSizeCache::hits() const {
 std::size_t CompressedSizeCache::misses() const {
   std::size_t total = 0;
   for (std::size_t s = 0; s < shard_count_; ++s) {
-    std::scoped_lock lock(shards_[s].mutex);
-    total += shards_[s].misses;
+    total += shards_[s].counters().misses;
   }
   return total;
 }
@@ -103,8 +111,7 @@ std::size_t CompressedSizeCache::misses() const {
 std::size_t CompressedSizeCache::evictions() const {
   std::size_t total = 0;
   for (std::size_t s = 0; s < shard_count_; ++s) {
-    std::scoped_lock lock(shards_[s].mutex);
-    total += shards_[s].evictions;
+    total += shards_[s].counters().evictions;
   }
   return total;
 }
@@ -132,6 +139,28 @@ void VizServer::add_image(std::uint32_t id,
   stored.levels = pyramid->levels();
   stored.pyramid = std::move(pyramid);
   images_[id] = std::move(stored);
+}
+
+std::size_t VizServer::open_sessions() const {
+  util::MutexLock lock(sessions_mutex_);
+  return sessions_.size();
+}
+
+std::shared_ptr<VizServer::Session> VizServer::pin_session(
+    std::uint32_t session_id) {
+  util::MutexLock lock(sessions_mutex_);
+  auto it = sessions_.find(session_id);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+void VizServer::install_session(std::uint32_t session_id,
+                                std::shared_ptr<Session> session) {
+  util::MutexLock lock(sessions_mutex_);
+  // Re-opening an existing id installs a *fresh* Session object (fresh
+  // sent-state) — exactly what a client fetching its next image does.  A
+  // handler suspended mid-request on the old session keeps its pin, so the
+  // replacement never invalidates in-flight state.
+  sessions_.insert_or_assign(session_id, std::move(session));
 }
 
 sim::Task<> VizServer::send_error(sim::Endpoint& endpoint,
@@ -191,8 +220,8 @@ sim::Task<> VizServer::serve(sim::Endpoint& endpoint) {
           co_await send_error(endpoint, 0, ErrorCode::kBadMessage);
           break;
         }
-        auto it = sessions_.find(set->session_id);
-        if (it == sessions_.end()) {
+        std::shared_ptr<Session> session = pin_session(set->session_id);
+        if (session == nullptr) {
           // Fire-and-forget control: count + log, no reply (the client is
           // not waiting on one).
           ++protocol_errors_;
@@ -200,10 +229,10 @@ sim::Task<> VizServer::serve(sim::Endpoint& endpoint) {
                           "set-codec for unknown session {}",
                           set->session_id);
         } else {
-          it->second.codec = static_cast<codec::CodecId>(set->codec);
+          session->codec = static_cast<codec::CodecId>(set->codec);
           util::log_debug("viz.server", msg.delivered_at,
                           "session {} codec -> {}", set->session_id,
-                          codec::codec_name(it->second.codec));
+                          codec::codec_name(session->codec));
         }
         break;
       }
@@ -224,16 +253,14 @@ sim::Task<> VizServer::handle_open(sim::Endpoint& endpoint,
     co_return;
   }
   co_await box_.compute(options_.fixed_request_ops);
-  Session session;
-  session.image_id = open.image_id;
-  session.pyramid = it->second.pyramid;
-  session.encoder = std::make_unique<wavelet::ProgressiveEncoder>(
+  auto session = std::make_shared<Session>();
+  session->image_id = open.image_id;
+  session->pyramid = it->second.pyramid;
+  session->encoder = std::make_unique<wavelet::ProgressiveEncoder>(
       *it->second.pyramid, options_.tile_size);
-  session.codec = static_cast<codec::CodecId>(open.codec);
-  session.level = open.level;
-  // Re-opening an existing id restarts that session (fresh sent-state) —
-  // exactly what a client fetching its next image does.
-  sessions_.insert_or_assign(open.session_id, std::move(session));
+  session->codec = static_cast<codec::CodecId>(open.codec);
+  session->level = open.level;
+  install_session(open.session_id, std::move(session));
 
   OpenAck ack;
   ack.session_id = open.session_id;
@@ -245,12 +272,14 @@ sim::Task<> VizServer::handle_open(sim::Endpoint& endpoint,
 
 sim::Task<> VizServer::handle_request(sim::Endpoint& endpoint,
                                       const Request& request) {
-  auto session_it = sessions_.find(request.session_id);
-  if (session_it == sessions_.end()) {
+  // Pin before the first co_await: the reference stays valid even if this
+  // session id is concurrently re-opened while we are suspended.
+  std::shared_ptr<Session> pinned = pin_session(request.session_id);
+  if (pinned == nullptr) {
     co_await send_error(endpoint, request.session_id, ErrorCode::kNoSession);
     co_return;
   }
-  Session& session = session_it->second;
+  Session& session = *pinned;
   ++requests_served_;
   co_await box_.compute(options_.fixed_request_ops);
 

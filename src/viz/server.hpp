@@ -23,7 +23,6 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 
@@ -31,6 +30,8 @@
 #include "sandbox/sandbox.hpp"
 #include "sim/link.hpp"
 #include "sim/task.hpp"
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
 #include "viz/caches.hpp"
 #include "viz/protocol.hpp"
 #include "wavelet/progressive.hpp"
@@ -72,6 +73,18 @@ class CompressedSizeCache {
   void store(codec::CodecId id, codec::BytesView payload, std::size_t size);
   void store(codec::CodecId id, std::uint64_t fingerprint, std::size_t size);
 
+  /// One shard's contribution to the aggregate counters, captured under
+  /// that shard's lock.  size()/hits()/misses()/evictions() sum these
+  /// shard-atomic snapshots; the total is a sum of per-shard-consistent
+  /// values, not a single instant across shards (concurrent writers may
+  /// land between two shard reads — each shard's own numbers stay exact).
+  struct ShardCounters {
+    std::size_t entries = 0;
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t evictions = 0;
+  };
+
   std::size_t size() const;
   std::size_t max_entries() const { return max_entries_; }
   std::size_t shard_count() const { return shard_count_; }
@@ -102,12 +115,16 @@ class CompressedSizeCache {
   struct Shard {
     // Each shard is shared by every concurrently simulated world during a
     // parallel profiling sweep, so all map/counter access locks.
-    mutable std::mutex mutex;
-    std::unordered_map<Key, std::size_t, KeyHash> sizes;
-    std::deque<Key> insertion_order;  // FIFO eviction
-    mutable std::size_t hits = 0;
-    mutable std::size_t misses = 0;
-    std::size_t evictions = 0;
+    mutable util::Mutex mutex;
+    std::unordered_map<Key, std::size_t, KeyHash> sizes
+        AVF_GUARDED_BY(mutex);
+    std::deque<Key> insertion_order AVF_GUARDED_BY(mutex);  // FIFO eviction
+    mutable std::size_t hits AVF_GUARDED_BY(mutex) = 0;
+    mutable std::size_t misses AVF_GUARDED_BY(mutex) = 0;
+    std::size_t evictions AVF_GUARDED_BY(mutex) = 0;
+
+    /// Counter snapshot under this shard's lock.
+    ShardCounters counters() const AVF_EXCLUDES(mutex);
   };
 
   Shard& shard_for(std::uint64_t fingerprint) const;
@@ -159,7 +176,7 @@ class VizServer {
   /// Per-session protocol violations answered with kError (plus control
   /// messages for unknown sessions, which are dropped with a log line).
   std::uint64_t protocol_errors() const { return protocol_errors_; }
-  std::size_t open_sessions() const { return sessions_.size(); }
+  std::size_t open_sessions() const AVF_EXCLUDES(sessions_mutex_);
 
  private:
   struct StoredImage {
@@ -179,11 +196,30 @@ class VizServer {
   sim::Task<> send_error(sim::Endpoint& endpoint, std::uint32_t session_id,
                          ErrorCode code);
 
+  /// Pin a session for the duration of one handler: the shared_ptr keeps
+  /// the Session alive even if another serve loop re-opens the same id
+  /// while this handler is suspended at a co_await (the map then points at
+  /// a *fresh* Session; the in-flight handler finishes against the old one
+  /// instead of dereferencing a replaced encoder).  nullptr if unknown.
+  std::shared_ptr<Session> pin_session(std::uint32_t session_id)
+      AVF_EXCLUDES(sessions_mutex_);
+  /// Install (or replace) the session for `session_id`.
+  void install_session(std::uint32_t session_id,
+                       std::shared_ptr<Session> session)
+      AVF_EXCLUDES(sessions_mutex_);
+
   sandbox::Sandbox& box_;
   sim::Endpoint& endpoint_;
   Options options_;
   std::map<std::uint32_t, StoredImage> images_;
-  std::map<std::uint32_t, Session> sessions_;
+  // The session map is shared by every per-client serve() loop.  Handlers
+  // never hold the lock across a co_await: they pin the shared_ptr under
+  // the lock and run against the pinned object.  Sessions are owned
+  // shared_ptr so a concurrent re-open replaces the map entry without
+  // invalidating a suspended handler's session.
+  mutable util::Mutex sessions_mutex_;
+  std::map<std::uint32_t, std::shared_ptr<Session>> sessions_
+      AVF_GUARDED_BY(sessions_mutex_);
   std::uint64_t requests_served_ = 0;
   std::uint64_t raw_bytes_encoded_ = 0;
   std::uint64_t wire_bytes_sent_ = 0;

@@ -3,11 +3,12 @@
 #include <bit>
 #include <fstream>
 #include <map>
-#include <mutex>
 #include <stdexcept>
 
+#include "util/annotations.hpp"
 #include "util/fmt.hpp"
 #include "util/logging.hpp"
+#include "util/mutex.hpp"
 
 namespace avf::viz {
 
@@ -49,39 +50,80 @@ const tunable::AppSpec& viz_app_spec() {
   return spec;
 }
 
+namespace {
+
 // The process-wide image/pyramid memos are shared by every world a
-// parallel profiling sweep builds, so lookups take a mutex.  Returned
+// parallel profiling sweep builds, so all map access is annotated against
+// the memo mutex and checked by clang thread-safety analysis.  Returned
 // references stay valid after the lock is dropped (std::map nodes are
 // stable and entries are never erased).
-const wavelet::Image& cached_image(int size, std::uint64_t seed) {
-  static std::mutex mutex;
-  static std::map<std::pair<int, std::uint64_t>, wavelet::Image> cache;
-  std::scoped_lock lock(mutex);
-  auto key = std::make_pair(size, seed);
-  auto it = cache.find(key);
-  if (it == cache.end()) {
-    it = cache.emplace(key, wavelet::Image::synthetic(size, size, seed)).first;
+//
+// Construction happens *outside* the lock: synthesizing a 1024x1024 image
+// or decomposing a pyramid is the expensive part, and holding the memo
+// mutex across it serialized every worker of a parallel sweep behind one
+// builder (an annotation-audit finding).  Two workers racing on the same
+// key both build byte-identical values (deterministic constructors); the
+// first emplace wins and the loser's copy is discarded.
+class ImageMemo {
+ public:
+  const wavelet::Image& get(int size, std::uint64_t seed)
+      AVF_EXCLUDES(mutex_) {
+    auto key = std::make_pair(size, seed);
+    {
+      util::MutexLock lock(mutex_);
+      auto it = cache_.find(key);
+      if (it != cache_.end()) return it->second;
+    }
+    wavelet::Image built = wavelet::Image::synthetic(size, size, seed);
+    util::MutexLock lock(mutex_);
+    return cache_.emplace(key, std::move(built)).first->second;
   }
-  return it->second;
+
+ private:
+  util::Mutex mutex_;
+  std::map<std::pair<int, std::uint64_t>, wavelet::Image> cache_
+      AVF_GUARDED_BY(mutex_);
+};
+
+class PyramidMemo {
+ public:
+  std::shared_ptr<const wavelet::Pyramid> get(const wavelet::Image& image,
+                                              int size, std::uint64_t seed,
+                                              int levels)
+      AVF_EXCLUDES(mutex_) {
+    auto key = std::make_tuple(size, seed, levels);
+    {
+      util::MutexLock lock(mutex_);
+      auto it = cache_.find(key);
+      if (it != cache_.end()) return it->second;
+    }
+    auto built = std::make_shared<const wavelet::Pyramid>(image, levels);
+    util::MutexLock lock(mutex_);
+    return cache_.emplace(key, std::move(built)).first->second;
+  }
+
+ private:
+  util::Mutex mutex_;
+  std::map<std::tuple<int, std::uint64_t, int>,
+           std::shared_ptr<const wavelet::Pyramid>>
+      cache_ AVF_GUARDED_BY(mutex_);
+};
+
+}  // namespace
+
+const wavelet::Image& cached_image(int size, std::uint64_t seed) {
+  static ImageMemo memo;
+  return memo.get(size, seed);
 }
 
 std::shared_ptr<const wavelet::Pyramid> cached_pyramid(int size,
                                                        std::uint64_t seed,
                                                        int levels) {
-  static std::mutex mutex;
-  static std::map<std::tuple<int, std::uint64_t, int>,
-                  std::shared_ptr<const wavelet::Pyramid>>
-      cache;
-  std::scoped_lock lock(mutex);
-  auto key = std::make_tuple(size, seed, levels);
-  auto it = cache.find(key);
-  if (it == cache.end()) {
-    it = cache
-             .emplace(key, std::make_shared<const wavelet::Pyramid>(
-                               cached_image(size, seed), levels))
-             .first;
-  }
-  return it->second;
+  static PyramidMemo memo;
+  // The image memo is consulted before the pyramid lock is taken, so the
+  // two memo mutexes are never held together (no lock-order edge).
+  const wavelet::Image& image = cached_image(size, seed);
+  return memo.get(image, size, seed, levels);
 }
 
 VizWorld::VizWorld(const WorldSetup& setup) : setup_(setup) {

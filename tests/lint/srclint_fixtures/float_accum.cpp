@@ -1,0 +1,21 @@
+// Seeded defect fixture for src.float-accum: order-sensitive accumulation
+// onto doubles inside a range-for and a while loop.  The test lints this
+// as src/sim/float_accum.cpp; outside src/sim/ the rule does not apply.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+double drain(const std::vector<double>& samples) {
+  double total = 0.0;
+  for (double sample : samples) total += sample;
+  double spill = 1.0;
+  std::size_t i = 0;
+  while (i < samples.size()) {
+    spill -= samples[i];
+    ++i;
+  }
+  return total + spill;
+}
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Seeded defect fixture for src.bad-suppression: the directive names a
+// valid rule but gives no justification — so it is rejected AND the
+// finding it tried to silence still surfaces.
+#include <cstdlib>
+
+namespace fixture {
+
+int roll() {
+  // avf-srclint: allow(src.nondet-random)
+  return std::rand();
+}
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Seeded defect fixture for src.nondet-random: hardware entropy and the C
+// library generator.  The test lints this as src/viz/nondet_random.cpp; as
+// src/util/rng.hpp the engine use would be exempt.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+int roll() {
+  std::random_device entropy;
+  return static_cast<int>(entropy() % 6u) + std::rand() % 6;
+}
+
+}  // namespace fixture

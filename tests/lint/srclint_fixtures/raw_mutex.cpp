@@ -1,0 +1,19 @@
+// Seeded defect fixture for src.raw-mutex: a raw std::mutex member and a
+// std::lock_guard, both invisible to -Werror=thread-safety.  The test
+// lints this as src/util/raw_mutex.cpp; only src/util/mutex.hpp (the
+// annotated wrapper itself) is exempt.
+#include <mutex>
+
+namespace fixture {
+
+struct Counter {
+  std::mutex mutex;
+  int value = 0;
+
+  void bump() {
+    std::lock_guard<std::mutex> lock(mutex);
+    ++value;
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,38 @@
+// Suppression round-trip fixture: one seeded defect per suppressible rule,
+// each carrying a justified allow(...) directive on the line above the
+// finding.  Linted as src/sim/suppressed.cpp (where every rule applies),
+// the report must come back empty.
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+
+namespace fixture {
+
+struct Suppressed {
+  std::unordered_map<int, int> table;
+  // avf-srclint: allow(src.raw-mutex fixture exercising the suppression round-trip)
+  std::mutex mutex;
+
+  int walk() const {
+    int acc = 0;
+    // avf-srclint: allow(src.unordered-iteration fixture exercising the suppression round-trip)
+    for (const auto& [key, value] : table) acc ^= key ^ value;
+    return acc;
+  }
+
+  double spin() const {
+    // avf-srclint: allow(src.wall-clock fixture exercising the suppression round-trip)
+    auto t = std::chrono::steady_clock::now();
+    (void)t;
+    double total = 0.0;
+    for (int i = 0; i < 3; ++i) {
+      // avf-srclint: allow(src.float-accum fixture exercising the suppression round-trip)
+      total += static_cast<double>(i);
+    }
+    // avf-srclint: allow(src.nondet-random fixture exercising the suppression round-trip)
+    return total + std::rand();
+  }
+};
+
+}  // namespace fixture

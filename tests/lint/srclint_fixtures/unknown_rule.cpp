@@ -1,0 +1,10 @@
+// Seeded defect fixture for src.unknown-rule: the suppression names a rule
+// id that does not exist in the catalog.
+namespace fixture {
+
+int identity(int x) {
+  // avf-srclint: allow(src.no-such-rule the rule id has a typo)
+  return x;
+}
+
+}  // namespace fixture

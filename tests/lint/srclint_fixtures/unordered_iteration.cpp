@@ -1,0 +1,23 @@
+// Seeded defect fixture for src.unordered-iteration: a range-for over an
+// unordered_map and an explicit .begin() walk of an unordered_set.  The
+// test lints this as src/sim/unordered_iteration.cpp (a trace-affecting
+// module).  Fixtures are scanned lexically, never compiled.
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+struct Tracker {
+  std::unordered_map<int, double> table;
+  std::unordered_set<int> members;
+
+  double total() const {
+    double grand = 0.0;
+    for (const auto& [key, value] : table) grand = grand + value;
+    return grand;
+  }
+
+  int first() const { return *members.begin(); }
+};
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Seeded defect fixture for src.wall-clock: reads the host clock twice.
+// The test lints this as src/adapt/wall_clock.cpp; as bench/wall_clock.cpp
+// the same contents must scan clean.
+#include <chrono>
+
+namespace fixture {
+
+double elapsed_seconds() {
+  auto start = std::chrono::steady_clock::now();
+  auto stamp = std::chrono::system_clock::now();
+  (void)stamp;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace fixture

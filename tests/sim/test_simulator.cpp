@@ -182,6 +182,33 @@ TEST(Simulator, AbandonedSpawnedProcessesAreReclaimed) {
   EXPECT_EQ(*cleaned, 3);  // parent + its child + the directly spawned child
 }
 
+// Teardown of abandoned frames must run in spawn order.  Regression: the
+// tracker used to be iterated directly — a hash map keyed on frame
+// *addresses*, so the destruction order (observable through locals'
+// destructors, which may log) varied with ASLR from run to run.
+TEST(Simulator, AbandonedProcessesDestroyedInSpawnOrder) {
+  std::vector<int> order;
+  struct Tracer {
+    std::vector<int>* order;
+    int id;
+    ~Tracer() { order->push_back(id); }
+  };
+  {
+    Simulator sim;
+    auto forever = [](Simulator& s, std::vector<int>& order,
+                      int id) -> Task<> {
+      Tracer t{&order, id};
+      co_await s.delay(1e9);  // never reached before teardown
+    };
+    for (int i = 0; i < 16; ++i) sim.spawn(forever(sim, order, i));
+    sim.run_until(1.0);  // every process is parked on its long delay
+    EXPECT_TRUE(order.empty());
+  }
+  std::vector<int> expected(16);
+  for (int i = 0; i < 16; ++i) expected[static_cast<std::size_t>(i)] = i;
+  EXPECT_EQ(order, expected);
+}
+
 TEST(Simulator, MassCancellationKeepsQueueBoundedAndOrdered) {
   // Regression for the ladder queue's tombstone handling: 100k
   // schedule/cancel cycles must not accumulate dead entries (the seed

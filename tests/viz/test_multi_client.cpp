@@ -172,5 +172,56 @@ TEST(MultiClient, AdaptiveMultiSessionIsDeterministic) {
   EXPECT_EQ(result_fingerprint(first), result_fingerprint(second));
 }
 
+TEST(MultiClient, ReopenWhileRequestInFlightKeepsOldSessionAlive) {
+  // Regression: handle_request used to hold a plain reference into the
+  // session map entry across its co_awaits.  Session ids are server-global,
+  // so a second serve loop re-opening the same id would overwrite the map
+  // entry and destroy the Session — and its ProgressiveEncoder — under the
+  // suspended handler (a use-after-free ASan catches).  Sessions are now
+  // shared_ptr-pinned: the in-flight request completes against the old
+  // session while new traffic sees the new one.
+  WorldSetup setup;
+  setup.image_size = 256;
+  setup.levels = 4;
+  setup.image_count = 1;
+  setup.client_count = 2;
+  VizWorld world(setup);
+  world.spawn_server_loops();
+
+  bool reply_seen = false;
+  auto first = [&]() -> sim::Task<> {
+    sim::Endpoint& ep = world.client_endpoint(0);
+    co_await ep.send(encode(
+        OpenImage{.session_id = 7, .image_id = 0, .level = 4, .codec = 1}));
+    sim::Message ack = co_await ep.recv();
+    EXPECT_EQ(ack.kind, kOpenAck);
+    co_await ep.send(encode(Request{
+        .session_id = 7, .cx = 10, .cy = 10, .half = 10, .level = 4}));
+    sim::Message reply = co_await ep.recv();
+    EXPECT_EQ(reply.kind, kReply);
+    EXPECT_EQ(decode_reply(reply).session_id, 7u);
+    reply_seen = true;
+    co_await ep.send(encode_shutdown());
+  };
+  auto second = [&]() -> sim::Task<> {
+    // Wait until the first client's request handler has started (it bumps
+    // requests_served() before its first await), then re-open the same
+    // session id from the other endpoint while the handler is suspended.
+    while (world.server().requests_served() == 0) {
+      co_await world.simulator().delay(1e-4);
+    }
+    sim::Endpoint& ep = world.client_endpoint(1);
+    co_await ep.send(encode(
+        OpenImage{.session_id = 7, .image_id = 0, .level = 3, .codec = 0}));
+    sim::Message ack = co_await ep.recv();
+    EXPECT_EQ(ack.kind, kOpenAck);
+    co_await ep.send(encode_shutdown());
+  };
+  world.simulator().spawn(first());
+  world.simulator().spawn(second());
+  world.simulator().run();
+  EXPECT_TRUE(reply_seen);
+}
+
 }  // namespace
 }  // namespace avf::viz

@@ -1,0 +1,90 @@
+// avf_srclint — determinism & concurrency source linter.
+//
+// Lexically scans the C++ sources under <root>/src and <root>/tools for
+// violations of the determinism contract (unordered-container iteration in
+// trace-affecting modules, wall clocks, non-seeded randomness, unguarded
+// float accumulation) and the concurrency contract (raw std mutex
+// primitives bypassing the TSA-annotated util::Mutex wrappers).  The rule
+// catalog lives in src/lint/srclint.hpp and DESIGN.md; findings are
+// suppressed in-source with
+//
+//   // avf-srclint: allow(<rule.id> <justification>)
+//
+// CI gates on `avf_srclint --strict` exiting 0 over the tree.
+//
+// Usage:
+//   avf_srclint [--json] [--strict] [--root DIR] [--rules]
+//     --root DIR   repository root to scan (default: current directory)
+//     --json       machine-readable report on stdout
+//     --strict     exit non-zero on warnings too
+//     --rules      print the rule catalog and exit
+//
+// Exit codes: 0 clean (warnings allowed unless --strict), 1 diagnostics at
+// the failing severity, 2 usage or I/O error.
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "lint/srclint.hpp"
+
+namespace {
+
+int usage(std::ostream& out, int code) {
+  out << "usage: avf_srclint [--json] [--strict] [--root DIR] [--rules]\n"
+         "  --root DIR   repository root to scan (default: .)\n"
+         "  --json       machine-readable output\n"
+         "  --strict     exit non-zero on warnings too\n"
+         "  --rules      print the rule catalog and exit\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool strict = false;
+  std::filesystem::path root = ".";
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--strict") {
+      strict = true;
+    } else if (arg == "--root") {
+      if (++i == argc) return usage(std::cerr, 2);
+      root = argv[i];
+    } else if (arg == "--rules") {
+      for (const avf::lint::SrcRule& rule : avf::lint::srclint_rules()) {
+        std::cout << rule.id << " ("
+                  << avf::lint::severity_name(rule.severity)
+                  << (rule.suppressible ? "" : ", not suppressible")
+                  << "): " << rule.summary << '\n';
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(std::cout, 0);
+    } else {
+      std::cerr << "unknown option: " << arg << '\n';
+      return usage(std::cerr, 2);
+    }
+  }
+
+  std::error_code ec;
+  if (!std::filesystem::is_directory(root / "src", ec)) {
+    std::cerr << "no src/ directory under " << root
+              << " (pass the repository root with --root)\n";
+    return 2;
+  }
+
+  avf::lint::Report report = avf::lint::srclint_tree(root);
+  if (json) {
+    report.print_json(std::cout);
+    std::cout << '\n';
+  } else {
+    report.print(std::cout);
+  }
+  if (report.has_errors()) return 1;
+  if (strict && report.warning_count() > 0) return 1;
+  return 0;
+}
