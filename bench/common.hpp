@@ -127,6 +127,24 @@ inline bool write_bench_json(const std::string& name,
   return static_cast<bool>(out);
 }
 
+/// Append the tile store's memory/dedup counters to a JSON case, so the
+/// per-commit result files track resident bytes and dedup payoff alongside
+/// wall time (bytes_resident / bytes_deduped / unique_entries /
+/// pinned_entries are the headline fields; the rest attribute them).
+inline void add_tile_store_counters(JsonBenchCase& c,
+                                    const viz::TileStore& store) {
+  c.extra["bytes_resident"] = static_cast<double>(store.bytes_resident());
+  c.extra["bytes_deduped"] = static_cast<double>(store.bytes_deduped());
+  c.extra["unique_entries"] = static_cast<double>(store.unique_entries());
+  c.extra["pinned_entries"] = static_cast<double>(store.pinned_entries());
+  c.extra["store_hits"] = static_cast<double>(store.hits());
+  c.extra["store_misses"] = static_cast<double>(store.misses());
+  c.extra["store_evictions"] = static_cast<double>(store.evictions());
+  c.extra["store_cross_origin_hits"] =
+      static_cast<double>(store.cross_origin_hits());
+  c.extra["store_collisions"] = static_cast<double>(store.collisions());
+}
+
 #ifdef AVF_BENCH_HAS_GBENCH
 /// Console reporter that additionally captures every run for JSON output.
 class JsonCaptureReporter : public benchmark::ConsoleReporter {

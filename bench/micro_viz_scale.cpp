@@ -50,6 +50,7 @@ using viz::CompressedChunkCache;
 using viz::CompressedSizeCache;
 using viz::MultiSessionResult;
 using viz::RegionEncodeCache;
+using viz::TileStore;
 using viz::VizClient;
 using viz::VizWorld;
 using viz::WorldSetup;
@@ -273,8 +274,9 @@ int main() {
     // Fresh local caches per run: counters attributable, no cross-run
     // reuse inflating the numbers.
     CompressedSizeCache size_cache;
-    RegionEncodeCache region_cache;
-    CompressedChunkCache chunk_cache;
+    TileStore store;  // one content-addressed store behind both layers
+    RegionEncodeCache region_cache(store);
+    CompressedChunkCache chunk_cache(store);
     WorldSetup setup = scale_setup(n);
     setup.server_options.size_cache = &size_cache;
     setup.server_options.region_cache = &region_cache;
@@ -314,6 +316,7 @@ int main() {
     c.extra["size_hits"] = static_cast<double>(size_cache.hits());
     c.extra["size_misses"] = static_cast<double>(size_cache.misses());
     c.extra["chunk_hits"] = static_cast<double>(chunk_cache.hits());
+    bench::add_tile_store_counters(c, store);
     cases.push_back(std::move(c));
 
     // The incremental-fluid contract: under-subscribed capped flows must
@@ -375,8 +378,9 @@ int main() {
   int churn_clients = 0;
   for (int n : scale_counts) {
     CompressedSizeCache size_cache;
-    RegionEncodeCache region_cache;
-    CompressedChunkCache chunk_cache;
+    TileStore store;  // one content-addressed store behind both layers
+    RegionEncodeCache region_cache(store);
+    CompressedChunkCache chunk_cache(store);
     WorldSetup setup = scale_setup(n);
     setup.server_options.size_cache = &size_cache;
     setup.server_options.region_cache = &region_cache;
@@ -402,6 +406,7 @@ int main() {
         make_case("scale/clients=" + std::to_string(n), n, run,
                   deterministic);
     c.extra["wall_ratio_vs_128"] = ratio;
+    bench::add_tile_store_counters(c, store);
     cases.push_back(std::move(c));
 
     if (!deterministic) {
@@ -443,8 +448,9 @@ int main() {
   if (churn_clients > 0) {
     int n = std::min(churn_clients, 1024);
     CompressedSizeCache size_cache;
-    RegionEncodeCache region_cache;
-    CompressedChunkCache chunk_cache;
+    TileStore store;  // one content-addressed store behind both layers
+    RegionEncodeCache region_cache(store);
+    CompressedChunkCache chunk_cache(store);
     WorldSetup setup = scale_setup(n);
     setup.server_options.size_cache = &size_cache;
     setup.server_options.region_cache = &region_cache;
@@ -490,6 +496,7 @@ int main() {
         "churn/clients=" + std::to_string(n), n, run, deterministic);
     c.extra["churn_waves"] = plan.waves;
     c.extra["churn_wave_gap_s"] = plan.wave_gap;
+    bench::add_tile_store_counters(c, store);
     cases.push_back(std::move(c));
   }
 

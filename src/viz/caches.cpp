@@ -1,154 +1,70 @@
 #include "viz/caches.hpp"
 
-#include <cstring>
-
 namespace avf::viz {
 
 namespace {
 
-void append_bytes(std::string& out, const void* data, std::size_t n) {
-  out.append(static_cast<const char*>(data), n);
-}
-
-std::string region_key(const wavelet::Pyramid* pyramid, int tile_size,
-                       std::span<const wavelet::TileRef> tiles) {
-  std::string key;
-  key.reserve(sizeof(pyramid) + 1 + tiles.size() * 5);
-  append_bytes(key, &pyramid, sizeof(pyramid));
-  key.push_back(static_cast<char>(tile_size));
-  for (const wavelet::TileRef& t : tiles) {
-    key.push_back(static_cast<char>(t.band));
-    append_bytes(key, &t.tx, sizeof(t.tx));
-    append_bytes(key, &t.ty, sizeof(t.ty));
-  }
-  return key;
-}
+// Domain seeds keep the two key spaces disjoint inside a shared store even
+// when their input byte streams coincide.
+constexpr std::uint64_t kRegionSeed = 0x7265676eULL;  // "regn"
+constexpr std::uint64_t kChunkSeed = 0x63686e6bULL;   // "chnk"
 
 }  // namespace
 
+RegionEncodeCache::RegionEncodeCache()
+    : owned_store_(std::make_unique<TileStore>()), store_(owned_store_.get()) {}
+
 std::shared_ptr<const wavelet::Bytes> RegionEncodeCache::encode(
-    const std::shared_ptr<const wavelet::Pyramid>& pyramid,
+    const util::Hash128& pyramid_content,
     const wavelet::ProgressiveEncoder& encoder,
-    std::span<const wavelet::TileRef> tiles) {
-  std::string key = region_key(pyramid.get(), encoder.tile_size(), tiles);
-  {
-    util::MutexLock lock(mutex_);
-    auto it = entries_.find(key);
-    if (it != entries_.end()) {
-      ++hits_;
-      return it->second.payload;
-    }
-    ++misses_;
+    std::span<const wavelet::TileRef> tiles, std::uint64_t origin_tag) {
+  // Incremental key derivation: no per-request buffer, no copy of the tile
+  // list — the hot-path fix for the old std::string key.
+  util::Hasher128 h(kRegionSeed);
+  h.update_u64(pyramid_content.hi);
+  h.update_u64(pyramid_content.lo);
+  h.update_u32(static_cast<std::uint32_t>(encoder.tile_size()));
+  for (const wavelet::TileRef& t : tiles) {
+    h.update_u8(t.band);
+    h.update_u16(t.tx);
+    h.update_u16(t.ty);
   }
-  // Serialize outside the lock: two threads may race to fill the same key,
-  // in which case both produce byte-identical payloads and the first insert
-  // wins — correctness is unaffected, only a little work is duplicated.
-  auto payload = std::make_shared<const wavelet::Bytes>(
-      encoder.serialize_tiles(tiles));
-  if (max_entries_ == 0) return payload;
-  util::MutexLock lock(mutex_);
-  auto [it, inserted] = entries_.emplace(key, Entry{payload, pyramid});
-  if (!inserted) return it->second.payload;
-  insertion_order_.push_back(std::move(key));
-  while (entries_.size() > max_entries_) {
-    entries_.erase(insertion_order_.front());
-    insertion_order_.pop_front();
-    ++evictions_;
-  }
-  return payload;
-}
-
-std::size_t RegionEncodeCache::size() const {
-  util::MutexLock lock(mutex_);
-  return entries_.size();
-}
-
-std::uint64_t RegionEncodeCache::hits() const {
-  util::MutexLock lock(mutex_);
-  return hits_;
-}
-
-std::uint64_t RegionEncodeCache::misses() const {
-  util::MutexLock lock(mutex_);
-  return misses_;
-}
-
-std::uint64_t RegionEncodeCache::evictions() const {
-  util::MutexLock lock(mutex_);
-  return evictions_;
-}
-
-void RegionEncodeCache::clear() {
-  util::MutexLock lock(mutex_);
-  entries_.clear();
-  insertion_order_.clear();
-  hits_ = misses_ = evictions_ = 0;
+  // Serialization happens outside any lock (inside the store's build
+  // callback): two threads may race to fill the same key, in which case
+  // both produce byte-identical payloads and the first insert wins.
+  TileStore::Lookup result = store_->get_or_build(
+      h.finish(), origin_tag, [&] { return encoder.serialize_tiles(tiles); });
+  (result.hit ? hits_ : misses_).fetch_add(1, std::memory_order_relaxed);
+  if (result.collision) collisions_.fetch_add(1, std::memory_order_relaxed);
+  return result.payload;
 }
 
 RegionEncodeCache& RegionEncodeCache::global() {
-  static RegionEncodeCache cache;
+  static RegionEncodeCache cache(TileStore::global());
   return cache;
 }
 
+CompressedChunkCache::CompressedChunkCache()
+    : owned_store_(std::make_unique<TileStore>()), store_(owned_store_.get()) {}
+
 std::shared_ptr<const codec::Bytes> CompressedChunkCache::compress(
-    codec::CodecId id, codec::BytesView raw) {
-  std::string key;
-  key.reserve(1 + raw.size());
-  key.push_back(static_cast<char>(id));
-  append_bytes(key, raw.data(), raw.size());
-  {
-    util::MutexLock lock(mutex_);
-    auto it = chunks_.find(key);
-    if (it != chunks_.end()) {
-      ++hits_;
-      return it->second;
-    }
-    ++misses_;
-  }
-  auto compressed = std::make_shared<const codec::Bytes>(
-      codec::codec_for(id).compress(raw));
-  if (max_entries_ == 0) return compressed;
-  util::MutexLock lock(mutex_);
-  auto [it, inserted] = chunks_.emplace(key, compressed);
-  if (!inserted) return it->second;
-  insertion_order_.push_back(std::move(key));
-  while (chunks_.size() > max_entries_) {
-    chunks_.erase(insertion_order_.front());
-    insertion_order_.pop_front();
-    ++evictions_;
-  }
-  return compressed;
-}
-
-std::size_t CompressedChunkCache::size() const {
-  util::MutexLock lock(mutex_);
-  return chunks_.size();
-}
-
-std::uint64_t CompressedChunkCache::hits() const {
-  util::MutexLock lock(mutex_);
-  return hits_;
-}
-
-std::uint64_t CompressedChunkCache::misses() const {
-  util::MutexLock lock(mutex_);
-  return misses_;
-}
-
-std::uint64_t CompressedChunkCache::evictions() const {
-  util::MutexLock lock(mutex_);
-  return evictions_;
-}
-
-void CompressedChunkCache::clear() {
-  util::MutexLock lock(mutex_);
-  chunks_.clear();
-  insertion_order_.clear();
-  hits_ = misses_ = evictions_ = 0;
+    codec::CodecId id, codec::BytesView raw, std::uint64_t origin_tag) {
+  // Hash the raw bytes in place: one read-only pass replaces the old
+  // key-string allocation that copied the whole chunk per lookup.
+  util::Hasher128 h(kChunkSeed);
+  h.update_u8(static_cast<std::uint8_t>(id));
+  h.update_u64(raw.size());
+  h.update(raw.data(), raw.size());
+  TileStore::Lookup result = store_->get_or_build(
+      h.finish(), origin_tag,
+      [&] { return codec::codec_for(id).compress(raw); });
+  (result.hit ? hits_ : misses_).fetch_add(1, std::memory_order_relaxed);
+  if (result.collision) collisions_.fetch_add(1, std::memory_order_relaxed);
+  return result.payload;
 }
 
 CompressedChunkCache& CompressedChunkCache::global() {
-  static CompressedChunkCache cache;
+  static CompressedChunkCache cache(TileStore::global());
   return cache;
 }
 

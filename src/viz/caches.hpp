@@ -1,122 +1,124 @@
-// Process-wide shared caches for the multi-session Active Visualization
-// server.
+// Thin lookup layers over the process-wide content-addressed TileStore
+// (viz/tile_store.hpp) for the multi-session Active Visualization server.
 //
-// With many clients foveating the same images, the expensive server-side
-// work (serializing wavelet tiles, running the real codec) is identical
-// across sessions; only the per-session sent-state differs.  Both caches
-// below key on *exact* content, not a content hash:
+// With many clients foveating many catalog images, the expensive
+// server-side work (serializing wavelet tiles, running the real codec) is
+// identical whenever the *content* is identical; only per-session
+// sent-state differs.  Both layers derive a seeded 128-bit content key
+// incrementally (no per-request key buffer — the previous implementation
+// built a std::string per lookup) and delegate storage, byte budgeting,
+// CLOCK eviction, and pinning to their TileStore:
 //
-//  - RegionEncodeCache keys on (pyramid identity, tile size, the precise
-//    tile list to serialize).  The tile list is what (region, level,
-//    already-sent state class) resolve to, so two sessions whose sent-state
-//    differs can still share the payload whenever they need the same tiles
-//    — and because ProgressiveEncoder::serialize_tiles is a pure function
-//    of that key, a hit is byte-identical to the uncached path by
-//    construction.
-//  - CompressedChunkCache keys on (codec id, the exact raw chunk bytes),
-//    so a hit returns the byte-identical compressed output the codec would
-//    have produced.
+//  - RegionEncodeCache keys on (pyramid *content* hash, tile size, the
+//    precise TileRef list).  The tile list is what (region, level,
+//    already-sent state class) resolve to, and serialize_tiles is a pure
+//    function of (pyramid content, tile size, tiles) — so a hit is
+//    byte-identical to the uncached path by construction, across sessions
+//    AND across distinct images containing the same data.
+//  - CompressedChunkCache keys on (codec id, the raw chunk bytes, hashed
+//    in place), so a hit returns the byte-identical compressed output the
+//    codec would have produced.
 //
-// Both are FIFO-bounded, mutex-protected (the global() instances are shared
-// by every world a parallel profiling sweep builds), export hit/miss/
-// eviction counters, and pin shared ownership of what they return so
-// entries stay valid after eviction.
+// Each layer keeps its own hit/miss/collision counters (lock-free; the
+// store's byte/dedup counters aggregate across layers sharing it).  The
+// default-constructed layer owns a private store — tests and benches that
+// construct fresh caches get fresh, attributable state — while global()
+// layers share TileStore::global() across every world a parallel sweep
+// builds.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <span>
-#include <string>
-#include <unordered_map>
 
 #include "codec/codec.hpp"
-#include "util/annotations.hpp"
-#include "util/mutex.hpp"
+#include "util/hash.hpp"
+#include "viz/tile_store.hpp"
 #include "wavelet/progressive.hpp"
 
 namespace avf::viz {
 
-/// (pyramid, tile_size, tile list) -> serialized region payload.
+/// (pyramid content, tile_size, tile list) -> serialized region payload.
 class RegionEncodeCache {
  public:
-  static constexpr std::size_t kDefaultMaxEntries = 1 << 12;
-
-  RegionEncodeCache() : RegionEncodeCache(kDefaultMaxEntries) {}
-  explicit RegionEncodeCache(std::size_t max_entries)
-      : max_entries_(max_entries) {}
+  /// Owns a private TileStore (fresh, attributable state).
+  RegionEncodeCache();
+  /// Layers over `store` (shared with other layers; not owned).
+  explicit RegionEncodeCache(TileStore& store) : store_(&store) {}
 
   /// Serialize `tiles` against `encoder`'s pyramid, reusing a previous
-  /// byte-identical serialization when available.  `pyramid` must be the
-  /// pyramid `encoder` was built over; holding the shared_ptr in the entry
-  /// keeps the pointer half of the key unambiguous for the entry lifetime.
+  /// byte-identical serialization of the same content when available.
+  /// `pyramid_content` must be wavelet::pyramid_content_hash of the
+  /// pyramid `encoder` was built over (the server memoizes it per stored
+  /// image); `origin_tag` labels the requester (the server passes the
+  /// image id) so the store can count cross-image hits.
   std::shared_ptr<const wavelet::Bytes> encode(
-      const std::shared_ptr<const wavelet::Pyramid>& pyramid,
+      const util::Hash128& pyramid_content,
       const wavelet::ProgressiveEncoder& encoder,
-      std::span<const wavelet::TileRef> tiles) AVF_EXCLUDES(mutex_);
+      std::span<const wavelet::TileRef> tiles, std::uint64_t origin_tag = 0);
 
-  std::size_t size() const AVF_EXCLUDES(mutex_);
-  std::size_t max_entries() const { return max_entries_; }
-  std::uint64_t hits() const AVF_EXCLUDES(mutex_);
-  std::uint64_t misses() const AVF_EXCLUDES(mutex_);
-  std::uint64_t evictions() const AVF_EXCLUDES(mutex_);
-  void clear() AVF_EXCLUDES(mutex_);
+  TileStore& store() { return *store_; }
+  const TileStore& store() const { return *store_; }
 
-  /// Shared instance used by default; individual servers may use their own.
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t collisions() const {
+    return collisions_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t evictions() const { return store_->evictions(); }
+  std::size_t size() const { return store_->unique_entries(); }
+
+  /// Shared instance used by default; layered over TileStore::global().
   static RegionEncodeCache& global();
 
  private:
-  struct Entry {
-    std::shared_ptr<const wavelet::Bytes> payload;
-    std::shared_ptr<const wavelet::Pyramid> pin;
-  };
-
-  std::size_t max_entries_;
-  mutable util::Mutex mutex_;
-  std::unordered_map<std::string, Entry> entries_ AVF_GUARDED_BY(mutex_);
-  // FIFO eviction order.
-  std::deque<std::string> insertion_order_ AVF_GUARDED_BY(mutex_);
-  std::uint64_t hits_ AVF_GUARDED_BY(mutex_) = 0;
-  std::uint64_t misses_ AVF_GUARDED_BY(mutex_) = 0;
-  std::uint64_t evictions_ AVF_GUARDED_BY(mutex_) = 0;
+  std::unique_ptr<TileStore> owned_store_;
+  TileStore* store_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> collisions_{0};
 };
 
-/// (codec id, exact raw bytes) -> compressed bytes.
+/// (codec id, raw bytes) -> compressed bytes.
 class CompressedChunkCache {
  public:
-  static constexpr std::size_t kDefaultMaxEntries = 1 << 10;
-
-  CompressedChunkCache() : CompressedChunkCache(kDefaultMaxEntries) {}
-  explicit CompressedChunkCache(std::size_t max_entries)
-      : max_entries_(max_entries) {}
+  /// Owns a private TileStore (fresh, attributable state).
+  CompressedChunkCache();
+  /// Layers over `store` (shared with other layers; not owned).
+  explicit CompressedChunkCache(TileStore& store) : store_(&store) {}
 
   /// Compress `raw` with `id`, reusing a previous byte-identical
   /// compression of the same chunk when available.
   std::shared_ptr<const codec::Bytes> compress(codec::CodecId id,
-                                               codec::BytesView raw)
-      AVF_EXCLUDES(mutex_);
+                                               codec::BytesView raw,
+                                               std::uint64_t origin_tag = 0);
 
-  std::size_t size() const AVF_EXCLUDES(mutex_);
-  std::size_t max_entries() const { return max_entries_; }
-  std::uint64_t hits() const AVF_EXCLUDES(mutex_);
-  std::uint64_t misses() const AVF_EXCLUDES(mutex_);
-  std::uint64_t evictions() const AVF_EXCLUDES(mutex_);
-  void clear() AVF_EXCLUDES(mutex_);
+  TileStore& store() { return *store_; }
+  const TileStore& store() const { return *store_; }
 
-  /// Shared instance used by default; individual servers may use their own.
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t collisions() const {
+    return collisions_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t evictions() const { return store_->evictions(); }
+  std::size_t size() const { return store_->unique_entries(); }
+
+  /// Shared instance used by default; layered over TileStore::global().
   static CompressedChunkCache& global();
 
  private:
-  std::size_t max_entries_;
-  mutable util::Mutex mutex_;
-  std::unordered_map<std::string, std::shared_ptr<const codec::Bytes>>
-      chunks_ AVF_GUARDED_BY(mutex_);
-  // FIFO eviction order.
-  std::deque<std::string> insertion_order_ AVF_GUARDED_BY(mutex_);
-  std::uint64_t hits_ AVF_GUARDED_BY(mutex_) = 0;
-  std::uint64_t misses_ AVF_GUARDED_BY(mutex_) = 0;
-  std::uint64_t evictions_ AVF_GUARDED_BY(mutex_) = 0;
+  std::unique_ptr<TileStore> owned_store_;
+  TileStore* store_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> collisions_{0};
 };
 
 }  // namespace avf::viz

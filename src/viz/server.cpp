@@ -7,6 +7,20 @@
 
 namespace avf::viz {
 
+namespace {
+
+/// Baseline keying for Options::identity_keyed_regions: a per-image-id hash
+/// stands in for the content hash, so identical content stored under
+/// distinct image ids caches separately — the old pin-per-pyramid behavior
+/// the dedup benchmarks measure against.
+util::Hash128 identity_region_key(std::uint32_t id) {
+  util::Hasher128 h(/*seed=*/0x69646e74ULL);  // "idnt"
+  h.update_u32(id);
+  return h.finish();
+}
+
+}  // namespace
+
 CompressedSizeCache::CompressedSizeCache(std::size_t max_entries)
     : max_entries_(max_entries),
       // Sharding only helps once every shard can hold a useful number of
@@ -135,9 +149,19 @@ void VizServer::add_image(std::uint32_t id, const wavelet::Image& image,
 
 void VizServer::add_image(std::uint32_t id,
                           std::shared_ptr<const wavelet::Pyramid> pyramid) {
+  util::Hash128 content = wavelet::pyramid_content_hash(*pyramid);
+  add_image(id, std::move(pyramid), content);
+}
+
+void VizServer::add_image(std::uint32_t id,
+                          std::shared_ptr<const wavelet::Pyramid> pyramid,
+                          const util::Hash128& content_hash) {
   StoredImage stored;
   stored.levels = pyramid->levels();
   stored.pyramid = std::move(pyramid);
+  stored.content_hash = options_.identity_keyed_regions
+                            ? identity_region_key(id)
+                            : content_hash;
   images_[id] = std::move(stored);
 }
 
@@ -256,6 +280,7 @@ sim::Task<> VizServer::handle_open(sim::Endpoint& endpoint,
   auto session = std::make_shared<Session>();
   session->image_id = open.image_id;
   session->pyramid = it->second.pyramid;
+  session->content_hash = it->second.content_hash;
   session->encoder = std::make_unique<wavelet::ProgressiveEncoder>(
       *it->second.pyramid, options_.tile_size);
   session->codec = static_cast<codec::CodecId>(open.codec);
@@ -292,8 +317,8 @@ sim::Task<> VizServer::handle_request(sim::Endpoint& endpoint,
   std::shared_ptr<const wavelet::Bytes> raw_shared;
   if (options_.region_cache != nullptr) {
     raw_shared =
-        options_.region_cache->encode(session.pyramid, *session.encoder,
-                                      tiles);
+        options_.region_cache->encode(session.content_hash, *session.encoder,
+                                      tiles, session.image_id);
   } else {
     raw_shared = std::make_shared<const wavelet::Bytes>(
         session.encoder->serialize_tiles(tiles));
@@ -330,7 +355,9 @@ sim::Task<> VizServer::handle_request(sim::Endpoint& endpoint,
   } else if (options_.size_cache != nullptr) {
     std::size_t compressed_size =
         options_.chunk_cache != nullptr
-            ? options_.chunk_cache->compress(session.codec, raw)->size()
+            ? options_.chunk_cache
+                  ->compress(session.codec, raw, session.image_id)
+                  ->size()
             : codec.compress(raw).size();
     options_.size_cache->store(session.codec, raw_fingerprint,
                                compressed_size);
@@ -345,7 +372,8 @@ sim::Task<> VizServer::handle_request(sim::Endpoint& endpoint,
     // sessions asking for the same tiles.
     codec::Bytes compressed =
         options_.chunk_cache != nullptr
-            ? *options_.chunk_cache->compress(session.codec, raw)
+            ? *options_.chunk_cache->compress(session.codec, raw,
+                                              session.image_id)
             : codec.compress(raw);
     reply.premeasured = false;
     reply.wire_len = static_cast<std::uint32_t>(compressed.size());

@@ -151,6 +151,14 @@ class VizServer {
     /// Shared real-compression reuse (only exercised when size_cache is
     /// null and replies must carry genuine compressed bytes).
     CompressedChunkCache* chunk_cache = &CompressedChunkCache::global();
+    /// Baseline emulation for dedup measurements: key region payloads by
+    /// image *identity* (image id) instead of pyramid content, recreating
+    /// the old pin-per-pyramid behavior where identical content stored as
+    /// distinct images was cached per image.  Traces are unchanged either
+    /// way (caches save cycles only); only resident store bytes differ.
+    /// Meaningful with a per-world store — image ids are only unique
+    /// within one server.
+    bool identity_keyed_regions = false;
   };
 
   VizServer(sandbox::Sandbox& box, sim::Endpoint& endpoint);
@@ -158,9 +166,16 @@ class VizServer {
 
   /// Register an image (decomposes it into a pyramid).
   void add_image(std::uint32_t id, const wavelet::Image& image, int levels);
-  /// Register a pre-decomposed (possibly shared) pyramid.
+  /// Register a pre-decomposed (possibly shared) pyramid; the content hash
+  /// keying the tile store is computed here, once per stored image.
   void add_image(std::uint32_t id,
                  std::shared_ptr<const wavelet::Pyramid> pyramid);
+  /// Same, with the content hash precomputed by the caller (the world's
+  /// pyramid memo caches it alongside the pyramid, so profiling sweeps do
+  /// not rehash the same coefficients per world).
+  void add_image(std::uint32_t id,
+                 std::shared_ptr<const wavelet::Pyramid> pyramid,
+                 const util::Hash128& content_hash);
 
   /// Serve loop for one endpoint; returns when a kShutdown message arrives
   /// on it.  Multiple serve() loops may run concurrently (one per client
@@ -181,11 +196,15 @@ class VizServer {
  private:
   struct StoredImage {
     std::shared_ptr<const wavelet::Pyramid> pyramid;
+    /// Content hash keying the tile store (or an identity hash when
+    /// Options::identity_keyed_regions emulates the old baseline).
+    util::Hash128 content_hash;
     int levels = 0;
   };
   struct Session {
     std::uint32_t image_id = 0;
     std::shared_ptr<const wavelet::Pyramid> pyramid;
+    util::Hash128 content_hash;
     std::unique_ptr<wavelet::ProgressiveEncoder> encoder;
     codec::CodecId codec = codec::CodecId::kNone;
     int level = 0;

@@ -87,26 +87,28 @@ class ImageMemo {
 
 class PyramidMemo {
  public:
-  std::shared_ptr<const wavelet::Pyramid> get(const wavelet::Image& image,
-                                              int size, std::uint64_t seed,
-                                              int levels)
-      AVF_EXCLUDES(mutex_) {
+  PyramidEntry get(const wavelet::Image& image, int size, std::uint64_t seed,
+                   int levels) AVF_EXCLUDES(mutex_) {
     auto key = std::make_tuple(size, seed, levels);
     {
       util::MutexLock lock(mutex_);
       auto it = cache_.find(key);
       if (it != cache_.end()) return it->second;
     }
-    auto built = std::make_shared<const wavelet::Pyramid>(image, levels);
+    // Hash alongside the decomposition, outside the lock: the content hash
+    // is as deterministic as the pyramid, so a racing loser's copy is
+    // byte-identical and safely discarded.
+    PyramidEntry built;
+    built.pyramid = std::make_shared<const wavelet::Pyramid>(image, levels);
+    built.content_hash = wavelet::pyramid_content_hash(*built.pyramid);
     util::MutexLock lock(mutex_);
     return cache_.emplace(key, std::move(built)).first->second;
   }
 
  private:
   util::Mutex mutex_;
-  std::map<std::tuple<int, std::uint64_t, int>,
-           std::shared_ptr<const wavelet::Pyramid>>
-      cache_ AVF_GUARDED_BY(mutex_);
+  std::map<std::tuple<int, std::uint64_t, int>, PyramidEntry> cache_
+      AVF_GUARDED_BY(mutex_);
 };
 
 }  // namespace
@@ -116,14 +118,18 @@ const wavelet::Image& cached_image(int size, std::uint64_t seed) {
   return memo.get(size, seed);
 }
 
-std::shared_ptr<const wavelet::Pyramid> cached_pyramid(int size,
-                                                       std::uint64_t seed,
-                                                       int levels) {
+PyramidEntry cached_pyramid_entry(int size, std::uint64_t seed, int levels) {
   static PyramidMemo memo;
   // The image memo is consulted before the pyramid lock is taken, so the
   // two memo mutexes are never held together (no lock-order edge).
   const wavelet::Image& image = cached_image(size, seed);
   return memo.get(image, size, seed, levels);
+}
+
+std::shared_ptr<const wavelet::Pyramid> cached_pyramid(int size,
+                                                       std::uint64_t seed,
+                                                       int levels) {
+  return cached_pyramid_entry(size, seed, levels).pyramid;
 }
 
 VizWorld::VizWorld(const WorldSetup& setup) : setup_(setup) {
@@ -174,11 +180,30 @@ VizWorld::VizWorld(const WorldSetup& setup) : setup_(setup) {
   server_ = std::make_unique<VizServer>(*server_box_, channels_[0]->b(),
                                         setup.server_options);
   for (int i = 0; i < setup.image_count; ++i) {
-    // add_image would redo the wavelet decomposition per world; reuse the
-    // process-wide pyramid cache instead.
-    server_->add_image(static_cast<std::uint32_t>(i),
-                       cached_pyramid(setup.image_size,
-                                      setup.image_seed + i, setup.levels));
+    if (setup.unique_image_contents > 0) {
+      // Duplicate-content catalog: image i carries the content of seed
+      // image i % unique_image_contents, but as its own freshly decomposed
+      // Pyramid object — pointer identity cannot dedup it, only content
+      // addressing can.  The memoized entry supplies the content hash
+      // (identical content => identical hash) without rehashing per image.
+      std::uint64_t seed =
+          setup.image_seed +
+          static_cast<std::uint64_t>(i % setup.unique_image_contents);
+      PyramidEntry entry =
+          cached_pyramid_entry(setup.image_size, seed, setup.levels);
+      server_->add_image(static_cast<std::uint32_t>(i),
+                         std::make_shared<const wavelet::Pyramid>(
+                             cached_image(setup.image_size, seed),
+                             setup.levels),
+                         entry.content_hash);
+    } else {
+      // add_image would redo the wavelet decomposition (and content hash)
+      // per world; reuse the process-wide pyramid cache instead.
+      PyramidEntry entry = cached_pyramid_entry(
+          setup.image_size, setup.image_seed + i, setup.levels);
+      server_->add_image(static_cast<std::uint32_t>(i),
+                         std::move(entry.pyramid), entry.content_hash);
+    }
   }
 }
 

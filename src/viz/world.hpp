@@ -23,6 +23,7 @@
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
 #include "tunable/app_spec.hpp"
+#include "util/hash.hpp"
 #include "viz/client.hpp"
 #include "viz/server.hpp"
 
@@ -41,6 +42,16 @@ const wavelet::Image& cached_image(int size, std::uint64_t seed);
 std::shared_ptr<const wavelet::Pyramid> cached_pyramid(int size,
                                                        std::uint64_t seed,
                                                        int levels);
+
+/// A memoized pyramid together with its content hash (the tile-store key
+/// prefix).  The hash is computed once per (size, seed, levels) and cached
+/// alongside the pyramid, so profiling sweeps building thousands of worlds
+/// never rehash the same coefficients.
+struct PyramidEntry {
+  std::shared_ptr<const wavelet::Pyramid> pyramid;
+  util::Hash128 content_hash;
+};
+PyramidEntry cached_pyramid_entry(int size, std::uint64_t seed, int levels);
 
 struct WorldSetup {
   /// Concurrent viz clients, each with its own channel over the one shared
@@ -71,6 +82,15 @@ struct WorldSetup {
   int levels = 4;
   std::uint64_t image_seed = 2026;
   int image_count = 10;
+  /// When > 0, the catalog holds image_count *distinct* pyramid objects
+  /// whose contents repeat every unique_image_contents images (image i is
+  /// synthesized from seed image_seed + i % unique_image_contents).  This
+  /// models a server storing duplicate data under different names: pointer
+  /// identity cannot dedup it, content addressing can (the dedup
+  /// benchmarks measure exactly this gap).  0 — the default — keeps the
+  /// historical path where each image id gets the process-wide shared
+  /// pyramid for its own seed.
+  int unique_image_contents = 0;
 
   VizServer::Options server_options{};
   VizClient::Options client_options{};

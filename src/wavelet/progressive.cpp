@@ -71,6 +71,27 @@ void append_u16(Bytes& out, std::uint32_t v) {
 
 using namespace progdetail;
 
+util::Hash128 pyramid_content_hash(const Pyramid& pyramid) {
+  // Domain-seeded so pyramid fingerprints can never alias tile-store keys
+  // derived from other byte streams.
+  util::Hasher128 h(/*seed=*/0x70797261ULL);  // "pyra"
+  h.update_u32(static_cast<std::uint32_t>(pyramid.full_width()));
+  h.update_u32(static_cast<std::uint32_t>(pyramid.full_height()));
+  h.update_u32(static_cast<std::uint32_t>(pyramid.levels()));
+  int bands = band_count(pyramid.levels());
+  for (int b = 0; b < bands; ++b) {
+    const Band& band = band_by_id(pyramid, b);
+    h.update_u32(static_cast<std::uint32_t>(band.width));
+    h.update_u32(static_cast<std::uint32_t>(band.height));
+    // Coefficients fold LSB-first via the typed update, keeping the digest
+    // identical on any host endianness.
+    for (std::int16_t c : band.coeffs) {
+      h.update_u16(static_cast<std::uint16_t>(c));
+    }
+  }
+  return h.finish();
+}
+
 ProgressiveEncoder::ProgressiveEncoder(const Pyramid& pyramid, int tile_size)
     : pyramid_(pyramid), tile_(tile_size) {
   if (tile_size < 1 || tile_size > 255) {

@@ -20,11 +20,21 @@
 #include <span>
 #include <vector>
 
+#include "util/hash.hpp"
 #include "wavelet/haar.hpp"
 
 namespace avf::wavelet {
 
 using Bytes = std::vector<std::uint8_t>;
+
+/// Content fingerprint of a pyramid: a seeded 128-bit digest over its
+/// geometry and every band's coefficients in band-id order.  Two pyramid
+/// *objects* decomposed from identical images digest identically, which is
+/// what lets the content-addressed tile store share serialized regions
+/// across catalog images that happen to contain the same data (the old
+/// pointer-keyed cache could not).  Pure function of the pyramid's
+/// contents; callers memoize it per stored image (O(coefficients) walk).
+util::Hash128 pyramid_content_hash(const Pyramid& pyramid);
 
 /// Rectangular foveal request in full-resolution pixel coordinates.
 struct Region {
