@@ -66,6 +66,14 @@ void AdaptationController::start() {
 
 void AdaptationController::tick() {
   ++checks_;
+  if (options_.change_driven_ticks && monitor_.check_would_noop()) {
+    // Provably identical to running the full check (see check_would_noop):
+    // the monitor saw nothing new and the re-check would find every axis in
+    // range again without touching any state.
+    ++ticks_skipped_;
+    check_event_ = sim_.schedule(options_.check_interval, [this] { tick(); });
+    return;
+  }
   if (monitor_.check_triggered()) {
     // Reuse the estimate buffer across checks; the monitoring trigger fires
     // on the hot periodic path and should not allocate.

@@ -26,6 +26,12 @@ class AdaptationController {
     /// (std::invalid_argument) on errors, log warnings.  Off switch for
     /// harnesses that intentionally build degenerate rigs.
     bool validate_spec = true;
+    /// Skip the body of a periodic tick when the monitor proves it would be
+    /// a no-op (MonitoringAgent::check_would_noop: nothing observed since
+    /// the last in-range check and no window suffix aged out).  Behavior is
+    /// identical either way — only ticks_skipped() and the work done per
+    /// quiet tick differ.  Off switch for baseline measurements.
+    bool change_driven_ticks = true;
   };
 
   AdaptationController(sim::Simulator& sim, const ResourceScheduler& scheduler,
@@ -61,6 +67,9 @@ class AdaptationController {
     return adaptations_;
   }
   std::size_t checks() const { return checks_; }
+  /// Ticks whose body was skipped because the monitor proved the check
+  /// would repeat the previous in-range outcome (change-driven ticks).
+  std::size_t ticks_skipped() const { return ticks_skipped_; }
 
  private:
   void tick();
@@ -74,6 +83,7 @@ class AdaptationController {
   std::vector<AdaptationEvent> adaptations_;
   std::vector<double> estimates_scratch_;  // reused across periodic checks
   std::size_t checks_ = 0;
+  std::size_t ticks_skipped_ = 0;
 };
 
 }  // namespace avf::adapt

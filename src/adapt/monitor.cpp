@@ -18,24 +18,37 @@ MonitoringAgent::MonitoringAgent(sim::Simulator& sim,
   if (axes_.empty()) {
     throw std::invalid_argument("monitoring agent needs at least one axis");
   }
+  axis_ids_.reserve(axes_.size());
+  for (std::size_t i = 0; i < axes_.size(); ++i) axis_ids_.emplace(axes_[i], i);
   windows_.assign(axes_.size(), util::TimeWindow(options_.window));
   baseline_.assign(axes_.size(), 0.0);
+  check_state_.assign(axes_.size(), AxisCheckState{});
 }
 
 std::size_t MonitoringAgent::axis_index(const std::string& axis) const {
-  for (std::size_t i = 0; i < axes_.size(); ++i) {
-    if (axes_[i] == axis) return i;
+  auto it = axis_ids_.find(axis);
+  if (it == axis_ids_.end()) {
+    throw std::out_of_range(util::format("no such monitored axis: {}", axis));
   }
-  throw std::out_of_range(util::format("no such monitored axis: {}", axis));
+  return it->second;
 }
 
 void MonitoringAgent::observe(const std::string& axis, double value) {
-  windows_[axis_index(axis)].add(sim_.now(), value);
+  observe(axis_index(axis), value);
+}
+
+void MonitoringAgent::observe(std::size_t axis_id, double value) {
+  windows_[axis_id].add(sim_.now(), value);
   ++samples_total_;
+  ++revision_;
 }
 
 std::optional<double> MonitoringAgent::estimate(const std::string& axis) const {
-  const util::TimeWindow& w = windows_[axis_index(axis)];
+  return estimate(axis_index(axis));
+}
+
+std::optional<double> MonitoringAgent::estimate(std::size_t axis_id) const {
+  const util::TimeWindow& w = windows_[axis_id];
   // Average only the samples inside [now - window, now].  The window deque
   // evicts relative to its newest *sample*, so after a reporting gap it can
   // still hold a burst of stale samples behind one fresh observation; those
@@ -52,7 +65,7 @@ std::vector<double> MonitoringAgent::estimates() const {
 void MonitoringAgent::estimates_into(std::vector<double>& out) const {
   out.resize(axes_.size());
   for (std::size_t i = 0; i < axes_.size(); ++i) {
-    auto e = estimate(axes_[i]);
+    auto e = estimate(i);
     out[i] = e.value_or(baseline_[i]);
   }
 }
@@ -63,19 +76,26 @@ void MonitoringAgent::set_baseline(std::vector<double> baseline) {
   }
   baseline_ = std::move(baseline);
   consecutive_out_ = 0;
+  ++revision_;
 }
 
 bool MonitoringAgent::check_triggered() {
   bool out_of_range = false;
+  const double cutoff = sim_.now() - options_.window;
   for (std::size_t i = 0; i < axes_.size(); ++i) {
-    auto e = estimate(axes_[i]);
-    if (!e) continue;
+    auto s = windows_[i].stats_since(cutoff);
+    check_state_[i].had_estimate = s.has_value();
+    check_state_[i].first_time = s ? s->first_time : 0.0;
+    if (!s) continue;
     double scale = std::max(std::abs(baseline_[i]), 1e-12);
-    if (std::abs(*e - baseline_[i]) / scale > options_.trigger_threshold) {
+    if (std::abs(s->mean - baseline_[i]) / scale > options_.trigger_threshold) {
       out_of_range = true;
       break;
     }
   }
+  last_check_valid_ = true;
+  last_check_out_of_range_ = out_of_range;
+  last_check_revision_ = revision_;
   if (!out_of_range) {
     consecutive_out_ = 0;
     return false;
@@ -86,6 +106,26 @@ bool MonitoringAgent::check_triggered() {
     return true;
   }
   return false;
+}
+
+bool MonitoringAgent::check_would_noop() const {
+  // An in-range check is idempotent (it only re-zeroes an already-zero
+  // consecutive counter), so it may be skipped when its inputs are provably
+  // unchanged: no observation or baseline landed since (revision), and no
+  // axis's qualifying suffix lost samples to the advancing window cutoff.
+  // An axis with no in-window estimate then cannot have gained one (only
+  // observe() adds samples), and an axis whose oldest qualifying sample is
+  // still in-window averages the identical suffix — bit-identical mean,
+  // identical verdict.
+  if (!last_check_valid_ || last_check_out_of_range_) return false;
+  if (revision_ != last_check_revision_) return false;
+  const double cutoff = sim_.now() - options_.window;
+  for (std::size_t i = 0; i < axes_.size(); ++i) {
+    if (check_state_[i].had_estimate && check_state_[i].first_time < cutoff) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace avf::adapt

@@ -10,8 +10,10 @@
 // reconfiguration.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/simulator.hpp"
@@ -33,12 +35,24 @@ class MonitoringAgent {
 
   const std::vector<std::string>& axes() const { return axes_; }
 
+  /// Stable numeric id of `axis` (its index in axes()); throws
+  /// std::out_of_range for unknown names.  Hot per-sample reporters resolve
+  /// the id once and use the id-based overloads below, skipping the
+  /// name-table lookup entirely.
+  std::size_t axis_id(const std::string& axis) const {
+    return axis_index(axis);
+  }
+
   /// Report an observed availability sample for `axis` (units = axis units,
   /// e.g. CPU share fraction or bytes/s), timestamped with simulated now().
   void observe(const std::string& axis, double value);
+  /// Id-based fast path (see axis_id).
+  void observe(std::size_t axis_id, double value);
 
   /// Windowed estimate; nullopt when the axis has no samples in-window.
   std::optional<double> estimate(const std::string& axis) const;
+  /// Id-based fast path (see axis_id).
+  std::optional<double> estimate(std::size_t axis_id) const;
 
   /// Estimates for all axes; axes without samples fall back to the
   /// baseline value.
@@ -57,8 +71,22 @@ class MonitoringAgent {
   /// after firing and whenever availability returns to range.
   bool check_triggered();
 
+  /// True when re-running check_triggered() now would *provably* repeat the
+  /// previous check's in-range outcome with no state change: nothing was
+  /// observed and no baseline was set since the last check (revision
+  /// unchanged), that check found every axis in range, and no axis's
+  /// qualifying sample suffix has aged past the window cutoff (the oldest
+  /// qualifying sample recorded at the last check is still in-window, so
+  /// the windowed means are bit-identical).  The adaptation controller uses
+  /// this to skip whole ticks on quiet sessions; a false return proves
+  /// nothing either way.
+  bool check_would_noop() const;
+
   std::size_t samples_total() const { return samples_total_; }
   std::size_t triggers() const { return triggers_; }
+  /// Bumped on every observe() and set_baseline(); lets periodic callers
+  /// detect "no new information since I last looked".
+  std::uint64_t revision() const { return revision_; }
 
  private:
   std::size_t axis_index(const std::string& axis) const;
@@ -66,11 +94,28 @@ class MonitoringAgent {
   sim::Simulator& sim_;
   std::vector<std::string> axes_;
   Options options_;
+  std::unordered_map<std::string, std::size_t> axis_ids_;  // name -> index
   std::vector<util::TimeWindow> windows_;
   std::vector<double> baseline_;
   int consecutive_out_ = 0;
   std::size_t samples_total_ = 0;
   std::size_t triggers_ = 0;
+  std::uint64_t revision_ = 0;
+
+  // Snapshot of the last check_triggered() call, for check_would_noop():
+  // which revision it saw, whether it found everything in range, and per
+  // axis whether an estimate existed and where its qualifying suffix began.
+  // The per-axis entries are complete only for in-range checks (the check
+  // short-circuits on the first out-of-range axis), which is exactly when
+  // check_would_noop() consults them.
+  struct AxisCheckState {
+    bool had_estimate = false;
+    double first_time = 0.0;
+  };
+  bool last_check_valid_ = false;
+  bool last_check_out_of_range_ = false;
+  std::uint64_t last_check_revision_ = 0;
+  std::vector<AxisCheckState> check_state_;
 };
 
 }  // namespace avf::adapt

@@ -1,5 +1,6 @@
 #include "adapt/scheduler.hpp"
 
+#include <bit>
 #include <cmath>
 #include <stdexcept>
 
@@ -8,6 +9,61 @@ namespace avf::adapt {
 using tunable::ConfigPoint;
 using tunable::QosVector;
 
+namespace {
+
+std::uint64_t fnv1a_bytes(std::uint64_t h, const void* data,
+                          std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a_str(std::uint64_t h, const std::string& s) {
+  h = fnv1a_bytes(h, s.data(), s.size());
+  // Length separator: distinguishes {"ab","c"} from {"a","bc"}.
+  std::uint64_t n = s.size();
+  return fnv1a_bytes(h, &n, sizeof(n));
+}
+
+std::uint64_t fnv1a_f64(std::uint64_t h, double x) {
+  std::uint64_t bits = std::bit_cast<std::uint64_t>(x);
+  return fnv1a_bytes(h, &bits, sizeof(bits));
+}
+
+// Everything that shapes the decision function besides the database and the
+// query point: preference list (names, constraint ranges, objectives,
+// directions — declaration sites excluded) and the scheduler options.
+std::uint64_t fingerprint_selector(const PreferenceList& prefs,
+                                   const ResourceScheduler::Options& opts) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  std::uint64_t count = prefs.size();
+  h = fnv1a_bytes(h, &count, sizeof(count));
+  for (const UserPreference& p : prefs) {
+    h = fnv1a_str(h, p.name);
+    std::uint64_t nc = p.constraints.size();
+    h = fnv1a_bytes(h, &nc, sizeof(nc));
+    for (const MetricRange& r : p.constraints) {
+      h = fnv1a_str(h, r.metric);
+      h = fnv1a_f64(h, r.min);
+      h = fnv1a_f64(h, r.max);
+    }
+    h = fnv1a_str(h, p.objective_metric);
+    unsigned char maximize = p.maximize ? 1 : 0;
+    h = fnv1a_bytes(h, &maximize, sizeof(maximize));
+  }
+  int lookup = static_cast<int>(opts.lookup);
+  h = fnv1a_bytes(h, &lookup, sizeof(lookup));
+  h = fnv1a_f64(h, opts.switch_hysteresis);
+  unsigned char exact = opts.exact_predictions ? 1 : 0;
+  h = fnv1a_bytes(h, &exact, sizeof(exact));
+  return h;
+}
+
+}  // namespace
+
 ResourceScheduler::ResourceScheduler(const perfdb::PerfDatabase& db,
                                      PreferenceList preferences)
     : ResourceScheduler(db, std::move(preferences), Options{}) {}
@@ -15,7 +71,9 @@ ResourceScheduler::ResourceScheduler(const perfdb::PerfDatabase& db,
 ResourceScheduler::ResourceScheduler(const perfdb::PerfDatabase& db,
                                      PreferenceList preferences,
                                      Options options)
-    : db_(db), preferences_(std::move(preferences)), options_(options) {
+    : db_(db),
+      preferences_(std::move(preferences)),
+      options_(std::move(options)) {
   if (preferences_.empty()) {
     throw std::invalid_argument("scheduler needs at least one preference");
   }
@@ -25,15 +83,31 @@ ResourceScheduler::ResourceScheduler(const perfdb::PerfDatabase& db,
                                   p.objective_metric);
     }
   }
+  // A memoized decision must be a pure function of (db contents, selector,
+  // inputs); PerfDatabase::predict shares results within a quantization
+  // bucket, so cached schedulers bypass it.
+  if (options_.decision_cache) options_.exact_predictions = true;
+  selector_fingerprint_ = fingerprint_selector(preferences_, options_);
 }
 
 const std::vector<ResourceScheduler::Candidate>& ResourceScheduler::evaluate(
     const perfdb::ResourcePoint& resources) const {
   scratch_.clear();
-  db_.for_each_config([&](const ConfigPoint& config) {
-    auto predicted = db_.predict(config, resources, options_.lookup);
-    if (predicted) scratch_.push_back(Candidate{&config, std::move(*predicted)});
-  });
+  if (options_.exact_predictions) {
+    db_.for_each_config([&](const ConfigPoint& config) {
+      auto predicted = db_.predict_uncached(config, resources, options_.lookup);
+      if (predicted) {
+        scratch_.push_back(Candidate{&config, std::move(*predicted)});
+      }
+    });
+  } else {
+    db_.for_each_config([&](const ConfigPoint& config) {
+      auto predicted = db_.predict(config, resources, options_.lookup);
+      if (predicted) {
+        scratch_.push_back(Candidate{&config, std::move(*predicted)});
+      }
+    });
+  }
   return scratch_;
 }
 
@@ -74,28 +148,72 @@ std::optional<ResourceScheduler::Decision> ResourceScheduler::decide(
 
 std::optional<ResourceScheduler::Decision> ResourceScheduler::select(
     const perfdb::ResourcePoint& resources) const {
-  return decide(evaluate(resources));
+  if (options_.decision_cache) return select_cached(resources, nullptr);
+  return select_uncached(resources, nullptr);
 }
 
 std::optional<ResourceScheduler::Decision>
 ResourceScheduler::select_with_incumbent(
     const perfdb::ResourcePoint& resources,
     const ConfigPoint& incumbent) const {
+  if (options_.decision_cache) return select_cached(resources, &incumbent);
+  return select_uncached(resources, &incumbent);
+}
+
+std::optional<ResourceScheduler::Decision> ResourceScheduler::select_cached(
+    const perfdb::ResourcePoint& resources,
+    const ConfigPoint* incumbent) const {
+  DecisionCache& cache = *options_.decision_cache;
+  DecisionCache::Query query;
+  query.db_uid = db_.uid();
+  query.db_epoch = db_.mutation_epoch();
+  query.selector_fingerprint = selector_fingerprint_;
+  query.has_incumbent = incumbent != nullptr;
+  if (incumbent != nullptr) query.incumbent_key = incumbent->key();
+  query.resources = &resources;
+  if (const std::optional<Decision>* hit = cache.lookup(query)) return *hit;
+  std::optional<Decision> fresh = select_uncached(resources, incumbent);
+  cache.store(query, fresh);
+  return fresh;
+}
+
+const ResourceScheduler::Candidate* ResourceScheduler::find_incumbent(
+    const ConfigPoint& incumbent, const std::vector<Candidate>& all) const {
+  // The candidate vector is the stored configuration set in database
+  // iteration order whenever the database is non-trivial (a stored config
+  // always yields *some* prediction), so one slot index serves every query
+  // point until the database mutates.  The size guard catches the edge
+  // where that assumption could drift.
+  if (!slots_valid_ || slots_epoch_ != db_.mutation_epoch() ||
+      slot_of_.size() != all.size()) {
+    slot_of_.clear();
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      slot_of_.emplace(all[i].config->key(), i);
+    }
+    slots_epoch_ = db_.mutation_epoch();
+    slots_valid_ = true;
+  }
+  auto it = slot_of_.find(incumbent.key());
+  if (it == slot_of_.end() || it->second >= all.size()) return nullptr;
+  const Candidate& c = all[it->second];
+  if (*c.config != incumbent) return nullptr;
+  return &c;
+}
+
+std::optional<ResourceScheduler::Decision> ResourceScheduler::select_uncached(
+    const perfdb::ResourcePoint& resources,
+    const ConfigPoint* incumbent_ptr) const {
   const std::vector<Candidate>& all = evaluate(resources);
   auto decision = decide(all);
+  if (incumbent_ptr == nullptr) return decision;
+  const ConfigPoint& incumbent = *incumbent_ptr;
   if (!decision || decision->config == incumbent) return decision;
   if (options_.switch_hysteresis <= 0.0) return decision;
 
   // Keep the incumbent unless it violates the winning preference's
   // constraints or the challenger's objective advantage exceeds the margin.
   // The incumbent's prediction was already computed with everyone else's.
-  const Candidate* incumbent_candidate = nullptr;
-  for (const Candidate& c : all) {
-    if (*c.config == incumbent) {
-      incumbent_candidate = &c;
-      break;
-    }
-  }
+  const Candidate* incumbent_candidate = find_incumbent(incumbent, all);
   if (incumbent_candidate == nullptr) return decision;
   const UserPreference& pref = preferences_[decision->preference_index];
   if (!pref.satisfied_by(incumbent_candidate->predicted)) return decision;

@@ -10,11 +10,24 @@
 // reused across calls (capacity kept), and select_with_incumbent evaluates
 // the candidate set once, sharing it between the fresh selection and the
 // hysteresis check instead of re-querying the database for the incumbent.
+//
+// At fleet scale whole *decisions* repeat across sessions sharing one
+// spec/prefs/database: attach a shared adapt::DecisionCache through
+// Options::decision_cache and select/select_with_incumbent are memoized
+// across every scheduler on the cache.  Attaching a cache forces
+// exact (uncached) predictions so the memoized decision is a pure function
+// of (database contents, selector fingerprint, inputs) — hits are
+// byte-identical to what an uncached evaluation would return.
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <optional>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "adapt/decision_cache.hpp"
 #include "adapt/preferences.hpp"
 #include "perfdb/database.hpp"
 #include "tunable/config.hpp"
@@ -29,6 +42,12 @@ class ResourceScheduler {
     /// the scheduler recommends switching (paper §7.5: small resource
     /// variations should not cause performance-degrading re-adaptations).
     double switch_hysteresis = 0.0;
+    /// Evaluate candidates through PerfDatabase::predict_uncached: bit-exact
+    /// for every query point (no prediction-cache bucket sharing).  Forced
+    /// on when `decision_cache` is set.
+    bool exact_predictions = false;
+    /// Shared decision memo (see adapt/decision_cache.hpp); null = off.
+    std::shared_ptr<DecisionCache> decision_cache;
   };
 
   ResourceScheduler(const perfdb::PerfDatabase& db,
@@ -36,12 +55,9 @@ class ResourceScheduler {
   ResourceScheduler(const perfdb::PerfDatabase& db, PreferenceList preferences,
                     Options options);
 
-  struct Decision {
-    tunable::ConfigPoint config;
-    std::size_t preference_index = 0;     // which preference was satisfiable
-    tunable::QosVector predicted;
-    bool fell_through = false;            // true if preference 0 unsatisfiable
-  };
+  /// Historical spelling: the Decision type now lives at namespace scope
+  /// (adapt/decision_cache.hpp) so the cache can store it.
+  using Decision = adapt::Decision;
 
   /// Select the best configuration for the measured `resources`.  Returns
   /// nullopt when the database is empty or no configuration has data.
@@ -58,6 +74,12 @@ class ResourceScheduler {
 
   const PreferenceList& preferences() const { return preferences_; }
   const perfdb::PerfDatabase& database() const { return db_; }
+  const Options& options() const { return options_; }
+  /// Fingerprint of (preference list, options) — the part of the decision
+  /// function that is not the database or the query point.  Schedulers with
+  /// equal fingerprints compute identical decisions from identical inputs;
+  /// the DecisionCache keys on it.
+  std::uint64_t selector_fingerprint() const { return selector_fingerprint_; }
 
  private:
   struct Candidate {
@@ -70,13 +92,30 @@ class ResourceScheduler {
   const std::vector<Candidate>& evaluate(
       const perfdb::ResourcePoint& resources) const;
   std::optional<Decision> decide(const std::vector<Candidate>& all) const;
+  std::optional<Decision> select_uncached(
+      const perfdb::ResourcePoint& resources,
+      const tunable::ConfigPoint* incumbent) const;
+  std::optional<Decision> select_cached(
+      const perfdb::ResourcePoint& resources,
+      const tunable::ConfigPoint* incumbent) const;
+  const Candidate* find_incumbent(const tunable::ConfigPoint& incumbent,
+                                  const std::vector<Candidate>& all) const;
 
   const perfdb::PerfDatabase& db_;
   PreferenceList preferences_;
   Options options_;
+  std::uint64_t selector_fingerprint_ = 0;
   // Reused across decisions so the hot adaptation loop does not reallocate
   // (single-threaded, like the rest of the simulation).
   mutable std::vector<Candidate> scratch_;
+  // Candidate slot by config key, so select_with_incumbent finds the
+  // incumbent's prediction O(1) instead of rescanning the candidate vector.
+  // Valid while the database's mutation epoch and the candidate count are
+  // unchanged (the candidate set is the stored config set, in iteration
+  // order, independent of the query point).
+  mutable std::unordered_map<std::string, std::size_t> slot_of_;
+  mutable std::uint64_t slots_epoch_ = 0;
+  mutable bool slots_valid_ = false;
 };
 
 }  // namespace avf::adapt

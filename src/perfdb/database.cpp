@@ -14,6 +14,11 @@ namespace avf::perfdb {
 using tunable::ConfigPoint;
 using tunable::QosVector;
 
+std::uint64_t PerfDatabase::next_uid() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
 PerfDatabase::PerfDatabase(std::vector<std::string> resource_axes,
                            tunable::MetricSchema schema)
     : axes_(std::move(resource_axes)), schema_(std::move(schema)) {
@@ -35,6 +40,8 @@ PerfDatabase::PerfDatabase(const PerfDatabase& other)
       index_rebuilds_(other.index_rebuilds_.load()) {
   // The copied indexes hold pointers into `other`'s sample nodes; drop
   // them so the copy rebuilds against its own nodes on first query.
+  // `uid_` deliberately stays the fresh default-initialized one: the copy
+  // is a distinct object whose contents may diverge from the source.
   for (auto& [key, data] : by_config_) data.index.invalidate();
 }
 
@@ -50,6 +57,8 @@ PerfDatabase::PerfDatabase(PerfDatabase&& other) noexcept
     : axes_(std::move(other.axes_)),
       schema_(std::move(other.schema_)),
       by_config_(std::move(other.by_config_)),
+      uid_(other.uid_),
+      mutation_epoch_(other.mutation_epoch_),
       total_records_(other.total_records_),
       predicted_records_(other.predicted_records_),
       cache_(std::move(other.cache_)),
@@ -60,6 +69,8 @@ PerfDatabase& PerfDatabase::operator=(PerfDatabase&& other) noexcept {
     axes_ = std::move(other.axes_);
     schema_ = std::move(other.schema_);
     by_config_ = std::move(other.by_config_);
+    uid_ = other.uid_;
+    mutation_epoch_ = other.mutation_epoch_;
     total_records_ = other.total_records_;
     predicted_records_ = other.predicted_records_;
     cache_ = std::move(other.cache_);
@@ -101,6 +112,7 @@ void PerfDatabase::insert(const ConfigPoint& config, const ResourcePoint& at,
                           const QosVector& quality, Provenance provenance) {
   ConfigData& data = insert_raw(config, at, quality, provenance);
   cache_.invalidate_config(data.config.key());
+  ++mutation_epoch_;
 }
 
 void PerfDatabase::insert_batch(const std::vector<PerfRecord>& records) {
@@ -113,7 +125,10 @@ void PerfDatabase::insert_batch(const std::vector<PerfRecord>& records) {
         insert_raw(r.config, r.resources, r.quality, r.provenance);
     touched.insert(data.config.key());
   }
-  for (const std::string& key : touched) cache_.invalidate_config(key);
+  for (const std::string& key : touched) {
+    cache_.invalidate_config(key);
+    ++mutation_epoch_;
+  }
 }
 
 std::optional<Provenance> PerfDatabase::provenance(
@@ -192,6 +207,7 @@ void PerfDatabase::erase_config(const ConfigPoint& config) {
     predicted_records_ -= it->second.predicted.size();
     cache_.invalidate_config(it->first);
     by_config_.erase(it);
+    ++mutation_epoch_;
   }
 }
 

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <functional>
 #include <iosfwd>
 #include <map>
@@ -70,6 +71,17 @@ class PerfDatabase {
 
   const std::vector<std::string>& axes() const { return axes_; }
   const tunable::MetricSchema& schema() const { return schema_; }
+
+  /// Process-unique identity of this database *object*.  Copies get a fresh
+  /// uid (their contents may diverge from the source); moves transfer it.
+  /// Never reused within a process, so (uid, mutation_epoch) pairs are safe
+  /// cache keys across database destruction/reallocation.
+  std::uint64_t uid() const { return uid_; }
+  /// Bumped on every content mutation: once per insert(), once per touched
+  /// configuration in insert_batch(), once per erase_config().  Consumers
+  /// (the adaptation decision cache) treat a changed epoch as "any prior
+  /// prediction may be stale".
+  std::uint64_t mutation_epoch() const { return mutation_epoch_; }
 
   /// Insert one sample; re-inserting the same (config, point) overwrites
   /// (value and provenance both).
@@ -182,7 +194,11 @@ class PerfDatabase {
                          const tunable::QosVector& quality,
                          Provenance provenance);
 
+  static std::uint64_t next_uid();
+
   std::map<std::string, ConfigData> by_config_;  // key() -> data
+  std::uint64_t uid_ = next_uid();
+  std::uint64_t mutation_epoch_ = 0;
   std::size_t total_records_ = 0;
   std::size_t predicted_records_ = 0;
   mutable PredictionCache cache_;

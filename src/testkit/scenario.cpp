@@ -88,6 +88,10 @@ sim::EventHandle arm_timeout(Ctx& ctx, std::uint32_t task_id,
 sim::Task<> client_proc(Ctx& ctx) {
   sim::Simulator& sim = ctx.sim;
   const AppModel& model = ctx.opt.model;
+  // Axis ids resolved once; the compute chunks observe per chunk and must
+  // not pay the name lookup per sample.
+  const std::size_t cpu_axis = ctx.monitor.axis_id("cpu_share");
+  const std::size_t net_axis = ctx.monitor.axis_id("net_bps");
   std::uint32_t task_id = 0;
   while (sim.now() < ctx.opt.duration) {
     ++task_id;
@@ -106,7 +110,7 @@ sim::Task<> client_proc(Ctx& ctx) {
       const sim::SimTime t1 = sim.now();
       if (t1 > t0) {
         ctx.monitor.observe(
-            "cpu_share",
+            cpu_axis,
             ctx.injector.perturb(
                 "cpu_share",
                 ops / kComputeChunks / (model.cpu_speed * (t1 - t0))));
@@ -126,7 +130,7 @@ sim::Task<> client_proc(Ctx& ctx) {
         const double span = msg.delivered_at - msg.sent_at - model.link_latency;
         if (span > 0.0) {
           ctx.monitor.observe(
-              "net_bps",
+              net_axis,
               ctx.injector.perturb(
                   "net_bps", static_cast<double>(msg.wire_size()) / span));
         }

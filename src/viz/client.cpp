@@ -46,7 +46,12 @@ VizClient::VizClient(sandbox::Sandbox& box, sim::Endpoint& endpoint,
       endpoint_(endpoint),
       steering_(steering),
       monitor_(monitor),
-      options_(std::move(options)) {}
+      options_(std::move(options)) {
+  if (monitor_ != nullptr) {
+    net_axis_ = monitor_->axis_id("net_bps");
+    cpu_axis_ = monitor_->axis_id("cpu_share");
+  }
+}
 
 const tunable::ConfigPoint& VizClient::config() const {
   return steering_ != nullptr ? steering_->active() : fixed_config_;
@@ -131,7 +136,7 @@ sim::Task<VizClient::ImageStats> VizClient::fetch_image(
     // Monitoring: observed bandwidth from the reply's own transfer.
     if (monitor_ != nullptr && transfer_duration > 0.0 &&
         wire_bytes >= 4096.0) {
-      monitor_->observe("net_bps", wire_bytes / transfer_duration);
+      monitor_->observe(net_axis_, wire_bytes / transfer_duration);
     }
 
     // decompress(control.c, &data) + reconstruction + update_display.
@@ -162,7 +167,7 @@ sim::Task<VizClient::ImageStats> VizClient::fetch_image(
     if (monitor_ != nullptr && busy_duration > 0.0) {
       double total_ops = codec.decompress_ops(reply.raw_len) + work;
       double share = total_ops / (host_speed * busy_duration);
-      monitor_->observe("cpu_share", std::clamp(share, 0.0, 1.0));
+      monitor_->observe(cpu_axis_, std::clamp(share, 0.0, 1.0));
     }
 
     // QoS_monitor { response_time, transmit_time, resolution }.

@@ -102,6 +102,10 @@ class VizClient {
   sim::Endpoint& endpoint_;
   adapt::SteeringAgent* steering_;
   adapt::MonitoringAgent* monitor_;
+  // Axis ids resolved once at construction; fetch_image observes per round
+  // and must not pay the name lookup per sample.
+  std::size_t net_axis_ = 0;
+  std::size_t cpu_axis_ = 0;
   Options options_;
   tunable::ConfigPoint fixed_config_;
   std::vector<ImageStats> history_;

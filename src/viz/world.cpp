@@ -297,7 +297,9 @@ SessionResult run_adaptive_session(const WorldSetup& setup,
   VizWorld world(setup);
   sim::Simulator& sim = world.simulator();
 
-  adapt::ResourceScheduler scheduler(db, preferences, options.scheduler);
+  adapt::ResourceScheduler::Options scheduler_options = options.scheduler;
+  scheduler_options.decision_cache = options.decision_cache;
+  adapt::ResourceScheduler scheduler(db, preferences, scheduler_options);
   adapt::MonitoringAgent monitor(sim, viz_app_spec().resource_axes(),
                                  options.monitor);
   // Static view of initial resources (what the system-wide monitor would
@@ -366,6 +368,38 @@ std::uint64_t result_fingerprint(const MultiSessionResult& result) {
   return h;
 }
 
+std::uint64_t adaptation_fingerprint(const MultiSessionResult& result) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix_bytes = [&h](const void* data, std::size_t size) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      h ^= bytes[i];
+      h *= 0x100000001b3ULL;
+    }
+  };
+  auto mix_u64 = [&mix_bytes](std::uint64_t v) { mix_bytes(&v, sizeof(v)); };
+  auto mix_double = [&mix_u64](double v) {
+    mix_u64(std::bit_cast<std::uint64_t>(v));
+  };
+  auto mix_str = [&](const std::string& s) {
+    mix_bytes(s.data(), s.size());
+    mix_u64(s.size());
+  };
+  for (const SessionResult& session : result.clients) {
+    mix_str(session.initial_config.key());
+    mix_u64(session.adaptations.size());
+    for (const auto& event : session.adaptations) {
+      mix_double(event.time);
+      mix_str(event.from.key());
+      mix_str(event.to.key());
+      mix_u64(event.preference_index);
+      mix_u64(event.estimates.size());
+      for (double e : event.estimates) mix_double(e);
+    }
+  }
+  return h;
+}
+
 MultiSessionResult run_multi_fixed_session(const WorldSetup& setup,
                                            const ConfigPoint& config,
                                            const ResourceSchedule& schedule) {
@@ -425,12 +459,17 @@ MultiSessionResult run_multi_adaptive_session(
     std::unique_ptr<adapt::SteeringAgent> steering;
     std::unique_ptr<adapt::AdaptationController> controller;
   };
+  // With a decision cache attached, every stack's scheduler shares the memo
+  // (and computes exact predictions); the first session to see a given
+  // estimate point evaluates the candidate set for the whole fleet.
+  adapt::ResourceScheduler::Options scheduler_options = options.scheduler;
+  scheduler_options.decision_cache = options.decision_cache;
   std::vector<Stack> stacks;
   stacks.reserve(static_cast<std::size_t>(setup.client_count));
   for (int i = 0; i < setup.client_count; ++i) {
     Stack stack;
     stack.scheduler = std::make_unique<adapt::ResourceScheduler>(
-        db, preferences, options.scheduler);
+        db, preferences, scheduler_options);
     stack.monitor = std::make_unique<adapt::MonitoringAgent>(
         sim, viz_app_spec().resource_axes(), options.monitor);
     auto decision = stack.scheduler->select(initial);

@@ -185,6 +185,14 @@ struct MultiSessionResult {
 /// seeded world must produce equal fingerprints at any client count.
 std::uint64_t result_fingerprint(const MultiSessionResult& result);
 
+/// Bit-exact digest of the *decision traces* of a multi-client result:
+/// per session, the initial configuration and every adaptation event
+/// (time, from/to configs, preference index, estimate bit patterns).  This
+/// is the byte-equality witness for the decision-cache benchmarks — two
+/// runs whose adaptation behavior matches exactly hash equal even when
+/// their image stats are not compared.
+std::uint64_t adaptation_fingerprint(const MultiSessionResult& result);
+
 /// Run `setup.client_count` non-adaptive clients concurrently, all under
 /// `config`, each downloading `setup.image_count` images.
 MultiSessionResult run_multi_fixed_session(
@@ -195,6 +203,11 @@ struct AdaptiveOptions {
   adapt::MonitoringAgent::Options monitor{};
   adapt::ResourceScheduler::Options scheduler{};
   adapt::AdaptationController::Options controller{};
+  /// Shared decision memo attached to every per-client scheduler in the
+  /// run (null = each scheduler evaluates the candidate set itself).
+  /// Attaching a cache forces exact predictions — decisions, and therefore
+  /// whole sessions, are byte-identical to an uncached exact run.
+  std::shared_ptr<adapt::DecisionCache> decision_cache;
 };
 
 /// Run an adaptive session: initial automatic configuration from the

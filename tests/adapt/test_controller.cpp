@@ -289,5 +289,56 @@ TEST(Controller, StartIsIdempotent) {
   EXPECT_FALSE(controller.running());
 }
 
+
+TEST(Controller, ChangeDrivenTicksSkipQuietChecksIdentically) {
+  // Two identical rigs under the same observation schedule: skipping
+  // provably-no-op ticks must not change a single adaptation decision —
+  // only how much work quiet ticks cost (ticks_skipped counts them).
+  auto run = [](bool change_driven) {
+    Rig rig;
+    AdaptationController::Options options;
+    options.check_interval = 0.5;
+    options.change_driven_ticks = change_driven;
+    AdaptationController controller(rig.sim, rig.scheduler, rig.monitor,
+                                    rig.steering, options);
+    controller.configure({1000.0});
+    controller.start();
+    // Sparse observations (every 1.25 s) leave tick pairs with no new
+    // information in between; a collapse at t=4 forces an adaptation.
+    for (int i = 0; i < 3; ++i) {
+      rig.sim.schedule(0.4 + 1.25 * i, [&rig] {
+        rig.monitor.observe("bw", 1000.0);
+      });
+    }
+    rig.sim.schedule(4.0, [&rig] {
+      for (int i = 0; i < 10; ++i) rig.monitor.observe("bw", 100.0);
+    });
+    rig.sim.schedule(6.0, [&controller] { controller.stop(); });
+    rig.sim.run();
+    struct Out {
+      std::vector<AdaptationController::AdaptationEvent> adaptations;
+      std::size_t checks;
+      std::size_t skipped;
+    };
+    return Out{controller.adaptations(), controller.checks(),
+               controller.ticks_skipped()};
+  };
+
+  auto baseline = run(false);
+  auto skipping = run(true);
+  EXPECT_EQ(baseline.skipped, 0u);
+  EXPECT_GT(skipping.skipped, 0u);
+  EXPECT_EQ(baseline.checks, skipping.checks);  // skipped ticks still count
+  ASSERT_EQ(baseline.adaptations.size(), skipping.adaptations.size());
+  for (std::size_t i = 0; i < baseline.adaptations.size(); ++i) {
+    EXPECT_EQ(baseline.adaptations[i].time, skipping.adaptations[i].time);
+    EXPECT_EQ(baseline.adaptations[i].from, skipping.adaptations[i].from);
+    EXPECT_EQ(baseline.adaptations[i].to, skipping.adaptations[i].to);
+    EXPECT_EQ(baseline.adaptations[i].estimates,
+              skipping.adaptations[i].estimates);
+  }
+  ASSERT_FALSE(skipping.adaptations.empty());
+}
+
 }  // namespace
 }  // namespace avf::adapt

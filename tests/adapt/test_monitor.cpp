@@ -154,5 +154,81 @@ TEST_P(MonitorThresholds, TriggerOnlyBeyondThreshold) {
 INSTANTIATE_TEST_SUITE_P(Thresholds, MonitorThresholds,
                          ::testing::Values(0.1, 0.25, 0.5));
 
+
+// --- check_would_noop: the change-driven-tick skip proof ------------------
+
+TEST(Monitor, CheckWouldNoopAfterQuietInRangeCheck) {
+  sim::Simulator sim;
+  MonitoringAgent agent(sim, {"cpu_share"}, opts(2.0, 0.25, 2));
+  agent.set_baseline({0.5});
+  // Never true before any check: there is no outcome to repeat.
+  EXPECT_FALSE(agent.check_would_noop());
+  sim.schedule(0.1, [&] { agent.observe("cpu_share", 0.5); });
+  sim.run();
+  EXPECT_FALSE(agent.check_would_noop());  // observation since (no check yet)
+  EXPECT_FALSE(agent.check_triggered());   // in range
+  // Nothing changed: a re-check is provably the same in-range no-op, and
+  // actually re-checking preserves the proof.
+  EXPECT_TRUE(agent.check_would_noop());
+  EXPECT_FALSE(agent.check_triggered());
+  EXPECT_TRUE(agent.check_would_noop());
+}
+
+TEST(Monitor, CheckWouldNoopFalseAfterObserveOrBaseline) {
+  sim::Simulator sim;
+  MonitoringAgent agent(sim, {"cpu_share"}, opts(2.0, 0.25, 2));
+  agent.set_baseline({0.5});
+  sim.schedule(0.1, [&] { agent.observe("cpu_share", 0.5); });
+  sim.run();
+  EXPECT_FALSE(agent.check_triggered());
+  ASSERT_TRUE(agent.check_would_noop());
+  // A new observation is new information: the proof no longer holds.
+  sim.schedule(0.1, [&] { agent.observe("cpu_share", 0.5); });
+  sim.run();
+  EXPECT_FALSE(agent.check_would_noop());
+  EXPECT_FALSE(agent.check_triggered());
+  ASSERT_TRUE(agent.check_would_noop());
+  // So is a re-anchored baseline.
+  agent.set_baseline({0.5});
+  EXPECT_FALSE(agent.check_would_noop());
+}
+
+TEST(Monitor, CheckWouldNoopFalseAfterOutOfRangeCheck) {
+  // Out-of-range checks mutate the consecutive counter, so they can never
+  // be skipped — even with no new observations.
+  sim::Simulator sim;
+  MonitoringAgent agent(sim, {"cpu_share"}, opts(2.0, 0.25, 3));
+  agent.set_baseline({0.9});
+  sim.schedule(0.1, [&] { agent.observe("cpu_share", 0.4); });
+  sim.run();
+  EXPECT_FALSE(agent.check_triggered());  // out of range, counter at 1
+  EXPECT_FALSE(agent.check_would_noop());
+  EXPECT_FALSE(agent.check_triggered());  // counter at 2
+  EXPECT_FALSE(agent.check_would_noop());
+  EXPECT_TRUE(agent.check_triggered());   // fires
+}
+
+TEST(Monitor, CheckWouldNoopFalseWhenSuffixAgesOut) {
+  // The proof requires the last check's oldest qualifying sample to still
+  // be inside the window: once it ages past the cutoff the windowed mean
+  // changes even though nothing new was observed.
+  sim::Simulator sim;
+  MonitoringAgent agent(sim, {"cpu_share"}, opts(1.0, 0.25, 2));
+  sim.schedule(0.1, [&] { agent.observe("cpu_share", 0.2); });
+  sim.schedule(0.5, [&] { agent.observe("cpu_share", 0.8); });
+  sim.schedule(0.6, [] {});
+  sim.run();
+  agent.set_baseline({0.5});
+  EXPECT_FALSE(agent.check_triggered());  // mean 0.5, in range
+  EXPECT_TRUE(agent.check_would_noop());  // oldest sample (0.1) in window
+  // Advance past 1.1: the 0.1 sample leaves the window, the mean is now
+  // 0.8, and the proof must withdraw (the next check deviates by 60%).
+  sim.schedule(0.6, [] {});
+  sim.run();
+  EXPECT_FALSE(agent.check_would_noop());
+  EXPECT_FALSE(agent.check_triggered());  // out of range, counter at 1
+  EXPECT_TRUE(agent.check_triggered());
+}
+
 }  // namespace
 }  // namespace avf::adapt

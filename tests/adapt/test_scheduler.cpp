@@ -235,5 +235,33 @@ TEST(Scheduler, EmptyDatabaseSelectsNothing) {
   EXPECT_FALSE(scheduler.select({100e3}).has_value());
 }
 
+
+TEST(Scheduler, IncumbentIndexSurvivesDatabaseMutation) {
+  // Regression for the incumbent slot index: select_with_incumbent finds
+  // the incumbent via a config->slot map keyed to the database's mutation
+  // epoch.  Inserting a config must rebuild the index, not serve a stale
+  // slot (which would compare the wrong candidate's prediction).
+  PerfDatabase db({"bw"}, schema());
+  db.insert(cfg(1, 4), {100e3}, q(10.0, 4));
+  db.insert(cfg(2, 4), {100e3}, q(9.8, 4));
+  ResourceScheduler::Options options;
+  options.switch_hysteresis = 0.10;
+  ResourceScheduler scheduler(db, {minimize("transmit_time")}, options);
+  // Warm the slot index.
+  EXPECT_EQ(scheduler.select_with_incumbent({100e3}, cfg(1, 4))->config,
+            cfg(1, 4));
+  // New config shifts the candidate layout and clearly beats the incumbent.
+  db.insert(cfg(0, 3), {100e3}, q(1.0, 3));
+  auto decision = scheduler.select_with_incumbent({100e3}, cfg(1, 4));
+  ASSERT_TRUE(decision);
+  EXPECT_EQ(decision->config, cfg(0, 3));
+  // The incumbent's own prediction is still found and honored within the
+  // hysteresis margin when it is the near-best choice.
+  db.insert(cfg(0, 3), {100e3}, q(10.5, 3));  // overwrite: now slightly worse
+  auto kept = scheduler.select_with_incumbent({100e3}, cfg(2, 4));
+  ASSERT_TRUE(kept);
+  EXPECT_EQ(kept->config, cfg(2, 4));
+}
+
 }  // namespace
 }  // namespace avf::adapt

@@ -1,0 +1,89 @@
+#include "testkit/fleet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "adapt/scheduler.hpp"
+
+namespace avf::testkit {
+namespace {
+
+FleetOptions small_fleet(bool cached) {
+  FleetOptions options;
+  options.sessions = 24;
+  options.waves = 4;
+  if (cached) {
+    options.decision_cache = std::make_shared<adapt::DecisionCache>();
+  } else {
+    options.controller.change_driven_ticks = false;
+  }
+  return options;
+}
+
+TEST(Fleet, RunsSessionsAndAdaptsUnderChurn) {
+  FleetResult r = run_fleet(small_fleet(/*cached=*/false));
+  EXPECT_EQ(r.sessions, 24u);
+  EXPECT_GT(r.tasks, 0u);
+  EXPECT_GT(r.checks, 0u);
+  EXPECT_GT(r.triggers, 0u);
+  EXPECT_GT(r.adaptations, 0u);
+  EXPECT_GT(r.total_time, 0.0);
+  EXPECT_EQ(r.cache.hits + r.cache.misses, 0u);  // no cache attached
+}
+
+TEST(Fleet, CachedLaneIsByteIdenticalToBaseline) {
+  FleetResult baseline = run_fleet(small_fleet(false));
+  FleetResult cached = run_fleet(small_fleet(true));
+  EXPECT_EQ(cached.decision_fingerprint, baseline.decision_fingerprint);
+  EXPECT_EQ(cached.tasks, baseline.tasks);
+  EXPECT_EQ(cached.adaptations, baseline.adaptations);
+  EXPECT_EQ(cached.checks, baseline.checks);
+  // The cached lane demonstrably shared decisions and skipped quiet ticks.
+  EXPECT_GT(cached.cache.hits, 0u);
+  EXPECT_GT(cached.ticks_skipped, 0u);
+  EXPECT_EQ(baseline.ticks_skipped, 0u);
+}
+
+TEST(Fleet, RunsAreDeterministic) {
+  FleetResult first = run_fleet(small_fleet(true));
+  FleetResult second = run_fleet(small_fleet(true));
+  EXPECT_EQ(first.decision_fingerprint, second.decision_fingerprint);
+  EXPECT_EQ(first.tasks, second.tasks);
+  EXPECT_EQ(first.adaptations, second.adaptations);
+  EXPECT_EQ(first.cache.hits, second.cache.hits);
+  EXPECT_EQ(first.cache.misses, second.cache.misses);
+}
+
+TEST(Fleet, SessionsWithinAWaveShareDecisions) {
+  // Sessions in one wave are replicas: with W waves the number of distinct
+  // decision computations (cache misses) must not grow with the session
+  // count.
+  FleetOptions a = small_fleet(true);
+  FleetOptions b = small_fleet(true);
+  b.sessions = 48;  // double the fleet, same wave count
+  FleetResult ra = run_fleet(a);
+  FleetResult rb = run_fleet(b);
+  EXPECT_EQ(ra.cache.misses, rb.cache.misses);
+  EXPECT_GT(rb.cache.hits, ra.cache.hits);
+}
+
+TEST(Fleet, FingerprintIsScaleSensitive) {
+  FleetOptions a = small_fleet(true);
+  FleetOptions b = small_fleet(true);
+  b.sessions = 25;
+  EXPECT_NE(run_fleet(a).decision_fingerprint,
+            run_fleet(b).decision_fingerprint);
+}
+
+TEST(Fleet, RejectsBadOptions) {
+  FleetOptions options;
+  options.sessions = 0;
+  EXPECT_THROW(run_fleet(options), std::invalid_argument);
+  options.sessions = 4;
+  options.waves = 0;
+  EXPECT_THROW(run_fleet(options), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace avf::testkit

@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
+#include <optional>
+
+#include "util/rng.hpp"
+
 namespace avf::util {
 namespace {
 
@@ -127,6 +133,117 @@ TEST(TimeWindowTest, MeanSinceEmptyOrAllStale) {
   EXPECT_FALSE(w.mean_since(2.0).has_value());
   EXPECT_EQ(w.count_since(2.0), 0u);
   EXPECT_TRUE(w.mean_since(1.0).has_value());
+}
+
+// --- suffix-fold memo: incremental mean vs exact-rescan oracle ------------
+
+/// Exact oldest->newest Neumaier left-fold over the qualifying suffix —
+/// the canonical computation the memoized fold claims to reproduce.
+std::optional<double> oracle_mean_since(const TimeWindow& w, double t) {
+  double sum = 0.0, comp = 0.0;
+  std::size_t n = 0;
+  for (const auto& [time, value] : w.samples()) {
+    if (time < t) continue;
+    const double x = value;
+    const double next = sum + x;
+    if (std::abs(sum) >= std::abs(x)) {
+      comp += (sum - next) + x;
+    } else {
+      comp += (x - next) + sum;
+    }
+    sum = next;
+    ++n;
+  }
+  if (n == 0) return std::nullopt;
+  return (sum + comp) / static_cast<double>(n);
+}
+
+// Fuzz the fold against the oracle: random sample streams with stale
+// bursts (time jumps past the horizon without new samples), mixed value
+// magnitudes to stress the compensation, and query cutoffs that land
+// before, inside, and after the retained suffix.  Equality is EXACT
+// (EXPECT_EQ on doubles): the memo extension is the last step of the
+// canonical scan, so any drift at all is a bug.
+TEST(TimeWindow, SuffixFoldMatchesExactRescanUnderFuzz) {
+  for (std::uint64_t seed : {1ull, 7ull, 42ull}) {
+    SplitMix64 rng(seed);
+    TimeWindow w(1.0);
+    double now = 0.0;
+    for (int step = 0; step < 2000; ++step) {
+      const std::uint64_t action = rng.next_below(10);
+      if (action < 6) {
+        // Sample: small forward step; values span 9 orders of magnitude.
+        now += 0.01 + 0.1 * rng.next_double();
+        const double magnitude = rng.next_below(2) == 0 ? 1e-3 : 1e6;
+        w.add(now, magnitude * rng.next_double());
+      } else if (action < 7) {
+        // Stale burst: time lurches past the horizon with no samples, so
+        // the deque retains entries older than any fresh query's cutoff.
+        now += 1.0 + 2.0 * rng.next_double();
+      } else {
+        // Query at a cutoff around the window edge (occasionally beyond
+        // every retained sample).
+        const double cutoff = now - 1.0 + 1.5 * (rng.next_double() - 0.25);
+        auto got = w.stats_since(cutoff);
+        auto want = oracle_mean_since(w, cutoff);
+        ASSERT_EQ(got.has_value(), want.has_value()) << "seed " << seed;
+        if (want) {
+          EXPECT_EQ(got->mean, *want) << "seed " << seed << " step " << step;
+          EXPECT_EQ(got->count, w.count_since(cutoff));
+        }
+        auto mean = w.mean_since(cutoff);
+        ASSERT_EQ(mean.has_value(), want.has_value());
+        if (want) EXPECT_EQ(*mean, *want);
+      }
+    }
+    // mean() is the whole-deque fold; it must match the oracle with a
+    // cutoff below every sample.
+    if (!w.empty()) {
+      auto want = oracle_mean_since(w, -1.0);
+      ASSERT_TRUE(want.has_value());
+      EXPECT_EQ(w.mean(), *want);
+    }
+  }
+}
+
+TEST(TimeWindow, RepeatedSuffixQueriesHitTheMemo) {
+  TimeWindow w(10.0);
+  for (int i = 0; i < 50; ++i) w.add(0.1 * i, 1.0 + i);
+  const double cutoff = 1.05;
+  auto first = w.stats_since(cutoff);
+  ASSERT_TRUE(first);
+  const auto after_anchor = w.fold_counters();
+  // Same cutoff again and again: answered from the memo, no rescans.
+  for (int i = 0; i < 20; ++i) {
+    auto again = w.stats_since(cutoff);
+    ASSERT_TRUE(again);
+    EXPECT_EQ(again->mean, first->mean);
+  }
+  const auto after_hits = w.fold_counters();
+  EXPECT_EQ(after_hits.rescans, after_anchor.rescans);
+  EXPECT_GE(after_hits.hits, after_anchor.hits + 20);
+  // Appending extends the fold in O(1) instead of invalidating it.
+  w.add(5.1, 99.0);
+  auto extended = w.stats_since(cutoff);
+  ASSERT_TRUE(extended);
+  EXPECT_EQ(extended->mean, *oracle_mean_since(w, cutoff));
+  const auto after_extend = w.fold_counters();
+  EXPECT_GT(after_extend.extends, after_hits.extends);
+  EXPECT_EQ(after_extend.rescans, after_hits.rescans);
+}
+
+TEST(TimeWindow, ClearResetsTheFold) {
+  TimeWindow w(10.0);
+  w.add(0.0, 1.0);
+  (void)w.stats_since(-1.0);
+  w.clear();
+  EXPECT_FALSE(w.stats_since(-1.0).has_value());
+  w.add(1.0, 7.0);
+  auto s = w.stats_since(0.0);
+  ASSERT_TRUE(s);
+  EXPECT_EQ(s->mean, 7.0);
+  EXPECT_EQ(s->first_time, 1.0);
+  EXPECT_EQ(s->count, 1u);
 }
 
 }  // namespace
